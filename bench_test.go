@@ -1,0 +1,234 @@
+package forkoram
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each benchmark regenerates its experiment through the harness at
+// a reduced scale and reports the headline series values as custom
+// metrics, so `go test -bench .` doubles as a quick reproduction run.
+// cmd/orambench produces the full tables (and -paper the Table 1 scale).
+
+import (
+	"testing"
+
+	"forkoram/internal/bench"
+	"forkoram/internal/sim"
+	"forkoram/internal/workload"
+)
+
+// benchOpts keeps benchmark iterations affordable.
+func benchOpts() bench.Options {
+	return bench.Options{DataBlocks: 1 << 18, RequestsPerCore: 1000, Mixes: 2, Seed: 1}
+}
+
+// BenchmarkTable1Config exercises the Table 1 default configuration
+// end-to-end once per iteration (ForkPath scheme, reduced request count).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default(sim.ForkPath)
+		cfg.DataBlocks = 1 << 18
+		cfg.OnChipEntries = 1 << 10
+		cfg.RequestsPerCore = 1000
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPathBuckets, "pathlen")
+	}
+}
+
+// BenchmarkTable2Mixes runs every Table 2 mix once (traditional scheme).
+func BenchmarkTable2Mixes(b *testing.B) {
+	o := benchOpts()
+	o.RequestsPerCore = 300
+	for i := 0; i < b.N; i++ {
+		for _, mix := range workload.Mixes() {
+			cfg := sim.Default(sim.Traditional)
+			cfg.DataBlocks = o.DataBlocks
+			cfg.OnChipEntries = 1 << 10
+			cfg.RequestsPerCore = o.RequestsPerCore
+			cfg.Workloads = mix.Members[:]
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatalf("%s: %v", mix.Name, err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig10PathLength(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.QueueSize == 64 {
+				b.ReportMetric(r.AvgPathBuckets, "pathlen@Q64")
+				b.ReportMetric(r.NormDRAMLat, "dramlat@Q64")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11RequestCount(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Norm[128]
+		}
+		b.ReportMetric(sum/float64(len(res)), "reqs@Q128")
+	}
+}
+
+func BenchmarkFig12ORAMLatency(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Norm[64]
+		}
+		b.ReportMetric(sum/float64(len(res)), "latency@Q64")
+	}
+}
+
+func BenchmarkFig13Caching(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Norm["merge+1M MAC"]
+		}
+		b.ReportMetric(sum/float64(len(res)), "latency@1M-MAC")
+	}
+}
+
+func BenchmarkFig14Slowdown(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var trad, fork float64
+		for _, r := range res {
+			trad += r.Slowdown["traditional"]
+			fork += r.Slowdown["merge+1M MAC"]
+		}
+		b.ReportMetric(1-fork/trad, "execsaving")
+	}
+}
+
+func BenchmarkFig15Energy(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Norm["merge+1M MAC"]
+		}
+		b.ReportMetric(1-sum/float64(len(res)), "energysaving")
+	}
+}
+
+func BenchmarkFig16InOrderOoO(b *testing.B) {
+	o := benchOpts()
+	o.Mixes = 1
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig16(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].InOrderDummyFrac, "inorder-dummyfrac")
+		b.ReportMetric(res[0].OoODummyFrac, "ooo-dummyfrac")
+	}
+}
+
+func BenchmarkFig17aThreads(b *testing.B) {
+	o := benchOpts()
+	o.Mixes = 1
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig17a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[len(res)-1].Norm, "norm@8threads")
+	}
+}
+
+func BenchmarkFig17bORAMSize(b *testing.B) {
+	o := benchOpts()
+	o.Mixes = 1
+	o.RequestsPerCore = 500
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig17b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[len(res)-1].Norm, "norm@maxsize")
+	}
+}
+
+func BenchmarkFig18Channels(b *testing.B) {
+	o := benchOpts()
+	o.Mixes = 1
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig18(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].Speedup, "speedup@1ch")
+	}
+}
+
+func BenchmarkFig19Parsec(b *testing.B) {
+	o := benchOpts()
+	o.RequestsPerCore = 500
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.Fig19(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Norm
+		}
+		b.ReportMetric(sum/float64(len(res)), "norm-latency")
+	}
+}
+
+// BenchmarkDeviceOps measures the functional Device's operation cost.
+func BenchmarkDeviceOps(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		v    Variant
+	}{{"baseline", Baseline}, {"fork", Fork}} {
+		b.Run(v.name, func(b *testing.B) {
+			d, err := NewDevice(DeviceConfig{Blocks: 1 << 14, Variant: v.v})
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, d.BlockSize())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Write(uint64(i)%(1<<14), data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command orambench regenerates the paper's evaluation: every figure of
+// §5 plus the design-choice ablations, printed as text tables.
+//
+// Examples:
+//
+//	orambench                      # all experiments at reduced scale
+//	orambench -experiment fig12    # one figure
+//	orambench -mixes 4 -requests 1500   # faster sweep
+//	orambench -paper               # Table 1 geometry (slow, memory-hungry)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	forkoram "forkoram"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "one experiment name (default: all)")
+		mixes      = flag.Int("mixes", 0, "limit to the first N Table 2 mixes (0 = all)")
+		requests   = flag.Uint64("requests", 0, "post-L1 accesses per core (0 = default)")
+		dataBlocks = flag.Uint64("data-blocks", 0, "data ORAM size in 64B blocks (0 = default)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		paper      = flag.Bool("paper", false, "full Table 1 geometry (4 GB ORAM; slow)")
+		list       = flag.Bool("list", false, "list experiment names")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range forkoram.Experiments() {
+			fmt.Println(e)
+		}
+		return
+	}
+	o := forkoram.ExperimentOptions{
+		DataBlocks:      *dataBlocks,
+		RequestsPerCore: *requests,
+		Mixes:           *mixes,
+		Seed:            *seed,
+		PaperScale:      *paper,
+	}
+	start := time.Now()
+	var err error
+	if *experiment != "" {
+		err = forkoram.RunExperiment(*experiment, o, os.Stdout)
+	} else {
+		err = forkoram.RunAllExperiments(o, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orambench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,75 @@
+// Command oramgen generates synthetic memory-request traces from the
+// built-in SPEC-2006-like and PARSEC-like benchmark profiles, in the text
+// format consumed by examples/tracesim (one request per line:
+// "<gapCycles> <blockAddr> <R|W>").
+//
+// Examples:
+//
+//	oramgen -list
+//	oramgen -benchmark mcf -n 100000 > mcf.trace
+//	oramgen -benchmark canneal -n 50000 -seed 3 -o canneal.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("benchmark", "", "profile name (see -list)")
+		n    = flag.Int("n", 100000, "number of requests")
+		seed = flag.Uint64("seed", 1, "random seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+		list = flag.Bool("list", false, "list available benchmark profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range []workload.Group{workload.LG, workload.HG, workload.Parsec} {
+			fmt.Printf("%s:\n", g)
+			for _, b := range workload.Names(g) {
+				p, _ := workload.Lookup(b)
+				fmt.Printf("  %-14s gap=%5.0f cycles  hot=%.2f  footprint=%d blocks\n",
+					b, p.GapMeanCycles, p.HotFrac, p.FootprintBlks)
+			}
+		}
+		return
+	}
+	if *name == "" {
+		fatalf("missing -benchmark (try -list)")
+	}
+	p, err := workload.Lookup(*name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	gen, err := workload.NewGenerator(p, rng.New(*seed), 0, 0, 0)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	reqs := make([]workload.Request, *n)
+	for i := range reqs {
+		reqs[i] = gen.Next()
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, reqs); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "oramgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,409 @@
+package forkoram
+
+import (
+	"fmt"
+
+	"forkoram/internal/block"
+	"forkoram/internal/fork"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/posmap"
+	"forkoram/internal/recursion"
+	"forkoram/internal/rng"
+	"forkoram/internal/stash"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// Variant selects the controller algorithm of a Device.
+type Variant int
+
+// Device variants.
+const (
+	// Baseline is classic Path ORAM: every access reads and rewrites one
+	// full root-to-leaf path.
+	Baseline Variant = iota
+	// Fork is the paper's Fork Path engine: consecutive accesses merge
+	// their overlapping path segments, a label queue schedules pending
+	// requests by overlap degree, and pending dummies are replaced by
+	// late-arriving real requests.
+	Fork
+)
+
+// DeviceConfig configures an oblivious block store.
+type DeviceConfig struct {
+	// Blocks is the number of addressable blocks (addresses 0..Blocks-1).
+	Blocks uint64
+	// BlockSize is the payload size in bytes of each block (default 64).
+	BlockSize int
+	// Z is the bucket capacity (default 4).
+	Z int
+	// StashCapacity is the on-chip stash size in blocks (default 200).
+	// Exceeding it is recorded in Stats, not fatal.
+	StashCapacity int
+	// QueueSize is the Fork variant's label queue size (default 8).
+	// Large queues pay off under Batch or pipelined use, where many real
+	// requests pend; a synchronous caller issuing one blocking operation
+	// at a time waits O(QueueSize) accesses for its request to win the
+	// overlap competition against queue dummies, so keep it small there.
+	QueueSize int
+	// Key is the 16-byte AES key sealing buckets. Nil derives an
+	// all-zero key (fine for experiments; supply your own otherwise).
+	Key []byte
+	// Seed makes the label randomness reproducible. Production use wants
+	// a random seed; experiments want a fixed one.
+	Seed uint64
+	// Variant selects Baseline or Fork.
+	Variant Variant
+	// Integrity enables Merkle-tree verification over the stored bucket
+	// ciphertexts (orthogonal to ORAM per the paper's §2.2, combinable
+	// with it): every bucket read is verified against an on-chip root,
+	// detecting tampering and replay of stale ciphertexts.
+	Integrity bool
+	// Observer, when set, receives the bus-visible trace of every ORAM
+	// tree traversal — exactly what an adversary probing the memory bus
+	// sees (revealed leaf label plus bucket read/write sequences), and
+	// additionally the dummy flag (NOT adversary-visible; provided for
+	// analysis). Used by security tests and examples/adversary.
+	Observer func(label uint64, dummy bool, readBuckets, writeBuckets []uint64)
+}
+
+func (c DeviceConfig) withDefaults() DeviceConfig {
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Z == 0 {
+		c.Z = 4
+	}
+	if c.StashCapacity == 0 {
+		c.StashCapacity = 200
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 8
+	}
+	if c.Key == nil {
+		c.Key = make([]byte, 16)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c DeviceConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Blocks == 0 {
+		return fmt.Errorf("forkoram: Blocks must be positive")
+	}
+	if c.BlockSize <= 0 || c.Z <= 0 {
+		return fmt.Errorf("forkoram: BlockSize and Z must be positive")
+	}
+	if len(c.Key) != 16 {
+		return fmt.Errorf("forkoram: Key must be 16 bytes")
+	}
+	return nil
+}
+
+// DeviceStats summarizes a Device's activity.
+type DeviceStats struct {
+	Reads         uint64
+	Writes        uint64
+	RealAccesses  uint64 // ORAM tree traversals serving requests
+	DummyAccesses uint64 // Fork variant's inserted dummy traversals
+	BucketReads   uint64 // buckets fetched from (encrypted) storage
+	BucketWrites  uint64
+	Stash         stash.Stats
+	// PathLength is the number of buckets on a full path (L+1).
+	PathLength uint
+}
+
+// Device is an oblivious block store: external observers of its backing
+// storage (including anyone who can read the Device's memory traffic)
+// learn nothing about which addresses are accessed beyond the total
+// request count.
+//
+// A Device is not safe for concurrent use; wrap it in your own mutex if
+// needed (ORAM serializes accesses by construction anyway).
+type Device struct {
+	cfg      DeviceConfig
+	tr       tree.Tree
+	store    *storage.Mem
+	verifier *storage.Integrity
+	ctl      *pathoram.Controller
+	pos      *posmap.Map
+	eng      *fork.Engine // Fork variant only
+	base     *pathoram.ORAM
+
+	nextID uint64
+	reads  uint64
+	writes uint64
+}
+
+// NewDevice creates an oblivious block store holding cfg.Blocks blocks of
+// cfg.BlockSize bytes, all initially zero.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Size the tree at ~50% utilization: Z * 2^L >= Blocks.
+	_, tr, err := recursion.Plan(recursion.Config{
+		DataBlocks:     cfg.Blocks,
+		LabelsPerBlock: 2,          // no recursion in the device facade:
+		OnChipEntries:  cfg.Blocks, // the whole position map stays on-chip
+		Z:              cfg.Z,
+		PayloadSize:    cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.NewMem(tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.BlockSize}, cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	var backend storage.Backend = store
+	var verifier *storage.Integrity
+	if cfg.Integrity {
+		verifier = storage.NewIntegrity(store, tr)
+		backend = verifier
+	}
+	root := rng.New(cfg.Seed)
+	d := &Device{cfg: cfg, tr: tr, store: store, verifier: verifier}
+	pcfg := pathoram.Config{Tree: tr, StashCapacity: cfg.StashCapacity, TrackData: true}
+	switch cfg.Variant {
+	case Baseline:
+		d.base, err = pathoram.New(pcfg, backend, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		d.ctl = d.base.Controller()
+		d.pos = d.base.PositionMap()
+	case Fork:
+		d.ctl, err = pathoram.NewController(pcfg, backend)
+		if err != nil {
+			return nil, err
+		}
+		d.pos = posmap.New(tr, root.Split())
+		d.eng, err = fork.NewEngine(fork.Config{
+			QueueSize:           cfg.QueueSize,
+			AgeThreshold:        16 * cfg.QueueSize,
+			MergeEnabled:        true,
+			DummyReplaceEnabled: true,
+		}, d.ctl, root.Split())
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("forkoram: unknown variant %d", cfg.Variant)
+	}
+	return d, nil
+}
+
+// BlockSize returns the payload size.
+func (d *Device) BlockSize() int { return d.cfg.BlockSize }
+
+// Blocks returns the number of addressable blocks.
+func (d *Device) Blocks() uint64 { return d.cfg.Blocks }
+
+// Leaves returns the number of leaves of the ORAM tree — the range of
+// the labels reported to an Observer. Public information.
+func (d *Device) Leaves() uint64 { return d.tr.Leaves() }
+
+// IntegrityRoot returns the current Merkle root over the stored bucket
+// ciphertexts. It is only meaningful when the device was created with
+// Integrity enabled; ok reports that.
+func (d *Device) IntegrityRoot() (root [32]byte, ok bool) {
+	if d.verifier == nil {
+		return root, false
+	}
+	return d.verifier.Root(), true
+}
+
+// Read returns the contents of the block at addr (zero-filled if never
+// written).
+func (d *Device) Read(addr uint64) ([]byte, error) {
+	d.reads++
+	return d.access(pathoram.OpRead, addr, nil)
+}
+
+// Write replaces the contents of the block at addr. data must be exactly
+// BlockSize bytes.
+func (d *Device) Write(addr uint64, data []byte) error {
+	if len(data) != d.cfg.BlockSize {
+		return fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), d.cfg.BlockSize)
+	}
+	d.writes++
+	_, err := d.access(pathoram.OpWrite, addr, data)
+	return err
+}
+
+func (d *Device) access(op pathoram.Op, addr uint64, data []byte) ([]byte, error) {
+	if addr >= d.cfg.Blocks {
+		return nil, fmt.Errorf("forkoram: address %d out of range (blocks=%d)", addr, d.cfg.Blocks)
+	}
+	if d.base != nil {
+		out, acc, err := d.base.Access(op, addr, data)
+		if err == nil && d.cfg.Observer != nil && acc.ReadNodes != nil {
+			d.cfg.Observer(acc.Label, acc.Dummy, acc.ReadNodes, acc.WriteNodes)
+		}
+		return out, err
+	}
+	return d.forkAccess(op, addr, data)
+}
+
+// runEngine executes one Fork access, reporting it to the observer.
+func (d *Device) runEngine() error {
+	a, err := d.eng.Run()
+	if err != nil {
+		return err
+	}
+	if d.cfg.Observer != nil {
+		d.cfg.Observer(a.Label, a.Dummy(), a.ReadNodes, a.WriteNodes)
+	}
+	return nil
+}
+
+// forkAccess runs one operation through the Fork engine: enqueue the
+// request, then run engine accesses until it is served.
+func (d *Device) forkAccess(op pathoram.Op, addr uint64, data []byte) ([]byte, error) {
+	// Step-1 stash shortcut, valid because the synchronous API guarantees
+	// no concurrent in-flight request for the address unless queued.
+	if !d.eng.HasAddr(addr) {
+		if b, ok := d.ctl.Stash().Get(addr); ok {
+			_ = b
+			label, _ := d.pos.Lookup(addr)
+			return d.ctl.FetchBlock(op, addr, label, data)
+		}
+	}
+	old, _, next := d.pos.Remap(addr)
+	d.nextID++
+	var out []byte
+	served := false
+	it := &fork.Item{ID: d.nextID, Addr: addr, OldLabel: old, NewLabel: next}
+	it.Serve = func() error {
+		o, err := d.ctl.FetchBlock(op, addr, next, data)
+		out, served = o, true
+		return err
+	}
+	if !d.eng.Enqueue(it) {
+		return nil, fmt.Errorf("forkoram: label queue rejected request (full of reals)")
+	}
+	// The engine serves by overlap order; with a synchronous caller the
+	// item is served within at most QueueSize accesses (aging guards the
+	// pathological case).
+	for i := 0; i < 32*d.cfg.QueueSize && !served; i++ {
+		if err := d.runEngine(); err != nil {
+			return nil, err
+		}
+	}
+	if !served {
+		return nil, fmt.Errorf("forkoram: request starved (engine bug)")
+	}
+	return out, nil
+}
+
+// Batch executes a set of operations, admitting as many as possible into
+// the label queue before draining, so Fork Path's scheduling can reorder
+// them for path overlap. Results are positional: for reads, the payload;
+// for writes, nil. Operations on the same address keep program order.
+func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
+	results := make([][]byte, len(ops))
+	if d.base != nil || len(ops) == 0 {
+		// Baseline has no scheduling; run sequentially.
+		for i, op := range ops {
+			var err error
+			if op.Write {
+				err = d.Write(op.Addr, op.Data)
+			} else {
+				results[i], err = d.Read(op.Addr)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	pendingCount := 0
+	next := 0
+	admit := func() error {
+		for next < len(ops) && d.eng.CanEnqueue() {
+			i := next
+			op := ops[i]
+			if op.Addr >= d.cfg.Blocks {
+				return fmt.Errorf("forkoram: address %d out of range", op.Addr)
+			}
+			if op.Write && len(op.Data) != d.cfg.BlockSize {
+				return fmt.Errorf("forkoram: op %d payload %d bytes, want %d", i, len(op.Data), d.cfg.BlockSize)
+			}
+			old, _, nl := d.pos.Remap(op.Addr)
+			d.nextID++
+			pop := pathoram.OpRead
+			if op.Write {
+				pop = pathoram.OpWrite
+				d.writes++
+			} else {
+				d.reads++
+			}
+			data := op.Data
+			newLabel := nl
+			addr := op.Addr
+			it := &fork.Item{ID: d.nextID, Addr: addr, OldLabel: old, NewLabel: newLabel}
+			it.Serve = func() error {
+				o, err := d.ctl.FetchBlock(pop, addr, newLabel, data)
+				if !op.Write {
+					results[i] = o
+				}
+				pendingCount--
+				return err
+			}
+			if !d.eng.Enqueue(it) {
+				break
+			}
+			pendingCount++
+			next++
+		}
+		return nil
+	}
+	if err := admit(); err != nil {
+		return nil, err
+	}
+	guard := 0
+	for pendingCount > 0 || next < len(ops) {
+		if err := d.runEngine(); err != nil {
+			return nil, err
+		}
+		if err := admit(); err != nil {
+			return nil, err
+		}
+		if guard++; guard > 64*(len(ops)+d.cfg.QueueSize) {
+			return nil, fmt.Errorf("forkoram: batch failed to drain (engine bug)")
+		}
+	}
+	return results, nil
+}
+
+// BatchOp is one operation of a Batch.
+type BatchOp struct {
+	Addr  uint64
+	Write bool
+	Data  []byte // writes only
+}
+
+// Stats returns cumulative device statistics.
+func (d *Device) Stats() DeviceStats {
+	st := DeviceStats{
+		Reads:      d.reads,
+		Writes:     d.writes,
+		Stash:      d.ctl.Stash().Stats(),
+		PathLength: d.tr.Levels(),
+	}
+	c := d.store.Counters()
+	st.BucketReads, st.BucketWrites = c.BucketReads, c.BucketWrites
+	if d.eng != nil {
+		es := d.eng.Stats()
+		st.RealAccesses, st.DummyAccesses = es.RealAccesses, es.DummyAccesses
+	} else {
+		st.RealAccesses = d.reads + d.writes
+	}
+	return st
+}

@@ -1,0 +1,23 @@
+// Package forkoram is a Go reproduction of "Fork Path: Improving
+// Efficiency of ORAM by Removing Redundant Memory Accesses" (Zhang et
+// al., MICRO-48, 2015).
+//
+// The package offers two public surfaces:
+//
+//   - Device: a functional oblivious block store. It hides the access
+//     pattern to its backing storage behind Path ORAM, optionally with
+//     the paper's Fork Path engine (path merging + request scheduling +
+//     dummy request replacement). Payloads are protected with
+//     probabilistic (counter-mode) encryption. Use it when you want an
+//     ORAM as a data structure.
+//
+//   - Simulation / Experiment: the architectural evaluation stack — a
+//     trace-driven multicore, shared LLC, hierarchical (recursive) Path
+//     ORAM controller, on-chip bucket caches and a DDR3 timing/energy
+//     model — which regenerates every figure of the paper's evaluation
+//     section. Use RunSimulation for one configuration or RunExperiment
+//     for a whole paper figure.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package forkoram

@@ -1,0 +1,107 @@
+// Adversary plays the attacker of the paper's threat model (§2.1): it
+// observes a Device's complete memory-bus trace and tries to tell two
+// very different secret access patterns apart. With ORAM in place, the
+// traces are statistically indistinguishable: revealed labels are
+// uniform, and the bucket sequences are a deterministic function of those
+// labels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	forkoram "forkoram"
+)
+
+// observer collects everything an attacker sees on the bus.
+type observer struct {
+	labels  []uint64
+	buckets int
+}
+
+func (o *observer) observe(label uint64, dummy bool, reads, writes []uint64) {
+	o.labels = append(o.labels, label)
+	o.buckets += len(reads) + len(writes)
+}
+
+// chi2Uniform computes the chi-square statistic of the label sequence
+// folded into cells.
+func chi2Uniform(labels []uint64, leaves uint64, cells int) float64 {
+	counts := make([]float64, cells)
+	per := (leaves + uint64(cells) - 1) / uint64(cells)
+	for _, l := range labels {
+		counts[l/per]++
+	}
+	expected := float64(len(labels)) / float64(cells)
+	chi2 := 0.0
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// run executes a secret access pattern against a fresh device and returns
+// the adversary's observations.
+func run(seed uint64, pattern func(i int) uint64) (*observer, *forkoram.Device) {
+	obs := &observer{}
+	dev, err := forkoram.NewDevice(forkoram.DeviceConfig{
+		Blocks:   4096,
+		Variant:  forkoram.Fork,
+		Seed:     seed,
+		Observer: obs.observe,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, dev.BlockSize())
+	for i := 0; i < 1500; i++ {
+		addr := pattern(i)
+		var err error
+		if i%2 == 0 {
+			err = dev.Write(addr, data)
+		} else {
+			_, err = dev.Read(addr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return obs, dev
+}
+
+func main() {
+	// Secret pattern A: a sequential scan over 4000 blocks.
+	// Secret pattern B: a strided hammer over one narrow "sensitive"
+	// region. (Both footprints exceed the stash; the residual channel of
+	// a smaller-than-stash working set is the *request-rate* channel,
+	// which the nonstop-dummy timing protection of §2.2 closes — that
+	// mechanism lives in the full simulator, not this synchronous
+	// device.)
+	obsA, devA := run(11, func(i int) uint64 { return uint64(i) % 4000 })
+	obsB, _ := run(22, func(i int) uint64 { return 1024 + uint64(i*7)%512 })
+
+	const cells = 16
+	leaves := devA.Leaves()
+	chiA := chi2Uniform(obsA.labels, leaves, cells)
+	chiB := chi2Uniform(obsB.labels, leaves, cells)
+	// 99.9th percentile of chi-square with 15 dof ~ 37.7.
+	const crit = 37.7
+
+	fmt.Println("adversary view (all that leaves the trusted boundary):")
+	fmt.Printf("  pattern A: %5d accesses, %6d buckets, label chi2 = %6.2f (uniform if < %.1f)\n",
+		len(obsA.labels), obsA.buckets, chiA, crit)
+	fmt.Printf("  pattern B: %5d accesses, %6d buckets, label chi2 = %6.2f\n",
+		len(obsB.labels), obsB.buckets, chiB)
+
+	if chiA > crit || chiB > crit {
+		log.Fatal("FAIL: revealed labels are not uniform — information leak!")
+	}
+	perA := float64(obsA.buckets) / float64(len(obsA.labels))
+	perB := float64(obsB.buckets) / float64(len(obsB.labels))
+	fmt.Printf("  buckets per access: %.2f vs %.2f (delta %.1f%%)\n",
+		perA, perB, 100*math.Abs(perA-perB)/perA)
+	fmt.Println("PASS: a full scan and a narrow hammer are indistinguishable on the bus.")
+	fmt.Println("Without ORAM, pattern B would reveal its hot DRAM rows immediately.")
+}

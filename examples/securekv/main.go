@@ -1,0 +1,154 @@
+// Securekv builds an oblivious key-value store on top of the Fork Path
+// ORAM device: not only are values encrypted, the *access pattern* — which
+// key is read or written, and how often — is hidden from anyone observing
+// the store's memory traffic.
+//
+// The store uses open addressing over ORAM blocks. Every lookup probes a
+// deterministic sequence of slots; the ORAM hides which slots those are.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	forkoram "forkoram"
+)
+
+const (
+	numSlots  = 1 << 14
+	blockSize = 128
+	keyMax    = 32
+	valMax    = 64
+	maxProbes = 32
+)
+
+// KV is an oblivious key-value store. Keys up to 32 bytes, values up to
+// 64 bytes.
+type KV struct {
+	dev *forkoram.Device
+}
+
+// NewKV creates an empty store.
+func NewKV() (*KV, error) {
+	dev, err := forkoram.NewDevice(forkoram.DeviceConfig{
+		Blocks:    numSlots,
+		BlockSize: blockSize,
+		Variant:   forkoram.Fork,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KV{dev: dev}, nil
+}
+
+// Slot layout: [1B used][1B keyLen][1B valLen][keyMax key][valMax value].
+func encodeSlot(key, val []byte) []byte {
+	b := make([]byte, blockSize)
+	b[0] = 1
+	b[1] = byte(len(key))
+	b[2] = byte(len(val))
+	copy(b[3:], key)
+	copy(b[3+keyMax:], val)
+	return b
+}
+
+func decodeSlot(b []byte) (key, val []byte, used bool) {
+	if b[0] != 1 {
+		return nil, nil, false
+	}
+	return b[3 : 3+int(b[1])], b[3+keyMax : 3+keyMax+int(b[2])], true
+}
+
+func slotOf(key []byte, probe int) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], uint32(probe))
+	h.Write(p[:])
+	return h.Sum64() % numSlots
+}
+
+// Put stores key → val.
+func (kv *KV) Put(key, val []byte) error {
+	if len(key) == 0 || len(key) > keyMax || len(val) > valMax {
+		return fmt.Errorf("securekv: key 1..%d bytes, value up to %d bytes", keyMax, valMax)
+	}
+	for probe := 0; probe < maxProbes; probe++ {
+		slot := slotOf(key, probe)
+		raw, err := kv.dev.Read(slot)
+		if err != nil {
+			return err
+		}
+		k, _, used := decodeSlot(raw)
+		if !used || string(k) == string(key) {
+			return kv.dev.Write(slot, encodeSlot(key, val))
+		}
+	}
+	return fmt.Errorf("securekv: table full around key %q", key)
+}
+
+// Get fetches the value for key.
+func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	for probe := 0; probe < maxProbes; probe++ {
+		slot := slotOf(key, probe)
+		raw, err := kv.dev.Read(slot)
+		if err != nil {
+			return nil, false, err
+		}
+		k, v, used := decodeSlot(raw)
+		if !used {
+			return nil, false, nil
+		}
+		if string(k) == string(key) {
+			return append([]byte(nil), v...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Stats exposes the underlying ORAM statistics.
+func (kv *KV) Stats() forkoram.DeviceStats { return kv.dev.Stats() }
+
+func main() {
+	kv, err := NewKV()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	users := []struct{ name, role string }{
+		{"alice", "admin"},
+		{"bob", "analyst"},
+		{"carol", "auditor"},
+		{"dave", "engineer"},
+	}
+	for _, u := range users {
+		if err := kv.Put([]byte(u.name), []byte(u.role)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Query one user far more often than the others — the classic access
+	// pattern leak ORAM exists to close. The memory trace still looks
+	// like uniform random paths.
+	for i := 0; i < 50; i++ {
+		if _, _, err := kv.Get([]byte("alice")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, u := range users {
+		v, ok, err := kv.Get([]byte(u.name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s -> %q (found=%v)\n", u.name, v, ok)
+	}
+	if _, ok, _ := kv.Get([]byte("mallory")); ok {
+		log.Fatal("phantom key")
+	}
+
+	st := kv.Stats()
+	fmt.Printf("\nORAM activity: %d ops, %d real + %d dummy tree accesses, %d/%d bucket reads/writes\n",
+		st.Reads+st.Writes, st.RealAccesses, st.DummyAccesses, st.BucketReads, st.BucketWrites)
+	fmt.Println("An observer of the bucket traffic cannot tell that alice is the hot key.")
+}

@@ -1,0 +1,3 @@
+module forkoram
+
+go 1.22

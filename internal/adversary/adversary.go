@@ -1,0 +1,157 @@
+// Package adversary implements the paper's threat model (§2.1) as a
+// checker: it observes exactly what an attacker probing the memory bus
+// sees — the sequence of revealed leaf labels, the bucket addresses read
+// and written, and their order — and tests the properties the security
+// argument (§3.6) rests on:
+//
+//  1. revealed labels are uniform over the leaves (chi-square);
+//  2. consecutive revealed labels are independent (the overlap-degree
+//     distribution matches what uniform labels + the public scheduling
+//     policy produce, not the secret access stream);
+//  3. the bus trace is *consistent with Fork Path semantics*: every access
+//     reads exactly the suffix of its path below the overlap with the
+//     previous access and writes the suffix below the overlap with the
+//     next — so the trace is a deterministic function of the public label
+//     sequence and leaks nothing else.
+package adversary
+
+import (
+	"fmt"
+
+	"forkoram/internal/stats"
+	"forkoram/internal/tree"
+)
+
+// Observation is one ORAM access as seen on the bus. Whether it was a
+// dummy is NOT part of the observation (that is the point); it is carried
+// separately by the test harness for diagnostics only.
+type Observation struct {
+	Label      tree.Label
+	ReadNodes  []tree.Node
+	WriteNodes []tree.Node
+}
+
+// Monitor accumulates bus observations.
+type Monitor struct {
+	tr  tree.Tree
+	obs []Observation
+}
+
+// NewMonitor creates a monitor for a tree geometry (public information).
+func NewMonitor(tr tree.Tree) *Monitor {
+	return &Monitor{tr: tr}
+}
+
+// Observe records one access.
+func (m *Monitor) Observe(o Observation) { m.obs = append(m.obs, o) }
+
+// Len returns the number of recorded accesses.
+func (m *Monitor) Len() int { return len(m.obs) }
+
+// CheckLabelUniformity runs a chi-square test of the label distribution
+// against uniform, folding labels into `cells` buckets. It needs enough
+// samples (>= 5 expected per cell) to be meaningful.
+func (m *Monitor) CheckLabelUniformity(cells int) error {
+	if uint64(cells) > m.tr.Leaves() {
+		cells = int(m.tr.Leaves())
+	}
+	if len(m.obs) < 5*cells {
+		return fmt.Errorf("adversary: %d observations too few for %d cells", len(m.obs), cells)
+	}
+	counts := make([]uint64, cells)
+	per := (m.tr.Leaves() + uint64(cells) - 1) / uint64(cells)
+	for _, o := range m.obs {
+		counts[o.Label/per]++
+	}
+	chi2, ok, err := stats.ChiSquareUniform(counts, stats.ChiSquareCritical999(cells-1))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("adversary: label distribution non-uniform (chi2 = %.2f over %d cells)", chi2, cells)
+	}
+	return nil
+}
+
+// CheckForkConsistency verifies that the whole bus trace is the
+// deterministic image of the label sequence under Fork Path semantics:
+// reads of access i cover exactly path-i below Overlap(i-1, i) in
+// root-to-leaf order, writes cover exactly path-i below Overlap(i, i+1)
+// in leaf-to-root order. An inconsistent trace would mean the controller
+// leaked something beyond the labels. onChip reports buckets served by
+// declared on-chip structures (treetop/MAC pinned levels), which are
+// allowed to be absent from the bus trace.
+func (m *Monitor) CheckForkConsistency(onChip func(n tree.Node) bool) error {
+	if onChip == nil {
+		onChip = func(tree.Node) bool { return false }
+	}
+	for i, o := range m.obs {
+		readFrom := uint(0)
+		if i > 0 {
+			readFrom = m.tr.Overlap(m.obs[i-1].Label, o.Label)
+		}
+		var wantRead []tree.Node
+		if i == 0 {
+			wantRead = m.tr.Path(o.Label, nil)
+		} else {
+			wantRead = m.tr.PathSuffix(o.Label, readFrom-1, nil)
+		}
+		if err := matchSeq(o.ReadNodes, wantRead, onChip); err != nil {
+			return fmt.Errorf("adversary: access %d read phase: %w", i, err)
+		}
+		if i+1 < len(m.obs) {
+			stop := m.tr.Overlap(o.Label, m.obs[i+1].Label)
+			want := m.tr.PathSuffix(o.Label, stop-1, nil)
+			// Writes are leaf-to-root: reverse expectation.
+			rev := make([]tree.Node, len(want))
+			for j, n := range want {
+				rev[len(want)-1-j] = n
+			}
+			if err := matchSeq(o.WriteNodes, rev, onChip); err != nil {
+				return fmt.Errorf("adversary: access %d write phase: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// matchSeq checks that got is want with on-chip nodes possibly elided.
+func matchSeq(got, want []tree.Node, onChip func(n tree.Node) bool) error {
+	gi := 0
+	for _, w := range want {
+		if gi < len(got) && got[gi] == w {
+			gi++
+			continue
+		}
+		if onChip(w) {
+			continue // served on-chip, legitimately absent from the bus
+		}
+		return fmt.Errorf("bucket %d missing from bus trace", w)
+	}
+	if gi != len(got) {
+		return fmt.Errorf("unexpected extra bucket %d on bus", got[gi])
+	}
+	return nil
+}
+
+// OverlapHistogram returns the distribution of overlap degrees between
+// consecutive revealed labels — the public quantity scheduling maximizes.
+func (m *Monitor) OverlapHistogram() *stats.Histogram {
+	h := stats.NewHistogram(int(m.tr.Levels()) + 1)
+	for i := 1; i < len(m.obs); i++ {
+		h.Add(int(m.tr.Overlap(m.obs[i-1].Label, m.obs[i].Label)))
+	}
+	return h
+}
+
+// MeanOverlap returns the mean overlap degree of consecutive labels.
+func (m *Monitor) MeanOverlap() float64 {
+	if len(m.obs) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(m.obs); i++ {
+		sum += float64(m.tr.Overlap(m.obs[i-1].Label, m.obs[i].Label))
+	}
+	return sum / float64(len(m.obs)-1)
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+
+	"forkoram/internal/sim"
+	"forkoram/internal/workload"
+)
+
+// AblationResult is one row of a design-choice ablation.
+type AblationResult struct {
+	Name       string
+	LatencyNS  float64
+	NormLat    float64
+	Dummies    uint64
+	Total      uint64
+	ActsPerAcc float64 // DRAM activations per ORAM access
+	EnergyNorm float64 // total energy / first row's
+}
+
+// AblationDummyReplace quantifies §3.3's dummy request replacing: same
+// configuration with and without replacement.
+func AblationDummyReplace(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	mk := func(name string, enable bool) (AblationResult, error) {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.DummyReplaceEnabled = enable
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		return AblationResult{Name: name, LatencyNS: res.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}, nil
+	}
+	on, err := mk("replace on", true)
+	if err != nil {
+		return nil, nil, err
+	}
+	off, err := mk("replace off", false)
+	if err != nil {
+		return nil, nil, err
+	}
+	on.NormLat, off.NormLat = 1, off.LatencyNS/on.LatencyNS
+	out := []AblationResult{on, off}
+	t := ablTable("Ablation: dummy request replacing (§3.3)", out)
+	return out, t, nil
+}
+
+// AblationScheduling isolates request scheduling: merging with Q=64
+// versus merging alone (Q=1), both with replacement enabled.
+func AblationScheduling(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	var out []AblationResult
+	var base float64
+	for _, q := range []int{64, 1} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.QueueSize = q
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := AblationResult{Name: fmt.Sprintf("merge Q=%d", q), LatencyNS: res.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
+		if base == 0 {
+			base = r.LatencyNS
+		}
+		r.NormLat = r.LatencyNS / base
+		out = append(out, r)
+	}
+	t := ablTable("Ablation: scheduling (Q=64) vs pure merging (Q=1)", out)
+	return out, t, nil
+}
+
+// AblationAging sweeps the starvation threshold.
+func AblationAging(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	var out []AblationResult
+	var base float64
+	for _, mult := range []int{1, 4, 16, 64} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.AgeThreshold = mult * cfg.QueueSize
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := AblationResult{Name: fmt.Sprintf("age=%dxQ", mult), LatencyNS: res.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
+		if base == 0 {
+			base = r.LatencyNS
+		}
+		r.NormLat = r.LatencyNS / base
+		out = append(out, r)
+	}
+	t := ablTable("Ablation: starvation (aging) threshold", out)
+	return out, t, nil
+}
+
+// AblationLayout compares the subtree DRAM layout against a flat layout.
+// Under path merging the latency effect is bus-bound and small; the
+// robust subtree win is row activations (and therefore DRAM energy),
+// which is what this ablation reports alongside latency.
+func AblationLayout(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	var out []AblationResult
+	var baseLat, baseEnergy float64
+	for _, flat := range []bool{false, true} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.FlatLayout = flat
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := "subtree layout"
+		if flat {
+			name = "flat layout"
+		}
+		r := AblationResult{Name: name, LatencyNS: res.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses(),
+			ActsPerAcc: float64(res.DRAM.Activations) / float64(res.TotalAccesses())}
+		if baseLat == 0 {
+			baseLat, baseEnergy = r.LatencyNS, res.Energy.TotalMJ()
+		}
+		r.NormLat = r.LatencyNS / baseLat
+		r.EnergyNorm = res.Energy.TotalMJ() / baseEnergy
+		out = append(out, r)
+	}
+	t := &Table{Title: "Ablation: subtree vs flat DRAM layout (ref [18])",
+		Columns: []string{"config", "ORAM latency (ns)", "norm latency", "activations/access", "norm energy"}}
+	for _, r := range out {
+		t.Rows = append(t.Rows, []string{r.Name, fmt.Sprintf("%.0f", r.LatencyNS),
+			f3(r.NormLat), f2(r.ActsPerAcc), f3(r.EnergyNorm)})
+	}
+	return out, t, nil
+}
+
+// AblationMACM1 sweeps the merging-aware cache's first cached level m1
+// around the paper's len_overlap+1 rule, quantifying how sensitive the
+// design is to the placement (too low duplicates what the stash already
+// holds; too high leaves the overlap tail uncovered).
+func AblationMACM1(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	auto := uint(sim.EstimatedOverlap(64)) + 1
+	var out []AblationResult
+	var base float64
+	// 256 KB holds ~800 buckets, so m1 beyond 9 cannot pin its first
+	// level; sweep within the feasible range.
+	for _, m1 := range []uint{1, auto - 2, auto, auto + 2} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.Cache = sim.CacheMAC
+		cfg.CacheBytes = 256 << 10
+		cfg.MACM1 = m1
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("m1=%d", m1)
+		if m1 == auto {
+			name += " (len_overlap+1)"
+		}
+		r := AblationResult{Name: name, LatencyNS: res.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
+		if base == 0 {
+			base = r.LatencyNS
+		}
+		r.NormLat = r.LatencyNS / base
+		out = append(out, r)
+	}
+	t := ablTable("Ablation: merging-aware cache placement (m1), 256K MAC", out)
+	return out, t, nil
+}
+
+// AblationSuperBlock sweeps the static super-block size (ref [18]; the
+// mechanism PrORAM [19] later made dynamic) on a streaming mix (helped by
+// prefetch) and a pointer-chasing mix (hurt by the extra group traffic).
+func AblationSuperBlock(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	type wl struct {
+		name string
+		mix  [4]string
+	}
+	wls := []wl{
+		{"streaming", [4]string{"lbm", "lbm", "bwaves", "bwaves"}},
+		{"pointer-chasing", [4]string{"mcf", "mcf", "omnetpp", "omnetpp"}},
+	}
+	var out []AblationResult
+	t := &Table{Title: "Ablation: static super-block size (ref [18])",
+		Columns: []string{"config", "ORAM latency (ns)", "normalized", "LLC miss rate", "accesses/1k reqs"}}
+	for _, w := range wls {
+		var base float64
+		for _, s := range []int{1, 2, 4, 8} {
+			cfg := o.base(sim.ForkPath, workload.Mix{Name: "custom", Members: w.mix})
+			cfg.SuperBlock = s
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := AblationResult{
+				Name:      fmt.Sprintf("%s S=%d", w.name, s),
+				LatencyNS: res.MeanORAMLatencyNS,
+				Total:     res.TotalAccesses(),
+			}
+			if base == 0 {
+				base = res.ExecNS
+			}
+			r.NormLat = res.ExecNS / base // normalized execution time
+			out = append(out, r)
+			t.Rows = append(t.Rows, []string{r.Name, fmt.Sprintf("%.0f", r.LatencyNS),
+				f3(r.NormLat),
+				f3(res.LLCMissRate),
+				fmt.Sprintf("%.0f", float64(res.TotalAccesses())/float64(4*o.RequestsPerCore)*1000)})
+		}
+	}
+	t.Notes = "normalized column is execution time vs S=1 of the same workload"
+	return out, t, nil
+}
+
+// AblationTiming sweeps the periodic issue interval (§2.2's
+// timing-channel protection): slower slots trade ORAM latency for fewer
+// wasted back-to-back idle dummies (and therefore energy).
+func AblationTiming(o Options) ([]AblationResult, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	probe := o.base(sim.ForkPath, mix)
+	base, err := sim.Run(probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []AblationResult
+	t := &Table{Title: "Ablation: periodic issue interval (timing-channel protection)",
+		Columns: []string{"config", "exec (norm)", "ORAM latency (norm)", "dummies", "energy (norm)"}}
+	for _, mult := range []float64{0, 1.0, 1.5, 2.0} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.PeriodicIntervalNS = mult * base.MeanAccessDRAMNS
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := "on-demand"
+		if mult > 0 {
+			name = fmt.Sprintf("interval %.1fx", mult)
+		}
+		r := AblationResult{Name: name, LatencyNS: res.MeanORAMLatencyNS,
+			NormLat: res.MeanORAMLatencyNS / base.MeanORAMLatencyNS,
+			Dummies: res.DummyAccesses, EnergyNorm: res.Energy.TotalMJ() / base.Energy.TotalMJ()}
+		out = append(out, r)
+		t.Rows = append(t.Rows, []string{name,
+			f3(res.ExecNS / base.ExecNS), f3(r.NormLat),
+			fmt.Sprintf("%d", r.Dummies), f3(r.EnergyNorm)})
+	}
+	return out, t, nil
+}
+
+func ablTable(title string, rows []AblationResult) *Table {
+	t := &Table{Title: title, Columns: []string{"config", "ORAM latency (ns)", "normalized", "dummies", "total accesses"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, fmt.Sprintf("%.0f", r.LatencyNS),
+			f3(r.NormLat), fmt.Sprintf("%d", r.Dummies), fmt.Sprintf("%d", r.Total)})
+	}
+	return t
+}

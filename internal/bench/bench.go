@@ -1,0 +1,142 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation (§5), plus the ablations DESIGN.md
+// calls out. Each generator runs the full-system simulator at a
+// configurable scale and returns both the raw series (for tests and
+// programmatic use) and a formatted Table (for cmd/orambench).
+//
+// Scale note: the paper simulates a 4 GB data ORAM (L = 24, path 25) for
+// billions of cycles under gem5. The harness defaults to a 256 MB-class
+// ORAM (L = 21, path 22) and a few thousand LLC misses per core so the
+// whole suite runs in minutes; pass Options.PaperScale for the Table 1
+// geometry. Trends, ratios and crossovers are preserved — absolute
+// numbers are not the reproduction target (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"forkoram/internal/sim"
+	"forkoram/internal/workload"
+)
+
+// Options scales the harness.
+type Options struct {
+	// DataBlocks is the data ORAM size in 64 B blocks (default 1<<22,
+	// i.e. a 256 MB data ORAM).
+	DataBlocks uint64
+	// RequestsPerCore is the number of post-L1 accesses each core issues
+	// (default 2500).
+	RequestsPerCore uint64
+	// Mixes limits how many of Table 2's mixes run (0 = all ten).
+	Mixes int
+	// Seed seeds every run deterministically.
+	Seed uint64
+	// PaperScale switches to the full Table 1 geometry (4 GB ORAM).
+	// Memory- and time-hungry; intended for cmd/orambench --paper.
+	PaperScale bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.DataBlocks == 0 {
+		o.DataBlocks = 1 << 22
+		if o.PaperScale {
+			o.DataBlocks = 1 << 26
+		}
+	}
+	if o.RequestsPerCore == 0 {
+		o.RequestsPerCore = 2500
+	}
+	if o.Mixes <= 0 || o.Mixes > len(workload.Mixes()) {
+		o.Mixes = len(workload.Mixes())
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// base returns a sim config for a mix under these options.
+func (o Options) base(scheme sim.Scheme, mix workload.Mix) sim.Config {
+	cfg := sim.Default(scheme)
+	cfg.DataBlocks = o.DataBlocks
+	cfg.OnChipEntries = 1 << 12
+	if o.PaperScale {
+		cfg.OnChipEntries = 1 << 15
+	}
+	cfg.RequestsPerCore = o.RequestsPerCore
+	cfg.Workloads = mix.Members[:]
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// mixes returns the Table 2 mixes selected by the options.
+func (o Options) mixes() []workload.Mix {
+	return workload.Mixes()[:o.Mixes]
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// runPair runs traditional + a fork variant for one mix and returns both.
+func runPair(cfgT, cfgF sim.Config) (trad, fk sim.Result, err error) {
+	trad, err = sim.Run(cfgT)
+	if err != nil {
+		return trad, fk, err
+	}
+	fk, err = sim.Run(cfgF)
+	return trad, fk, err
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+
+	"forkoram/internal/sim"
+	"forkoram/internal/stats"
+)
+
+// Fig10Result is one point of Figure 10: average ORAM path length and
+// normalized DRAM latency per ORAM access, versus label queue size.
+type Fig10Result struct {
+	QueueSize      int // 0 = traditional baseline row
+	AvgPathBuckets float64
+	NormDRAMLat    float64 // DRAM time per access / traditional's
+}
+
+// Fig10 reproduces Figure 10: the paper reports the baseline path length
+// pinned at L+1 (25 at paper scale), the merged path length falling
+// roughly linearly in log2(queue size), and DRAM latency falling faster
+// than path length (row-buffer effect under the subtree layout). Measured
+// on Mix3 (high-intensity group) — the paper notes path length is
+// application-independent.
+func Fig10(o Options) ([]Fig10Result, *Table, error) {
+	o = o.withDefaults()
+	mix := o.mixes()[0]
+	for _, m := range o.mixes() {
+		if m.Name == "Mix3" {
+			mix = m
+		}
+	}
+	trad, err := sim.Run(o.base(sim.Traditional, mix))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := []Fig10Result{{QueueSize: 0, AvgPathBuckets: trad.AvgPathBuckets, NormDRAMLat: 1}}
+	for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.QueueSize = q
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig10Result{
+			QueueSize:      q,
+			AvgPathBuckets: res.AvgPathBuckets,
+			NormDRAMLat:    res.MeanAccessDRAMNS / trad.MeanAccessDRAMNS,
+		})
+	}
+	t := &Table{
+		Title:   "Figure 10: average ORAM path length & normalized DRAM latency vs label queue size",
+		Columns: []string{"config", "avg path length", "norm DRAM latency"},
+		Notes:   fmt.Sprintf("workload %s; traditional path length is the full L+1", mix.Name),
+	}
+	for _, r := range out {
+		name := "traditional"
+		if r.QueueSize > 0 {
+			name = fmt.Sprintf("merge Q=%d", r.QueueSize)
+		}
+		t.Rows = append(t.Rows, []string{name, f2(r.AvgPathBuckets), f3(r.NormDRAMLat)})
+	}
+	return out, t, nil
+}
+
+// Fig11Result is one mix's normalized total ORAM request count per queue
+// size (dummies included), Figure 11.
+type Fig11Result struct {
+	Mix  string
+	Norm map[int]float64 // queue size -> total accesses / traditional's
+}
+
+// Fig11 reproduces Figure 11: total ORAM requests (real + dummy)
+// normalized to the traditional design, per mix, for queue sizes
+// {1, 8, 64, 128}. Low-intensity mixes show the dummy inflation; the
+// paper reports ~+5% on average at Q=128.
+func Fig11(o Options) ([]Fig11Result, *Table, error) {
+	return figPerMixQueue(o, "Figure 11: normalized total ORAM requests (incl. dummies)",
+		func(trad, fk sim.Result) float64 {
+			return float64(fk.TotalAccesses()) / float64(trad.TotalAccesses())
+		})
+}
+
+// Fig12Result mirrors Fig11Result for ORAM latency, Figure 12.
+type Fig12Result = Fig11Result
+
+// Fig12 reproduces Figure 12: average data-request ORAM latency
+// normalized to traditional, per mix and queue size. The paper finds
+// Q=64 the sweet spot (Q=128's extra dummies offset the shorter paths).
+func Fig12(o Options) ([]Fig12Result, *Table, error) {
+	return figPerMixQueue(o, "Figure 12: normalized ORAM latency vs label queue size",
+		func(trad, fk sim.Result) float64 {
+			return fk.MeanORAMLatencyNS / trad.MeanORAMLatencyNS
+		})
+}
+
+// figQueueSizes are the sweep points shared by Figures 11 and 12.
+var figQueueSizes = []int{1, 8, 64, 128}
+
+func figPerMixQueue(o Options, title string, metric func(trad, fk sim.Result) float64) ([]Fig11Result, *Table, error) {
+	o = o.withDefaults()
+	var out []Fig11Result
+	t := &Table{Title: title, Columns: []string{"mix", "trad"}}
+	for _, q := range figQueueSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("Q=%d", q))
+	}
+	sums := map[int]*stats.Mean{}
+	for _, q := range figQueueSizes {
+		sums[q] = &stats.Mean{}
+	}
+	for _, mix := range o.mixes() {
+		trad, err := sim.Run(o.base(sim.Traditional, mix))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig11Result{Mix: mix.Name, Norm: map[int]float64{}}
+		cells := []string{mix.Name, "1.000"}
+		for _, q := range figQueueSizes {
+			cfg := o.base(sim.ForkPath, mix)
+			cfg.QueueSize = q
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			v := metric(trad, res)
+			row.Norm[q] = v
+			sums[q].Add(v)
+			cells = append(cells, f3(v))
+		}
+		out = append(out, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	avg := []string{"average", "1.000"}
+	for _, q := range figQueueSizes {
+		avg = append(avg, f3(sums[q].Value()))
+	}
+	t.Rows = append(t.Rows, avg)
+	return out, t, nil
+}
+
+// CacheVariant names a Figure 13/14/15 configuration.
+type CacheVariant struct {
+	Name   string
+	Scheme sim.Scheme
+	Queue  int
+	Cache  sim.CacheKind
+	Bytes  int
+}
+
+// CacheVariants returns the comparison set of Figures 13–15: traditional,
+// merge-only (merging + scheduling, no bucket cache), merge with 128 KB /
+// 256 KB / 1 MB merging-aware caches, and merge with a 1 MB treetop.
+func CacheVariants() []CacheVariant {
+	return []CacheVariant{
+		{Name: "traditional", Scheme: sim.Traditional, Queue: 64},
+		{Name: "merge only", Scheme: sim.ForkPath, Queue: 64},
+		{Name: "merge+128K MAC", Scheme: sim.ForkPath, Queue: 64, Cache: sim.CacheMAC, Bytes: 128 << 10},
+		{Name: "merge+256K MAC", Scheme: sim.ForkPath, Queue: 64, Cache: sim.CacheMAC, Bytes: 256 << 10},
+		{Name: "merge+1M MAC", Scheme: sim.ForkPath, Queue: 64, Cache: sim.CacheMAC, Bytes: 1 << 20},
+		{Name: "merge+1M treetop", Scheme: sim.ForkPath, Queue: 64, Cache: sim.CacheTreetop, Bytes: 1 << 20},
+	}
+}
+
+// Fig13Result holds one mix's normalized ORAM latency per cache variant.
+type Fig13Result struct {
+	Mix  string
+	Norm map[string]float64 // variant name -> latency / traditional
+}
+
+// Fig13 reproduces Figure 13: ORAM latency under the caching designs.
+// The paper's headline: a ~256 KB merging-aware cache matches a 1 MB
+// treetop cache.
+func Fig13(o Options) ([]Fig13Result, *Table, error) {
+	o = o.withDefaults()
+	variants := CacheVariants()
+	t := &Table{Title: "Figure 13: normalized ORAM latency under caching designs",
+		Columns: []string{"mix"}}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.Name)
+	}
+	var out []Fig13Result
+	sums := map[string]*stats.Mean{}
+	for _, v := range variants {
+		sums[v.Name] = &stats.Mean{}
+	}
+	for _, mix := range o.mixes() {
+		row := Fig13Result{Mix: mix.Name, Norm: map[string]float64{}}
+		cells := []string{mix.Name}
+		var tradLat float64
+		for _, v := range variants {
+			cfg := o.base(v.Scheme, mix)
+			cfg.QueueSize = v.Queue
+			cfg.Cache = v.Cache
+			cfg.CacheBytes = v.Bytes
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v.Scheme == sim.Traditional {
+				tradLat = res.MeanORAMLatencyNS
+			}
+			norm := res.MeanORAMLatencyNS / tradLat
+			row.Norm[v.Name] = norm
+			sums[v.Name].Add(norm)
+			cells = append(cells, f3(norm))
+		}
+		out = append(out, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	avg := []string{"average"}
+	for _, v := range variants {
+		avg = append(avg, f3(sums[v.Name].Value()))
+	}
+	t.Rows = append(t.Rows, avg)
+	return out, t, nil
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"fmt"
+
+	"forkoram/internal/cpu"
+	"forkoram/internal/sim"
+	"forkoram/internal/stats"
+	"forkoram/internal/workload"
+)
+
+// Fig14Result holds one mix's slowdown (execution time / insecure) per
+// variant, Figure 14.
+type Fig14Result struct {
+	Mix      string
+	Slowdown map[string]float64
+}
+
+// Fig14 reproduces Figure 14: full-system execution-time slowdown versus
+// the insecure processor, for the Figure 13 variant set. The paper's
+// headline: merge+1M MAC cuts execution time 58% versus traditional
+// ORAM.
+func Fig14(o Options) ([]Fig14Result, *Table, error) {
+	o = o.withDefaults()
+	variants := CacheVariants()
+	t := &Table{Title: "Figure 14: slowdown of full-system execution time (vs insecure)",
+		Columns: []string{"mix"}}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.Name)
+	}
+	var out []Fig14Result
+	sums := map[string]*stats.Mean{}
+	for _, v := range variants {
+		sums[v.Name] = &stats.Mean{}
+	}
+	for _, mix := range o.mixes() {
+		ins, err := sim.Run(o.base(sim.Insecure, mix))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig14Result{Mix: mix.Name, Slowdown: map[string]float64{}}
+		cells := []string{mix.Name}
+		for _, v := range variants {
+			cfg := o.base(v.Scheme, mix)
+			cfg.QueueSize = v.Queue
+			cfg.Cache = v.Cache
+			cfg.CacheBytes = v.Bytes
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := res.ExecNS / ins.ExecNS
+			row.Slowdown[v.Name] = s
+			sums[v.Name].Add(s)
+			cells = append(cells, f2(s))
+		}
+		out = append(out, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	avg := []string{"average"}
+	for _, v := range variants {
+		avg = append(avg, f2(sums[v.Name].Value()))
+	}
+	t.Rows = append(t.Rows, avg)
+	return out, t, nil
+}
+
+// Fig15Result holds one mix's normalized ORAM memory-system energy per
+// variant, Figure 15.
+type Fig15Result struct {
+	Mix  string
+	Norm map[string]float64
+}
+
+// Fig15 reproduces Figure 15: total ORAM memory-system energy (DRAM +
+// controller) normalized to traditional. The paper reports ~38% savings
+// for merge+1M MAC.
+func Fig15(o Options) ([]Fig15Result, *Table, error) {
+	o = o.withDefaults()
+	variants := CacheVariants()
+	t := &Table{Title: "Figure 15: normalized energy of the ORAM memory system",
+		Columns: []string{"mix"}}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.Name)
+	}
+	var out []Fig15Result
+	sums := map[string]*stats.Mean{}
+	for _, v := range variants {
+		sums[v.Name] = &stats.Mean{}
+	}
+	for _, mix := range o.mixes() {
+		row := Fig15Result{Mix: mix.Name, Norm: map[string]float64{}}
+		cells := []string{mix.Name}
+		var base float64
+		for _, v := range variants {
+			cfg := o.base(v.Scheme, mix)
+			cfg.QueueSize = v.Queue
+			cfg.Cache = v.Cache
+			cfg.CacheBytes = v.Bytes
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			e := res.Energy.TotalMJ()
+			if v.Scheme == sim.Traditional {
+				base = e
+			}
+			norm := e / base
+			row.Norm[v.Name] = norm
+			sums[v.Name].Add(norm)
+			cells = append(cells, f3(norm))
+		}
+		out = append(out, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	avg := []string{"average"}
+	for _, v := range variants {
+		avg = append(avg, f3(sums[v.Name].Value()))
+	}
+	t.Rows = append(t.Rows, avg)
+	return out, t, nil
+}
+
+// Fig16Result compares in-order and out-of-order cores, Figure 16.
+type Fig16Result struct {
+	Mix              string
+	InOrderNorm      float64 // fork latency / traditional latency, in-order cores
+	OoONorm          float64 // same, out-of-order cores
+	InOrderDummyFrac float64
+	OoODummyFrac     float64
+}
+
+// Fig16 reproduces Figure 16: the fork advantage shrinks on in-order
+// cores because low memory intensity inflates dummy requests.
+func Fig16(o Options) ([]Fig16Result, *Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 16: normalized ORAM latency, in-order vs out-of-order",
+		Columns: []string{"mix", "inorder fork/trad", "ooo fork/trad", "inorder dummy%", "ooo dummy%"}}
+	var out []Fig16Result
+	for _, mix := range o.mixes() {
+		r := Fig16Result{Mix: mix.Name}
+		for _, model := range []cpu.Model{cpu.InOrder, cpu.OutOfOrder} {
+			cfgT := o.base(sim.Traditional, mix)
+			cfgT.CoreModel = model
+			cfgF := o.base(sim.ForkPath, mix)
+			cfgF.CoreModel = model
+			cfgF.Cache = sim.CacheMAC
+			cfgF.CacheBytes = 1 << 20
+			trad, fk, err := runPair(cfgT, cfgF)
+			if err != nil {
+				return nil, nil, err
+			}
+			norm := fk.MeanORAMLatencyNS / trad.MeanORAMLatencyNS
+			dummy := float64(fk.DummyAccesses) / float64(fk.TotalAccesses())
+			if model == cpu.InOrder {
+				r.InOrderNorm, r.InOrderDummyFrac = norm, dummy
+			} else {
+				r.OoONorm, r.OoODummyFrac = norm, dummy
+			}
+		}
+		out = append(out, r)
+		t.Rows = append(t.Rows, []string{mix.Name, f3(r.InOrderNorm), f3(r.OoONorm),
+			f3(r.InOrderDummyFrac), f3(r.OoODummyFrac)})
+	}
+	return out, t, nil
+}
+
+// Fig17aResult is the geomean normalized ORAM latency per thread count.
+type Fig17aResult struct {
+	Threads int
+	Norm    float64
+}
+
+// Fig17a reproduces Figure 17(a): the fork advantage grows with thread
+// count (higher memory intensity keeps the label queue full of reals).
+func Fig17a(o Options) ([]Fig17aResult, *Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 17(a): normalized ORAM latency vs thread count (geomean)",
+		Columns: []string{"threads", "fork+1M MAC / traditional"}}
+	var out []Fig17aResult
+	for _, threads := range []int{1, 2, 4, 8} {
+		var norms []float64
+		for _, mix := range o.mixes() {
+			members := make([]string, threads)
+			for i := 0; i < threads; i++ {
+				members[i] = mix.Members[i%4]
+			}
+			cfgT := o.base(sim.Traditional, mix)
+			cfgT.Cores = threads
+			cfgT.Workloads = members
+			cfgF := o.base(sim.ForkPath, mix)
+			cfgF.Cores = threads
+			cfgF.Workloads = members
+			cfgF.Cache = sim.CacheMAC
+			cfgF.CacheBytes = 1 << 20
+			trad, fk, err := runPair(cfgT, cfgF)
+			if err != nil {
+				return nil, nil, err
+			}
+			norms = append(norms, fk.MeanORAMLatencyNS/trad.MeanORAMLatencyNS)
+		}
+		g, err := stats.Geomean(norms)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig17aResult{Threads: threads, Norm: g})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", threads), f3(g)})
+	}
+	return out, t, nil
+}
+
+// Fig17bResult is the geomean normalized ORAM latency per ORAM size.
+type Fig17bResult struct {
+	DataBlocks uint64
+	PathLen    float64 // traditional path length at this size
+	Norm       float64
+}
+
+// Fig17b reproduces Figure 17(b): efficiency degrades moderately as the
+// ORAM grows — the absolute overlap saved stays roughly fixed while the
+// path grows. Sizes are in data blocks; at the default scale the sweep
+// spans 64 MB..2 GB-class trees (1/4/16/32 GB in the paper).
+func Fig17b(o Options) ([]Fig17bResult, *Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 17(b): normalized ORAM latency vs ORAM size (geomean)",
+		Columns: []string{"data blocks", "trad path len", "fork+1M MAC / traditional"}}
+	sizes := []uint64{o.DataBlocks >> 2, o.DataBlocks, o.DataBlocks << 2, o.DataBlocks << 3}
+	var out []Fig17bResult
+	for _, size := range sizes {
+		var norms []float64
+		var pathLen float64
+		for _, mix := range o.mixes()[:min(3, o.Mixes)] {
+			oo := o
+			oo.DataBlocks = size
+			cfgT := oo.base(sim.Traditional, mix)
+			cfgF := oo.base(sim.ForkPath, mix)
+			cfgF.Cache = sim.CacheMAC
+			cfgF.CacheBytes = 1 << 20
+			trad, fk, err := runPair(cfgT, cfgF)
+			if err != nil {
+				return nil, nil, err
+			}
+			pathLen = trad.AvgPathBuckets
+			norms = append(norms, fk.MeanORAMLatencyNS/trad.MeanORAMLatencyNS)
+		}
+		g, err := stats.Geomean(norms)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig17bResult{DataBlocks: size, PathLen: pathLen, Norm: g})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", size), f2(pathLen), f3(g)})
+	}
+	return out, t, nil
+}
+
+// Fig18Result is the fork speedup of ORAM latency per channel count.
+type Fig18Result struct {
+	Channels int
+	Speedup  float64 // traditional latency / fork latency
+}
+
+// Fig18 reproduces Figure 18: fewer channels make the absolute ORAM
+// latency higher, so more real requests pend and Fork Path helps more.
+func Fig18(o Options) ([]Fig18Result, *Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 18: speedup of ORAM latency vs DRAM channels (geomean)",
+		Columns: []string{"channels", "speedup (trad/fork)"}}
+	var out []Fig18Result
+	for _, ch := range []int{1, 2, 4} {
+		var ratios []float64
+		for _, mix := range o.mixes()[:min(4, o.Mixes)] {
+			cfgT := o.base(sim.Traditional, mix)
+			cfgT.Channels = ch
+			cfgF := o.base(sim.ForkPath, mix)
+			cfgF.Channels = ch
+			cfgF.Cache = sim.CacheMAC
+			cfgF.CacheBytes = 1 << 20
+			trad, fk, err := runPair(cfgT, cfgF)
+			if err != nil {
+				return nil, nil, err
+			}
+			ratios = append(ratios, trad.MeanORAMLatencyNS/fk.MeanORAMLatencyNS)
+		}
+		g, err := stats.Geomean(ratios)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig18Result{Channels: ch, Speedup: g})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", ch), f2(g)})
+	}
+	return out, t, nil
+}
+
+// Fig19Result is one PARSEC-like workload's normalized ORAM latency.
+type Fig19Result struct {
+	Workload string
+	Norm     float64
+}
+
+// Fig19 reproduces Figure 19: multithreaded (4-thread) workloads,
+// normalized ORAM latency of fork+1M MAC versus traditional.
+func Fig19(o Options) ([]Fig19Result, *Table, error) {
+	o = o.withDefaults()
+	t := &Table{Title: "Figure 19: normalized ORAM latency, PARSEC-like 4-thread workloads",
+		Columns: []string{"workload", "fork+1M MAC / traditional"}}
+	var out []Fig19Result
+	for _, name := range workload.ParsecNames() {
+		mk := func(scheme sim.Scheme) sim.Config {
+			cfg := o.base(scheme, workload.Mix{Members: [4]string{name, name, name, name}})
+			cfg.Multithreaded = true
+			cfg.Workloads = []string{name}
+			return cfg
+		}
+		cfgF := mk(sim.ForkPath)
+		cfgF.Cache = sim.CacheMAC
+		cfgF.CacheBytes = 1 << 20
+		trad, fk, err := runPair(mk(sim.Traditional), cfgF)
+		if err != nil {
+			return nil, nil, err
+		}
+		norm := fk.MeanORAMLatencyNS / trad.MeanORAMLatencyNS
+		out = append(out, Fig19Result{Workload: name, Norm: norm})
+		t.Rows = append(t.Rows, []string{name, f3(norm)})
+	}
+	return out, t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

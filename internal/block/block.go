@@ -1,0 +1,131 @@
+// Package block defines the data unit of the ORAM: fixed-size memory
+// blocks tagged with their program address and current leaf label, and the
+// Z-slot buckets that hold them in the tree. It also provides the
+// plaintext wire encoding of buckets, which the encryption layer
+// (internal/crypt) seals before anything reaches untrusted storage.
+//
+// Per the paper (§2.3), a bucket always contains exactly Z slots; slots
+// not occupied by data blocks hold dummy blocks, and after probabilistic
+// encryption dummy and real blocks are indistinguishable.
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DummyAddr is the reserved program address marking a dummy block. Real
+// program addresses must be below DummyAddr.
+const DummyAddr = ^uint64(0)
+
+// headerSize is the per-block metadata: 8-byte address + 8-byte label.
+const headerSize = 16
+
+// Block is one ORAM block: payload plus the metadata stored alongside it
+// both in the stash and in external memory (§2.3: "data blocks are stored
+// together with their leaf labels and program addresses").
+type Block struct {
+	Addr  uint64 // program (block-aligned) address; DummyAddr for dummies
+	Label uint64 // current leaf label the block is mapped to
+	Data  []byte // payload of exactly the configured block size
+}
+
+// IsDummy reports whether the block is a dummy filler block.
+func (b Block) IsDummy() bool { return b.Addr == DummyAddr }
+
+// Dummy returns a dummy block with a zeroed payload of the given size.
+func Dummy(size int) Block {
+	return Block{Addr: DummyAddr, Data: make([]byte, size)}
+}
+
+// EncodedBlockSize returns the wire size of one block with the given
+// payload size.
+func EncodedBlockSize(payload int) int { return headerSize + payload }
+
+// Bucket is the content of one tree node: up to Z real blocks. The
+// in-memory representation stores only real blocks (dummies are implicit)
+// to keep metadata-mode simulations compact; the wire encoding always pads
+// to exactly Z slots so bucket ciphertexts are size-indistinguishable.
+type Bucket struct {
+	Blocks []Block
+}
+
+// Geometry fixes the shape of buckets for encoding: Z slots of the given
+// payload size.
+type Geometry struct {
+	Z           int // slots per bucket
+	PayloadSize int // bytes per block payload
+}
+
+// Validate checks the geometry for usability.
+func (g Geometry) Validate() error {
+	if g.Z <= 0 {
+		return fmt.Errorf("block: Z must be positive, got %d", g.Z)
+	}
+	if g.PayloadSize <= 0 {
+		return fmt.Errorf("block: payload size must be positive, got %d", g.PayloadSize)
+	}
+	return nil
+}
+
+// BucketSize returns the wire size of a full bucket.
+func (g Geometry) BucketSize() int { return g.Z * EncodedBlockSize(g.PayloadSize) }
+
+// EncodeBucket serializes b into dst, padding with dummy slots up to Z.
+// dst must have length g.BucketSize(). It returns an error if the bucket
+// overflows Z slots or a payload has the wrong size.
+func (g Geometry) EncodeBucket(dst []byte, b *Bucket) error {
+	if len(dst) != g.BucketSize() {
+		return fmt.Errorf("block: dst size %d, want %d", len(dst), g.BucketSize())
+	}
+	if len(b.Blocks) > g.Z {
+		return fmt.Errorf("block: bucket holds %d blocks, max Z=%d", len(b.Blocks), g.Z)
+	}
+	off := 0
+	stride := EncodedBlockSize(g.PayloadSize)
+	for _, blk := range b.Blocks {
+		if len(blk.Data) != g.PayloadSize {
+			return fmt.Errorf("block: payload size %d, want %d", len(blk.Data), g.PayloadSize)
+		}
+		binary.LittleEndian.PutUint64(dst[off:], blk.Addr)
+		binary.LittleEndian.PutUint64(dst[off+8:], blk.Label)
+		copy(dst[off+headerSize:], blk.Data)
+		off += stride
+	}
+	// Pad remaining slots with dummies. Zero the payload so ciphertext
+	// length and structure never depend on previous contents.
+	for s := len(b.Blocks); s < g.Z; s++ {
+		binary.LittleEndian.PutUint64(dst[off:], DummyAddr)
+		binary.LittleEndian.PutUint64(dst[off+8:], 0)
+		for i := off + headerSize; i < off+stride; i++ {
+			dst[i] = 0
+		}
+		off += stride
+	}
+	return nil
+}
+
+// DecodeBucket parses a bucket wire image, returning only the real blocks.
+// src must have length g.BucketSize(). Payloads are copied out of src.
+func (g Geometry) DecodeBucket(src []byte) (Bucket, error) {
+	if len(src) != g.BucketSize() {
+		return Bucket{}, fmt.Errorf("block: src size %d, want %d", len(src), g.BucketSize())
+	}
+	var b Bucket
+	stride := EncodedBlockSize(g.PayloadSize)
+	for s := 0; s < g.Z; s++ {
+		off := s * stride
+		addr := binary.LittleEndian.Uint64(src[off:])
+		if addr == DummyAddr {
+			continue
+		}
+		data := make([]byte, g.PayloadSize)
+		copy(data, src[off+headerSize:off+stride])
+		b.Blocks = append(b.Blocks, Block{
+			Addr:  addr,
+			Label: binary.LittleEndian.Uint64(src[off+8:]),
+			Data:  data,
+		})
+	}
+	return b, nil
+}

@@ -1,0 +1,187 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func geo() Geometry { return Geometry{Z: 4, PayloadSize: 64} }
+
+func TestGeometryValidate(t *testing.T) {
+	if err := geo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []Geometry{{Z: 0, PayloadSize: 64}, {Z: 4, PayloadSize: 0}, {Z: -1, PayloadSize: -1}} {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("geometry %+v should be invalid", g)
+		}
+	}
+}
+
+func TestBucketSize(t *testing.T) {
+	g := geo()
+	// 4 slots * (16B header + 64B payload) = 320B.
+	if got := g.BucketSize(); got != 320 {
+		t.Fatalf("bucket size %d want 320", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := geo()
+	payload := func(fill byte) []byte {
+		d := make([]byte, g.PayloadSize)
+		for i := range d {
+			d[i] = fill
+		}
+		return d
+	}
+	in := Bucket{Blocks: []Block{
+		{Addr: 10, Label: 3, Data: payload(0xAA)},
+		{Addr: 99, Label: 7, Data: payload(0x55)},
+	}}
+	wire := make([]byte, g.BucketSize())
+	if err := g.EncodeBucket(wire, &in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.DecodeBucket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Blocks) != 2 {
+		t.Fatalf("decoded %d blocks, want 2", len(out.Blocks))
+	}
+	for i, blk := range out.Blocks {
+		if blk.Addr != in.Blocks[i].Addr || blk.Label != in.Blocks[i].Label {
+			t.Fatalf("block %d metadata mismatch: %+v", i, blk)
+		}
+		if !bytes.Equal(blk.Data, in.Blocks[i].Data) {
+			t.Fatalf("block %d payload mismatch", i)
+		}
+	}
+}
+
+func TestEncodePadsDeterministically(t *testing.T) {
+	// Two encodings of the same logical bucket must be byte-identical even
+	// if the destination buffer previously held other data: padding must
+	// not leak stale bytes.
+	g := geo()
+	b := Bucket{Blocks: []Block{{Addr: 1, Label: 2, Data: make([]byte, g.PayloadSize)}}}
+	w1 := make([]byte, g.BucketSize())
+	w2 := make([]byte, g.BucketSize())
+	for i := range w2 {
+		w2[i] = 0xFF
+	}
+	if err := g.EncodeBucket(w1, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EncodeBucket(w2, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("encoding depends on prior buffer contents")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	g := geo()
+	ok := make([]byte, g.BucketSize())
+	if err := g.EncodeBucket(make([]byte, 1), &Bucket{}); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	over := Bucket{Blocks: make([]Block, g.Z+1)}
+	for i := range over.Blocks {
+		over.Blocks[i].Data = make([]byte, g.PayloadSize)
+	}
+	if err := g.EncodeBucket(ok, &over); err == nil {
+		t.Fatal("overfull bucket accepted")
+	}
+	bad := Bucket{Blocks: []Block{{Addr: 1, Data: make([]byte, 3)}}}
+	if err := g.EncodeBucket(ok, &bad); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	g := geo()
+	if _, err := g.DecodeBucket(make([]byte, 5)); err == nil {
+		t.Fatal("short src accepted")
+	}
+}
+
+func TestEmptyBucketDecodesEmpty(t *testing.T) {
+	g := geo()
+	wire := make([]byte, g.BucketSize())
+	if err := g.EncodeBucket(wire, &Bucket{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.DecodeBucket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Blocks) != 0 {
+		t.Fatalf("empty bucket decoded %d blocks", len(out.Blocks))
+	}
+}
+
+func TestDummy(t *testing.T) {
+	d := Dummy(64)
+	if !d.IsDummy() {
+		t.Fatal("Dummy() not dummy")
+	}
+	if len(d.Data) != 64 {
+		t.Fatalf("dummy payload %d want 64", len(d.Data))
+	}
+	real := Block{Addr: 5}
+	if real.IsDummy() {
+		t.Fatal("real block reported dummy")
+	}
+}
+
+func TestDecodeCopiesPayload(t *testing.T) {
+	g := geo()
+	b := Bucket{Blocks: []Block{{Addr: 4, Label: 1, Data: make([]byte, g.PayloadSize)}}}
+	wire := make([]byte, g.BucketSize())
+	if err := g.EncodeBucket(wire, &b); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := g.DecodeBucket(wire)
+	wire[16] = 0xEE // mutate source after decode
+	if out.Blocks[0].Data[0] == 0xEE {
+		t.Fatal("decoded payload aliases the wire buffer")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	g := Geometry{Z: 3, PayloadSize: 8}
+	f := func(addrs [3]uint16, labels [3]uint8, payload [3][8]byte, n uint8) bool {
+		k := int(n) % 4 // 0..3 blocks
+		var in Bucket
+		for i := 0; i < k; i++ {
+			in.Blocks = append(in.Blocks, Block{
+				Addr:  uint64(addrs[i]),
+				Label: uint64(labels[i]),
+				Data:  append([]byte(nil), payload[i][:]...),
+			})
+		}
+		wire := make([]byte, g.BucketSize())
+		if err := g.EncodeBucket(wire, &in); err != nil {
+			return false
+		}
+		out, err := g.DecodeBucket(wire)
+		if err != nil || len(out.Blocks) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if out.Blocks[i].Addr != in.Blocks[i].Addr ||
+				out.Blocks[i].Label != in.Blocks[i].Label ||
+				!bytes.Equal(out.Blocks[i].Data, in.Blocks[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

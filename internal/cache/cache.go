@@ -1,0 +1,124 @@
+// Package cache provides a generic set-associative LRU cache used by
+// three consumers with very different key spaces: the last-level cache
+// model (internal/llc), the treetop bucket cache and the merging-aware
+// bucket cache (internal/mac). Set selection policy belongs to the
+// caller; this package only manages ways and recency within a set.
+package cache
+
+import "fmt"
+
+type line[V any] struct {
+	key uint64
+	val V
+}
+
+// Cache is a set-associative LRU cache. Within each set, lines are kept
+// in MRU-first order.
+type Cache[V any] struct {
+	ways  int
+	sets  [][]line[V]
+	hits  uint64
+	miss  uint64
+	count int
+}
+
+// New creates a cache with the given number of sets and ways.
+func New[V any](sets, ways int) (*Cache[V], error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: sets and ways must be positive (got %d, %d)", sets, ways)
+	}
+	return &Cache[V]{ways: ways, sets: make([][]line[V], sets)}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache[V]) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache[V]) Ways() int { return c.ways }
+
+// Len returns the number of resident lines.
+func (c *Cache[V]) Len() int { return c.count }
+
+// Get looks key up in the given set, promoting it to MRU on hit.
+func (c *Cache[V]) Get(set int, key uint64) (V, bool) {
+	s := c.sets[set]
+	for i, ln := range s {
+		if ln.key == key {
+			// Promote to MRU.
+			copy(s[1:i+1], s[:i])
+			s[0] = ln
+			c.hits++
+			return ln.val, true
+		}
+	}
+	c.miss++
+	var zero V
+	return zero, false
+}
+
+// Peek looks key up without touching recency or hit/miss counters.
+func (c *Cache[V]) Peek(set int, key uint64) (V, bool) {
+	for _, ln := range c.sets[set] {
+		if ln.key == key {
+			return ln.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or updates key in the given set as MRU. When the set is
+// full, the LRU line is evicted and returned.
+func (c *Cache[V]) Put(set int, key uint64, v V) (evictedKey uint64, evictedVal V, evicted bool) {
+	s := c.sets[set]
+	for i, ln := range s {
+		if ln.key == key {
+			copy(s[1:i+1], s[:i])
+			s[0] = line[V]{key: key, val: v}
+			return 0, evictedVal, false
+		}
+	}
+	if len(s) >= c.ways {
+		victim := s[len(s)-1]
+		copy(s[1:], s[:len(s)-1])
+		s[0] = line[V]{key: key, val: v}
+		c.sets[set] = s
+		return victim.key, victim.val, true
+	}
+	s = append(s, line[V]{})
+	copy(s[1:], s[:len(s)-1])
+	s[0] = line[V]{key: key, val: v}
+	c.sets[set] = s
+	c.count++
+	return 0, evictedVal, false
+}
+
+// Remove deletes key from the set, returning its value if present.
+func (c *Cache[V]) Remove(set int, key uint64) (V, bool) {
+	s := c.sets[set]
+	for i, ln := range s {
+		if ln.key == key {
+			c.sets[set] = append(s[:i], s[i+1:]...)
+			c.count--
+			return ln.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Stats returns cumulative Get hit/miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) { return c.hits, c.miss }
+
+// PeekVictim returns the line that Put would evict from the set (the LRU
+// line), with full reporting whether the set is at capacity. Does not
+// touch recency or statistics.
+func (c *Cache[V]) PeekVictim(set int) (key uint64, val V, full bool) {
+	s := c.sets[set]
+	if len(s) < c.ways {
+		var zero V
+		return 0, zero, false
+	}
+	victim := s[len(s)-1]
+	return victim.key, victim.val, true
+}

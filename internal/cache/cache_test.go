@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"testing"
+
+	"forkoram/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0, 4); err == nil {
+		t.Fatal("0 sets accepted")
+	}
+	if _, err := New[int](4, 0); err == nil {
+		t.Fatal("0 ways accepted")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c, _ := New[string](2, 2)
+	c.Put(0, 10, "a")
+	if v, ok := c.Get(0, 10); !ok || v != "a" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	if _, ok := c.Get(0, 11); ok {
+		t.Fatal("phantom hit")
+	}
+	if _, ok := c.Get(1, 10); ok {
+		t.Fatal("hit in wrong set")
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c, _ := New[int](1, 2)
+	c.Put(0, 1, 100)
+	c.Put(0, 1, 200)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d want 1", c.Len())
+	}
+	if v, _ := c.Get(0, 1); v != 200 {
+		t.Fatalf("value %d want 200", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New[int](1, 2)
+	c.Put(0, 1, 1)
+	c.Put(0, 2, 2)
+	// Touch 1 so 2 becomes LRU.
+	c.Get(0, 1)
+	k, v, ev := c.Put(0, 3, 3)
+	if !ev || k != 2 || v != 2 {
+		t.Fatalf("evicted (%d,%d,%v) want (2,2,true)", k, v, ev)
+	}
+	if _, ok := c.Get(0, 2); ok {
+		t.Fatal("evicted key still resident")
+	}
+	if _, ok := c.Get(0, 1); !ok {
+		t.Fatal("recently used key evicted")
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c, _ := New[int](1, 2)
+	c.Put(0, 1, 1)
+	c.Put(0, 2, 2)
+	// Peek at 1 (LRU); it must stay LRU.
+	if _, ok := c.Peek(0, 1); !ok {
+		t.Fatal("peek missed")
+	}
+	k, _, ev := c.Put(0, 3, 3)
+	if !ev || k != 1 {
+		t.Fatalf("evicted %d want 1 (peek must not promote)", k)
+	}
+	h, m := c.Stats()
+	if h != 0 || m != 0 {
+		t.Fatalf("peek affected stats: %d/%d", h, m)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := New[int](1, 4)
+	c.Put(0, 7, 70)
+	if v, ok := c.Remove(0, 7); !ok || v != 70 {
+		t.Fatalf("Remove = (%d,%v)", v, ok)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d want 0", c.Len())
+	}
+	if _, ok := c.Remove(0, 7); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := New[int](1, 2)
+	c.Put(0, 1, 1)
+	c.Get(0, 1)
+	c.Get(0, 2)
+	c.Get(0, 1)
+	h, m := c.Stats()
+	if h != 2 || m != 1 {
+		t.Fatalf("stats %d/%d want 2/1", h, m)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	const sets, ways = 8, 4
+	c, _ := New[uint64](sets, ways)
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		set := r.Intn(sets)
+		key := r.Uint64n(1000)
+		c.Put(set, key, key)
+		if c.Len() > sets*ways {
+			t.Fatalf("capacity exceeded: %d", c.Len())
+		}
+	}
+	if c.Len() != sets*ways {
+		t.Fatalf("steady-state occupancy %d want %d", c.Len(), sets*ways)
+	}
+}
+
+func TestEvictionIsAlwaysLRU(t *testing.T) {
+	const ways = 4
+	c, _ := New[int](1, ways)
+	r := rng.New(2)
+	// Shadow model: ordered list of keys, MRU first.
+	var shadow []uint64
+	touch := func(k uint64) {
+		for i, s := range shadow {
+			if s == k {
+				shadow = append(shadow[:i], shadow[i+1:]...)
+				break
+			}
+		}
+		shadow = append([]uint64{k}, shadow...)
+		if len(shadow) > ways {
+			shadow = shadow[:ways]
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		k := r.Uint64n(10)
+		if r.Float64() < 0.5 {
+			evK, _, ev := c.Put(0, k, int(k))
+			var wantEv bool
+			var wantK uint64
+			found := false
+			for _, s := range shadow {
+				if s == k {
+					found = true
+				}
+			}
+			if !found && len(shadow) == ways {
+				wantEv, wantK = true, shadow[ways-1]
+			}
+			if ev != wantEv || (ev && evK != wantK) {
+				t.Fatalf("step %d: evicted (%d,%v) want (%d,%v)", i, evK, ev, wantK, wantEv)
+			}
+			touch(k)
+		} else {
+			_, ok := c.Get(0, k)
+			wantOk := false
+			for _, s := range shadow {
+				if s == k {
+					wantOk = true
+				}
+			}
+			if ok != wantOk {
+				t.Fatalf("step %d: Get(%d) = %v want %v", i, k, ok, wantOk)
+			}
+			if ok {
+				touch(k)
+			}
+		}
+	}
+}
+
+func TestPeekVictim(t *testing.T) {
+	c, _ := New[int](1, 2)
+	if _, _, full := c.PeekVictim(0); full {
+		t.Fatal("empty set reported full")
+	}
+	c.Put(0, 1, 10)
+	if _, _, full := c.PeekVictim(0); full {
+		t.Fatal("half-full set reported full")
+	}
+	c.Put(0, 2, 20)
+	k, v, full := c.PeekVictim(0)
+	if !full || k != 1 || v != 10 {
+		t.Fatalf("victim (%d,%d,%v) want (1,10,true)", k, v, full)
+	}
+	// Peeking must not promote: inserting now evicts key 1.
+	if evK, _, ev := c.Put(0, 3, 30); !ev || evK != 1 {
+		t.Fatalf("evicted %d want 1", evK)
+	}
+}

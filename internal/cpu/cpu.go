@@ -1,0 +1,166 @@
+// Package cpu provides the trace-driven core models of the full-system
+// simulation. A core turns a workload stream (compute gaps + memory
+// accesses) into timed LLC accesses and stalls on memory according to its
+// pipeline model:
+//
+//   - in-order: one outstanding miss; the core resumes only when the miss
+//     completes (Figure 16's low-intensity case);
+//   - out-of-order: up to MLP outstanding misses; the core keeps issuing
+//     until the window fills (Table 1's 8-way-issue OoO cores, which the
+//     paper shows keep the label queue usefully full).
+//
+// Timing is approximate on purpose: gaps model all on-core work including
+// L1/L2 hit latencies; only LLC misses interact with the memory system.
+package cpu
+
+import (
+	"fmt"
+
+	"forkoram/internal/workload"
+)
+
+// Stream supplies a core's memory requests.
+type Stream interface {
+	Next() (workload.Request, bool)
+}
+
+// Model selects the pipeline model.
+type Model int
+
+// Pipeline models.
+const (
+	InOrder Model = iota
+	OutOfOrder
+)
+
+// Config parameterizes a core.
+type Config struct {
+	Model   Model
+	FreqGHz float64
+	MLP     int // max outstanding misses (OoO); in-order forces 1
+	MaxReqs uint64
+}
+
+// Core is one trace-driven core.
+type Core struct {
+	id   int
+	cfg  Config
+	src  Stream
+	next *workload.Request // staged request, nil when exhausted
+
+	outstanding int
+	readyAt     float64 // earliest time the staged request may issue
+	issued      uint64
+	retired     uint64
+	blockedNS   float64
+	doneAt      float64 // time the core finished its trace (0 = running)
+}
+
+// New creates a core reading from src.
+func New(id int, cfg Config, src Stream) (*Core, error) {
+	if cfg.FreqGHz <= 0 {
+		return nil, fmt.Errorf("cpu: frequency must be positive")
+	}
+	if cfg.Model == InOrder {
+		cfg.MLP = 1
+	}
+	if cfg.MLP < 1 {
+		return nil, fmt.Errorf("cpu: MLP must be >= 1")
+	}
+	c := &Core{id: id, cfg: cfg, src: src}
+	c.stage(0)
+	return c, nil
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// cyclesToNS converts core cycles to nanoseconds.
+func (c *Core) cyclesToNS(cycles uint64) float64 {
+	return float64(cycles) / c.cfg.FreqGHz
+}
+
+// stage pulls the next request from the stream and computes its earliest
+// issue time relative to `from`.
+func (c *Core) stage(from float64) {
+	if c.cfg.MaxReqs > 0 && c.issued >= c.cfg.MaxReqs {
+		c.next = nil
+		return
+	}
+	req, ok := c.src.Next()
+	if !ok {
+		c.next = nil
+		return
+	}
+	c.next = &req
+	c.readyAt = from + c.cyclesToNS(req.GapCycles)
+}
+
+// Done reports whether the core has issued its whole trace AND all its
+// misses completed.
+func (c *Core) Done() bool { return c.next == nil && c.outstanding == 0 }
+
+// TraceExhausted reports whether the core has no more requests to issue.
+func (c *Core) TraceExhausted() bool { return c.next == nil }
+
+// NextIssue returns the earliest time the core can issue its staged
+// request, and false when it cannot issue (trace done or window full).
+func (c *Core) NextIssue() (float64, bool) {
+	if c.next == nil || c.outstanding >= c.cfg.MLP {
+		return 0, false
+	}
+	return c.readyAt, true
+}
+
+// Issue consumes the staged request at time now (which must be >= the
+// NextIssue time). The caller decides whether it hits the LLC: on a hit,
+// call Hit; on a miss the request occupies a miss slot until Complete.
+func (c *Core) Issue(now float64) workload.Request {
+	req := *c.next
+	c.issued++
+	c.stage(now)
+	return req
+}
+
+// Hit records that the issued request hit the LLC at time now (no miss
+// slot used).
+func (c *Core) Hit(now float64) {
+	c.retired++
+	if c.next == nil && c.outstanding == 0 {
+		c.doneAt = now
+	}
+}
+
+// Miss records that the issued request missed and now occupies a slot.
+func (c *Core) Miss() { c.outstanding++ }
+
+// Complete records that one outstanding miss finished at time now,
+// unblocking the pipeline if it was stalled on a full window.
+func (c *Core) Complete(now float64) {
+	if c.outstanding <= 0 {
+		panic("cpu: Complete without outstanding miss")
+	}
+	c.outstanding--
+	c.retired++
+	if c.next != nil && now > c.readyAt {
+		// The staged request was gated by the window, not the gap: account
+		// the difference as stall time and move its issue point forward.
+		c.blockedNS += now - c.readyAt
+		c.readyAt = now
+	}
+	if c.next == nil && c.outstanding == 0 {
+		c.doneAt = now
+	}
+}
+
+// Issued returns how many requests the core has issued.
+func (c *Core) Issued() uint64 { return c.issued }
+
+// Retired returns how many requests completed (hits + finished misses).
+func (c *Core) Retired() uint64 { return c.retired }
+
+// StallNS returns accumulated memory stall time.
+func (c *Core) StallNS() float64 { return c.blockedNS }
+
+// FinishTime returns when the core drained, valid once Done.
+func (c *Core) FinishTime() float64 { return c.doneAt }

@@ -1,0 +1,161 @@
+package cpu
+
+import (
+	"testing"
+
+	"forkoram/internal/workload"
+)
+
+// fixedStream yields a fixed number of requests with a constant gap.
+type fixedStream struct {
+	n   int
+	gap uint64
+}
+
+func (f *fixedStream) Next() (workload.Request, bool) {
+	if f.n == 0 {
+		return workload.Request{}, false
+	}
+	f.n--
+	return workload.Request{Addr: uint64(f.n), GapCycles: f.gap}, true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{FreqGHz: 0}, &fixedStream{}); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+	if _, err := New(0, Config{Model: OutOfOrder, FreqGHz: 2, MLP: 0}, &fixedStream{}); err == nil {
+		t.Fatal("MLP 0 accepted for OoO")
+	}
+}
+
+func TestInOrderSingleOutstanding(t *testing.T) {
+	c, err := New(0, Config{Model: InOrder, FreqGHz: 2, MLP: 8}, &fixedStream{n: 3, gap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := c.NextIssue()
+	if !ok {
+		t.Fatal("cannot issue first request")
+	}
+	if at != 5 { // 10 cycles at 2 GHz = 5 ns
+		t.Fatalf("first issue at %v want 5", at)
+	}
+	c.Issue(at)
+	c.Miss()
+	if _, ok := c.NextIssue(); ok {
+		t.Fatal("in-order core issued past an outstanding miss (MLP must be forced to 1)")
+	}
+	c.Complete(100)
+	at2, ok := c.NextIssue()
+	if !ok {
+		t.Fatal("cannot issue after completion")
+	}
+	if at2 < 100 {
+		t.Fatalf("second issue at %v, before the miss completed", at2)
+	}
+}
+
+func TestOutOfOrderWindow(t *testing.T) {
+	c, _ := New(0, Config{Model: OutOfOrder, FreqGHz: 2, MLP: 2}, &fixedStream{n: 5, gap: 2})
+	t1, _ := c.NextIssue()
+	c.Issue(t1)
+	c.Miss()
+	t2, ok := c.NextIssue()
+	if !ok {
+		t.Fatal("OoO core blocked with window space")
+	}
+	c.Issue(t2)
+	c.Miss()
+	if _, ok := c.NextIssue(); ok {
+		t.Fatal("issued beyond MLP")
+	}
+	c.Complete(50)
+	if _, ok := c.NextIssue(); !ok {
+		t.Fatal("window slot not freed")
+	}
+}
+
+func TestHitsDoNotOccupyWindow(t *testing.T) {
+	c, _ := New(0, Config{Model: OutOfOrder, FreqGHz: 2, MLP: 1}, &fixedStream{n: 4, gap: 2})
+	at, _ := c.NextIssue()
+	c.Issue(at)
+	c.Hit(at)
+	if _, ok := c.NextIssue(); !ok {
+		t.Fatal("hit blocked the window")
+	}
+}
+
+func TestDoneAfterDrain(t *testing.T) {
+	c, _ := New(0, Config{Model: InOrder, FreqGHz: 1}, &fixedStream{n: 2, gap: 1})
+	for !c.TraceExhausted() {
+		at, ok := c.NextIssue()
+		if !ok {
+			t.Fatal("stuck")
+		}
+		c.Issue(at)
+		c.Miss()
+		c.Complete(at + 100)
+	}
+	if !c.Done() {
+		t.Fatal("core not done after drain")
+	}
+	if c.Retired() != 2 || c.Issued() != 2 {
+		t.Fatalf("retired %d issued %d want 2/2", c.Retired(), c.Issued())
+	}
+	if c.FinishTime() == 0 {
+		t.Fatal("finish time not recorded")
+	}
+}
+
+func TestDoneWhenLastRequestHits(t *testing.T) {
+	c, _ := New(0, Config{Model: InOrder, FreqGHz: 1}, &fixedStream{n: 1, gap: 1})
+	at, _ := c.NextIssue()
+	c.Issue(at)
+	c.Hit(at)
+	if !c.Done() {
+		t.Fatal("core not done after final hit")
+	}
+	if c.FinishTime() != at {
+		t.Fatalf("finish time %v want %v", c.FinishTime(), at)
+	}
+}
+
+func TestMaxReqsTruncatesTrace(t *testing.T) {
+	c, _ := New(0, Config{Model: InOrder, FreqGHz: 1, MaxReqs: 3}, &fixedStream{n: 100, gap: 1})
+	n := 0
+	for !c.TraceExhausted() {
+		at, ok := c.NextIssue()
+		if !ok {
+			t.Fatal("stuck")
+		}
+		c.Issue(at)
+		c.Hit(at)
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("issued %d want 3", n)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	c, _ := New(0, Config{Model: InOrder, FreqGHz: 1}, &fixedStream{n: 2, gap: 1})
+	at, _ := c.NextIssue()
+	c.Issue(at)
+	c.Miss()
+	// Miss completes long after the next request's gap elapsed.
+	c.Complete(at + 1000)
+	if c.StallNS() <= 0 {
+		t.Fatal("no stall recorded for a long miss")
+	}
+}
+
+func TestCompleteWithoutMissPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c, _ := New(0, Config{Model: InOrder, FreqGHz: 1}, &fixedStream{n: 1, gap: 1})
+	c.Complete(0)
+}

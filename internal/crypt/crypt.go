@@ -1,0 +1,76 @@
+// Package crypt implements the probabilistic encryption used for ORAM
+// buckets. Every write of a bucket is encrypted under a fresh counter
+// (counter-mode, per the paper's §2.3 and its references [4, 18]), so two
+// encryptions of identical plaintext are computationally indistinguishable
+// and dummy blocks cannot be told apart from data blocks.
+//
+// The scheme is AES-128-CTR with an explicit 16-byte per-seal nonce
+// (8-byte engine ID, 8-byte monotonic counter) prepended to the
+// ciphertext. Integrity protection (Merkle trees etc.) is orthogonal to
+// ORAM and out of scope, exactly as in the paper (§2.2).
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// NonceSize is the size of the per-seal nonce prefix.
+const NonceSize = 16
+
+// Engine encrypts and decrypts fixed-size bucket images. It is safe for
+// concurrent use: the only mutable state is the atomic nonce counter.
+type Engine struct {
+	aead cipher.Block
+	id   uint64
+	ctr  atomic.Uint64
+}
+
+// NewEngine creates an Engine from a 16-byte key. id distinguishes
+// multiple engines sharing a key (e.g. one per ORAM in a hierarchy) so
+// their nonce spaces never collide.
+func NewEngine(key []byte, id uint64) (*Engine, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("crypt: key must be 16 bytes, got %d", len(key))
+	}
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return &Engine{aead: blk, id: id}, nil
+}
+
+// SealedSize returns the ciphertext size for a plaintext of n bytes.
+func SealedSize(n int) int { return NonceSize + n }
+
+// Seal encrypts plaintext into dst, which must have length
+// SealedSize(len(plaintext)). Each call uses a fresh counter, so sealing
+// the same plaintext twice yields different ciphertexts.
+func (e *Engine) Seal(dst, plaintext []byte) error {
+	if len(dst) != SealedSize(len(plaintext)) {
+		return fmt.Errorf("crypt: dst size %d, want %d", len(dst), SealedSize(len(plaintext)))
+	}
+	n := e.ctr.Add(1)
+	binary.LittleEndian.PutUint64(dst[0:8], e.id)
+	binary.LittleEndian.PutUint64(dst[8:16], n)
+	stream := cipher.NewCTR(e.aead, dst[:NonceSize])
+	stream.XORKeyStream(dst[NonceSize:], plaintext)
+	return nil
+}
+
+// Open decrypts ciphertext (produced by Seal) into dst, which must have
+// length len(ciphertext) - NonceSize.
+func (e *Engine) Open(dst, ciphertext []byte) error {
+	if len(ciphertext) < NonceSize {
+		return fmt.Errorf("crypt: ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	if len(dst) != len(ciphertext)-NonceSize {
+		return fmt.Errorf("crypt: dst size %d, want %d", len(dst), len(ciphertext)-NonceSize)
+	}
+	stream := cipher.NewCTR(e.aead, ciphertext[:NonceSize])
+	stream.XORKeyStream(dst, ciphertext[NonceSize:])
+	return nil
+}

@@ -1,0 +1,157 @@
+package crypt
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	key := []byte("0123456789abcdef")
+	e, err := NewEngine(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestKeyLength(t *testing.T) {
+	if _, err := NewEngine([]byte("short"), 0); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := NewEngine(make([]byte, 16), 0); err != nil {
+		t.Fatalf("16-byte key rejected: %v", err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	e := newEngine(t)
+	pt := []byte("the quick brown fox jumps over the lazy dog....")
+	ct := make([]byte, SealedSize(len(pt)))
+	if err := e.Seal(ct, pt); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(pt))
+	if err := e.Open(got, ct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestProbabilisticEncryption(t *testing.T) {
+	// The core ORAM requirement: re-encrypting identical plaintext yields a
+	// different ciphertext every time (§2.3: "any two blocks are
+	// indistinguishable even [if] their plain data are the same").
+	e := newEngine(t)
+	pt := make([]byte, 320)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		ct := make([]byte, SealedSize(len(pt)))
+		if err := e.Seal(ct, pt); err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(ct)] {
+			t.Fatal("ciphertext repeated for identical plaintext")
+		}
+		seen[string(ct)] = true
+	}
+}
+
+func TestEngineIDSeparatesNonceSpaces(t *testing.T) {
+	key := make([]byte, 16)
+	e1, _ := NewEngine(key, 1)
+	e2, _ := NewEngine(key, 2)
+	pt := make([]byte, 32)
+	c1 := make([]byte, SealedSize(32))
+	c2 := make([]byte, SealedSize(32))
+	if err := e1.Seal(c1, pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Seal(c2, pt); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1, c2) {
+		t.Fatal("different engine IDs produced identical ciphertexts")
+	}
+}
+
+func TestCrossEngineDecrypt(t *testing.T) {
+	// Decryption only needs the shared key plus the embedded nonce, so a
+	// second engine with the same key must be able to open.
+	key := []byte("fedcba9876543210")
+	e1, _ := NewEngine(key, 7)
+	e2, _ := NewEngine(key, 7)
+	pt := []byte("bucket image bucket image 123456")
+	ct := make([]byte, SealedSize(len(pt)))
+	if err := e1.Seal(ct, pt); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(pt))
+	if err := e2.Open(got, ct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("cross-engine decrypt failed")
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	e := newEngine(t)
+	pt := make([]byte, 10)
+	if err := e.Seal(make([]byte, 5), pt); err == nil {
+		t.Fatal("wrong-size dst accepted by Seal")
+	}
+	if err := e.Open(make([]byte, 10), make([]byte, 4)); err == nil {
+		t.Fatal("short ciphertext accepted by Open")
+	}
+	ct := make([]byte, SealedSize(10))
+	_ = e.Seal(ct, pt)
+	if err := e.Open(make([]byte, 3), ct); err == nil {
+		t.Fatal("wrong-size dst accepted by Open")
+	}
+}
+
+func TestConcurrentSealUniqueNonces(t *testing.T) {
+	e := newEngine(t)
+	pt := make([]byte, 16)
+	const goroutines = 8
+	const per = 200
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ct := make([]byte, SealedSize(len(pt)))
+				if err := e.Seal(ct, pt); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[string(ct[:NonceSize])] {
+					t.Error("nonce reused under concurrency")
+					mu.Unlock()
+					return
+				}
+				seen[string(ct[:NonceSize])] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkSealBucket(b *testing.B) {
+	e, _ := NewEngine(make([]byte, 16), 0)
+	pt := make([]byte, 320) // Z=4, 64B payload bucket
+	ct := make([]byte, SealedSize(len(pt)))
+	b.SetBytes(int64(len(pt)))
+	for i := 0; i < b.N; i++ {
+		_ = e.Seal(ct, pt)
+	}
+}

@@ -1,0 +1,266 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"forkoram/internal/tree"
+)
+
+// Timing holds DDR3 timing parameters in nanoseconds.
+type Timing struct {
+	TRCD float64 // row-to-column (activate to read/write)
+	TRP  float64 // precharge
+	TCL  float64 // CAS latency
+	TWR  float64 // write recovery after the burst
+	// BytesPerNS is the per-channel data-bus bandwidth.
+	BytesPerNS float64
+	// BurstBytes is the transfer granularity (one BL8 burst on a 64-bit
+	// channel = 64 bytes).
+	BurstBytes int
+	// TREFI is the all-bank refresh interval and TRFC the refresh cycle
+	// time: every TREFI the channel stalls for TRFC and loses its open
+	// rows. TREFI = 0 disables refresh modeling.
+	TREFI float64
+	TRFC  float64
+}
+
+// DDR31600 returns DDR3-1600 timing: 11-11-11 at tCK = 1.25 ns and
+// 12.8 GB/s per 64-bit channel.
+func DDR31600() Timing {
+	return Timing{
+		TRCD:       13.75,
+		TRP:        13.75,
+		TCL:        13.75,
+		TWR:        15.0,
+		BytesPerNS: 12.8,
+		BurstBytes: 64,
+		TREFI:      7800,
+		TRFC:       350,
+	}
+}
+
+// Config describes the memory system.
+type Config struct {
+	Channels    int
+	Banks       int // banks per channel
+	RowBytes    int
+	BucketBytes int // wire size of one sealed bucket
+	Timing      Timing
+	// FRFCFS approximates first-ready-first-come-first-served command
+	// scheduling within a phase: buckets hitting the same open row are
+	// clustered before row-conflicting ones. With the subtree layout,
+	// paths are already row-clustered, so the effect is small; it mainly
+	// rescues the flat-layout ablation.
+	FRFCFS bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels < 1 || c.Banks < 1 {
+		return fmt.Errorf("dram: channels and banks must be >= 1")
+	}
+	if c.RowBytes < c.BucketBytes || c.BucketBytes <= 0 {
+		return fmt.Errorf("dram: row %dB must hold at least one %dB bucket", c.RowBytes, c.BucketBytes)
+	}
+	if c.Timing.BytesPerNS <= 0 || c.Timing.BurstBytes <= 0 {
+		return fmt.Errorf("dram: invalid timing")
+	}
+	return nil
+}
+
+// Default returns the paper's Table 1 memory system: DDR3-1600,
+// 2 channels, 8 banks each, 8 KB rows.
+func Default(bucketBytes int) Config {
+	return Config{
+		Channels:    2,
+		Banks:       8,
+		RowBytes:    8192,
+		BucketBytes: bucketBytes,
+		Timing:      DDR31600(),
+		FRFCFS:      true,
+	}
+}
+
+// Counters accumulates DRAM activity for the energy model.
+type Counters struct {
+	Activations  uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed-row or conflict accesses
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	BusyNS       float64 // data-bus occupancy summed over channels
+}
+
+type bank struct {
+	open      bool
+	row       uint64
+	readyAt   float64
+	lastTouch float64
+}
+
+type channel struct {
+	busUntil float64
+	banks    []bank
+}
+
+// Sim is the DRAM timing simulator. It is driven with monotonically
+// non-decreasing request times; requests at equal times are serialized in
+// call order (the ORAM controller issues bucket accesses in a defined
+// order anyway).
+type Sim struct {
+	cfg    Config
+	layout Layout
+	chans  []channel
+	cnt    Counters
+	now    float64
+}
+
+// NewSim creates a simulator with the given bucket layout. Pass a
+// SubtreeLayout for the paper's configuration or a FlatLayout for the
+// ablation.
+func NewSim(cfg Config, layout Layout) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, layout: layout, chans: make([]channel, cfg.Channels)}
+	for i := range s.chans {
+		s.chans[i].banks = make([]bank, cfg.Banks)
+	}
+	return s, nil
+}
+
+// Config returns the simulator configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Counters returns accumulated activity counts.
+func (s *Sim) Counters() Counters { return s.cnt }
+
+// Now returns the largest completion time seen so far.
+func (s *Sim) Now() float64 { return s.now }
+
+// access performs one transfer of nbytes at the location, issued no
+// earlier than `at`, and returns its completion time.
+func (s *Sim) access(loc Location, nbytes int, write bool, at float64) float64 {
+	ch := &s.chans[loc.Channel]
+	bk := &ch.banks[loc.Bank]
+	t := math.Max(at, math.Max(ch.busUntil, bk.readyAt))
+	tm := s.cfg.Timing
+	if tm.TREFI > 0 {
+		// All-bank refresh: the window [k*tREFI, k*tREFI+tRFC) stalls the
+		// channel, and any boundary crossed since the bank's last access
+		// closed its row.
+		if win := math.Floor(t/tm.TREFI) * tm.TREFI; t < win+tm.TRFC && win > 0 {
+			t = win + tm.TRFC
+		}
+		if math.Floor(t/tm.TREFI) > math.Floor(bk.lastTouch/tm.TREFI) {
+			bk.open = false
+		}
+		bk.lastTouch = t
+	}
+	var dataStart float64
+	switch {
+	case bk.open && bk.row == loc.Row:
+		s.cnt.RowHits++
+		dataStart = t + tm.TCL
+	case !bk.open:
+		s.cnt.RowMisses++
+		s.cnt.Activations++
+		dataStart = t + tm.TRCD + tm.TCL
+	default:
+		s.cnt.RowMisses++
+		s.cnt.Activations++
+		dataStart = t + tm.TRP + tm.TRCD + tm.TCL
+	}
+	bk.open = true
+	bk.row = loc.Row
+	bursts := (nbytes + tm.BurstBytes - 1) / tm.BurstBytes
+	dataTime := float64(bursts*tm.BurstBytes) / tm.BytesPerNS
+	done := dataStart + dataTime
+	ch.busUntil = done
+	bk.readyAt = done
+	if write {
+		bk.readyAt = done + tm.TWR
+		s.cnt.Writes++
+		s.cnt.BytesWritten += uint64(nbytes)
+	} else {
+		s.cnt.Reads++
+		s.cnt.BytesRead += uint64(nbytes)
+	}
+	s.cnt.BusyNS += dataTime
+	if done > s.now {
+		s.now = done
+	}
+	return done
+}
+
+// AccessBucket performs one bucket transfer and returns its completion
+// time.
+func (s *Sim) AccessBucket(n tree.Node, write bool, at float64) float64 {
+	return s.access(s.layout.Place(n), s.cfg.BucketBytes, write, at)
+}
+
+// Phase issues a whole ORAM phase (a list of buckets, all reads or all
+// writes) starting at `at` and returns when the last transfer completes.
+// Buckets spread across channels proceed in parallel; within a channel the
+// data bus serializes them. With FRFCFS enabled, the issue order clusters
+// same-row buckets so open rows are drained before conflicting rows.
+func (s *Sim) Phase(nodes []tree.Node, write bool, at float64) float64 {
+	order := nodes
+	if s.cfg.FRFCFS && len(nodes) > 2 {
+		order = s.frfcfsOrder(nodes)
+	}
+	end := at
+	for _, n := range order {
+		if done := s.AccessBucket(n, write, at); done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+// frfcfsOrder stable-sorts the batch by (channel, bank, row), clustering
+// row hits. Stability keeps the simulation deterministic.
+func (s *Sim) frfcfsOrder(nodes []tree.Node) []tree.Node {
+	type slot struct {
+		n   tree.Node
+		loc Location
+		idx int
+	}
+	slots := make([]slot, len(nodes))
+	for i, n := range nodes {
+		slots[i] = slot{n: n, loc: s.layout.Place(n), idx: i}
+	}
+	// Insertion sort: batches are path-sized (tens of entries).
+	less := func(a, b slot) bool {
+		if a.loc.Channel != b.loc.Channel {
+			return a.loc.Channel < b.loc.Channel
+		}
+		if a.loc.Bank != b.loc.Bank {
+			return a.loc.Bank < b.loc.Bank
+		}
+		if a.loc.Row != b.loc.Row {
+			return a.loc.Row < b.loc.Row
+		}
+		return a.idx < b.idx
+	}
+	for i := 1; i < len(slots); i++ {
+		for j := i; j > 0 && less(slots[j], slots[j-1]); j-- {
+			slots[j], slots[j-1] = slots[j-1], slots[j]
+		}
+	}
+	out := make([]tree.Node, len(slots))
+	for i, sl := range slots {
+		out[i] = sl.n
+	}
+	return out
+}
+
+// RawAccess models a plain (non-ORAM) memory access of nbytes at a byte
+// address — the insecure baseline the paper normalizes slowdown against.
+func (s *Sim) RawAccess(addr uint64, nbytes int, write bool, at float64) float64 {
+	loc := addrToLocation(addr, s.cfg.RowBytes, s.cfg.Channels, s.cfg.Banks)
+	return s.access(loc, nbytes, write, at)
+}

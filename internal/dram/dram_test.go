@@ -1,0 +1,265 @@
+package dram
+
+import (
+	"testing"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/tree"
+)
+
+const bucketBytes = 336 // Z=4 * (16B header + 64B payload) + 16B nonce
+
+func newSim(t *testing.T, tr tree.Tree, channels int) *Sim {
+	t.Helper()
+	cfg := Default(bucketBytes)
+	cfg.Channels = channels
+	layout, err := NewSubtreeLayout(tr, bucketBytes, cfg.RowBytes, cfg.Channels, cfg.Banks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Channels: 0, Banks: 8, RowBytes: 8192, BucketBytes: 64, Timing: DDR31600()},
+		{Channels: 2, Banks: 0, RowBytes: 8192, BucketBytes: 64, Timing: DDR31600()},
+		{Channels: 2, Banks: 8, RowBytes: 32, BucketBytes: 64, Timing: DDR31600()},
+		{Channels: 2, Banks: 8, RowBytes: 8192, BucketBytes: 64},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	if err := Default(64).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeLayoutPacksPathsIntoRows(t *testing.T) {
+	tr := tree.MustNew(20)
+	l, err := NewSubtreeLayout(tr, bucketBytes, 8192, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8192/336 = 24 buckets per row -> k = 4 (15 buckets).
+	if l.SubtreeLevels() != 4 {
+		t.Fatalf("k = %d want 4", l.SubtreeLevels())
+	}
+	// A root-to-leaf path crosses ceil(21/4) = 6 subtrees, so it must
+	// touch at most 6 distinct rows.
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		label := tree.Label(r.Uint64n(tr.Leaves()))
+		rows := map[[3]uint64]bool{}
+		for _, n := range tr.Path(label, nil) {
+			loc := l.Place(n)
+			rows[[3]uint64{uint64(loc.Channel), uint64(loc.Bank), loc.Row}] = true
+		}
+		if len(rows) > 6 {
+			t.Fatalf("path-%d touches %d rows, want <= 6", label, len(rows))
+		}
+	}
+}
+
+func TestLayoutsAreInjective(t *testing.T) {
+	tr := tree.MustNew(10)
+	sub, err := NewSubtreeLayout(tr, bucketBytes, 8192, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := FlatLayout{BucketBytes: bucketBytes, RowBytes: 8192, Channels: 2, Banks: 8}
+	for name, l := range map[string]Layout{"subtree": sub, "flat": flat} {
+		seen := map[Location]tree.Node{}
+		for n := tree.Node(0); n < tr.Nodes(); n++ {
+			loc := l.Place(n)
+			if loc.Col%bucketBytes != 0 && name == "flat" {
+				continue // flat layout may straddle; only check collisions
+			}
+			if prev, dup := seen[loc]; dup {
+				t.Fatalf("%s: nodes %d and %d collide at %+v", name, prev, n, loc)
+			}
+			seen[loc] = n
+		}
+	}
+}
+
+func TestSubtreeLayoutBucketsDoNotStraddleRows(t *testing.T) {
+	tr := tree.MustNew(12)
+	l, err := NewSubtreeLayout(tr, bucketBytes, 8192, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := tree.Node(0); n < tr.Nodes(); n++ {
+		loc := l.Place(n)
+		if loc.Col+bucketBytes > 8192 {
+			t.Fatalf("node %d straddles a row boundary (col %d)", n, loc.Col)
+		}
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	tr := tree.MustNew(10)
+	s := newSim(t, tr, 1)
+	// Two buckets in the same subtree (parent and child) share a row.
+	parent := tr.NodeAt(0, 1)
+	child := tr.NodeAt(0, 2)
+	t0 := s.AccessBucket(parent, false, 0)
+	t1 := s.AccessBucket(child, false, t0)
+	missLat := t0
+	hitLat := t1 - t0
+	if hitLat >= missLat {
+		t.Fatalf("row hit (%v ns) not faster than miss (%v ns)", hitLat, missLat)
+	}
+	c := s.Counters()
+	if c.RowHits != 1 || c.RowMisses != 1 {
+		t.Fatalf("counters %+v want 1 hit / 1 miss", c)
+	}
+}
+
+func TestBankConflictPaysPrecharge(t *testing.T) {
+	cfg := Default(bucketBytes)
+	cfg.Channels = 1
+	cfg.Banks = 1
+	cfg.RowBytes = 512 // one bucket per row, same bank -> guaranteed conflicts
+	flat := FlatLayout{BucketBytes: bucketBytes, RowBytes: 512, Channels: 1, Banks: 1}
+	s, err := NewSim(cfg, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := s.AccessBucket(0, false, 0)  // activation (closed bank)
+	t1 := s.AccessBucket(2, false, t0) // byte 672 -> row 1: conflict
+	first := t0
+	second := t1 - t0
+	if second <= first {
+		t.Fatalf("conflict access (%v) should pay precharge on top of activation (%v)", second, first)
+	}
+	if s.Counters().Activations != 2 {
+		t.Fatalf("activations %d want 2", s.Counters().Activations)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	// The same bucket set must finish sooner with more channels.
+	tr := tree.MustNew(14)
+	r := rng.New(5)
+	var nodes []tree.Node
+	for i := 0; i < 64; i++ {
+		nodes = append(nodes, tree.Node(r.Uint64n(tr.Nodes())))
+	}
+	end1 := newSim(t, tr, 1).Phase(nodes, false, 0)
+	end4 := newSim(t, tr, 4).Phase(nodes, false, 0)
+	if end4 >= end1 {
+		t.Fatalf("4 channels (%v ns) not faster than 1 (%v ns)", end4, end1)
+	}
+}
+
+func TestShorterPathsTakeLessTime(t *testing.T) {
+	// The Fork Path premise at the DRAM level: reading the lower half of
+	// a path costs less than the full path.
+	tr := tree.MustNew(20)
+	full := newSim(t, tr, 2)
+	part := newSim(t, tr, 2)
+	label := tree.Label(12345)
+	path := tr.Path(label, nil)
+	tFull := full.Phase(path, false, 0)
+	tPart := part.Phase(path[10:], false, 0)
+	if tPart >= tFull {
+		t.Fatalf("partial path (%v) not faster than full (%v)", tPart, tFull)
+	}
+}
+
+func TestWritesBlockBankLonger(t *testing.T) {
+	tr := tree.MustNew(8)
+	sw := newSim(t, tr, 1)
+	sr := newSim(t, tr, 1)
+	n := tr.NodeAt(0, 4)
+	m := tr.NodeAt(0, 5) // same subtree -> same row/bank
+	wEnd := sw.AccessBucket(n, true, 0)
+	_ = wEnd
+	wNext := sw.AccessBucket(m, true, wEnd)
+	rEnd := sr.AccessBucket(n, false, 0)
+	rNext := sr.AccessBucket(m, false, rEnd)
+	_ = rNext
+	_ = wNext
+	// Write counters recorded correctly.
+	if sw.Counters().Writes != 2 || sw.Counters().BytesWritten != 2*bucketBytes {
+		t.Fatalf("write counters %+v", sw.Counters())
+	}
+	if sr.Counters().Reads != 2 || sr.Counters().BytesRead != 2*bucketBytes {
+		t.Fatalf("read counters %+v", sr.Counters())
+	}
+}
+
+func TestMonotonicTime(t *testing.T) {
+	tr := tree.MustNew(12)
+	s := newSim(t, tr, 2)
+	r := rng.New(1)
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		n := tree.Node(r.Uint64n(tr.Nodes()))
+		done := s.AccessBucket(n, i%2 == 0, now)
+		if done < now {
+			t.Fatalf("completion %v before issue %v", done, now)
+		}
+		now = done
+	}
+	if s.Now() < now {
+		t.Fatal("sim clock behind completions")
+	}
+}
+
+func TestRawAccessInsecureBaselineMuchFaster(t *testing.T) {
+	// One 64B line vs a 21-bucket path: the ORAM path must be well over
+	// 10x slower, which is the root of the paper's slowdown numbers.
+	tr := tree.MustNew(20)
+	s1 := newSim(t, tr, 2)
+	lineDone := s1.RawAccess(1<<20, 64, false, 0)
+	s2 := newSim(t, tr, 2)
+	pathDone := s2.Phase(tr.Path(7, nil), false, 0)
+	if pathDone < 5*lineDone {
+		t.Fatalf("path access %v ns vs line %v ns: ORAM cost implausibly low", pathDone, lineDone)
+	}
+}
+
+func TestSubtreeVsFlatLayout(t *testing.T) {
+	// The subtree layout must make path reads faster than the flat layout
+	// (that is its purpose).
+	tr := tree.MustNew(20)
+	cfg := Default(bucketBytes)
+	sub, _ := NewSubtreeLayout(tr, bucketBytes, cfg.RowBytes, cfg.Channels, cfg.Banks)
+	flat := FlatLayout{BucketBytes: bucketBytes, RowBytes: cfg.RowBytes, Channels: cfg.Channels, Banks: cfg.Banks}
+	s1, _ := NewSim(cfg, sub)
+	s2, _ := NewSim(cfg, flat)
+	r := rng.New(8)
+	var tSub, tFlat float64
+	for i := 0; i < 100; i++ {
+		label := tree.Label(r.Uint64n(tr.Leaves()))
+		path := tr.Path(label, nil)
+		tSub = s1.Phase(path, false, tSub)
+		tFlat = s2.Phase(path, false, tFlat)
+	}
+	if tSub >= tFlat {
+		t.Fatalf("subtree layout (%v ns) not faster than flat (%v ns)", tSub, tFlat)
+	}
+}
+
+func BenchmarkPhaseRead25(b *testing.B) {
+	tr := tree.MustNew(24)
+	cfg := Default(bucketBytes)
+	layout, _ := NewSubtreeLayout(tr, bucketBytes, cfg.RowBytes, cfg.Channels, cfg.Banks)
+	s, _ := NewSim(cfg, layout)
+	r := rng.New(1)
+	now := 0.0
+	buf := make([]tree.Node, 0, tr.Levels())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.Path(tree.Label(r.Uint64n(tr.Leaves())), buf[:0])
+		now = s.Phase(buf, false, now)
+	}
+}

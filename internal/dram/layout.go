@@ -1,0 +1,135 @@
+// Package dram models the untrusted external memory's timing and energy:
+// a multi-channel DDR3 system with per-bank row-buffer state, plus the
+// address layouts that map ORAM tree buckets onto it. It stands in for
+// the paper's DRAMSim2 integration.
+//
+// The model captures exactly the effects the paper's evaluation depends
+// on: row-buffer hits make bucket streams fast, bank/channel parallelism
+// overlaps activations, and the subtree layout (paper ref [18]) keeps
+// path segments row-local so that *shorter merged paths save more than
+// proportional DRAM time* (Figure 10's latency curve dropping faster than
+// its path-length curve).
+package dram
+
+import (
+	"fmt"
+
+	"forkoram/internal/tree"
+)
+
+// Location is a physical DRAM coordinate.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     uint64
+	Col     int // byte offset within the row
+}
+
+// Layout maps tree buckets to DRAM locations.
+type Layout interface {
+	Place(n tree.Node) Location
+}
+
+// addrToLocation stripes row-sized frames round-robin across channels,
+// then banks, so consecutive rows exploit channel/bank parallelism.
+func addrToLocation(addr uint64, rowBytes int, channels, banks int) Location {
+	frame := addr / uint64(rowBytes)
+	col := int(addr % uint64(rowBytes))
+	ch := int(frame % uint64(channels))
+	frame /= uint64(channels)
+	bank := int(frame % uint64(banks))
+	row := frame / uint64(banks)
+	return Location{Channel: ch, Bank: bank, Row: row, Col: col}
+}
+
+// FlatLayout places bucket i at byte offset i*BucketBytes — the naive
+// breadth-first order. Buckets adjacent on a path land in different rows
+// almost everywhere, which is why the paper adopts the subtree layout.
+// Kept as an ablation baseline.
+type FlatLayout struct {
+	BucketBytes int
+	RowBytes    int
+	Channels    int
+	Banks       int
+}
+
+// Place implements Layout.
+func (l FlatLayout) Place(n tree.Node) Location {
+	return addrToLocation(n*uint64(l.BucketBytes), l.RowBytes, l.Channels, l.Banks)
+}
+
+// SubtreeLayout packs complete k-level subtrees into row-sized frames
+// (paper ref [18]): a path crossing a subtree touches up to k buckets in
+// the same DRAM row, turning most of a path's bucket reads into row hits.
+type SubtreeLayout struct {
+	tr          tree.Tree
+	k           uint // levels per subtree
+	bucketBytes int
+	rowBytes    int
+	channels    int
+	banks       int
+	frameBytes  int // bytes reserved per subtree (row-aligned slot)
+	// layerBase[i] is the number of subtrees in layers < i.
+	layerBase []uint64
+}
+
+// NewSubtreeLayout creates a subtree layout. k is derived from how many
+// buckets fit a row: the largest k with 2^k - 1 <= rowBytes/bucketBytes.
+func NewSubtreeLayout(tr tree.Tree, bucketBytes, rowBytes, channels, banks int) (*SubtreeLayout, error) {
+	if bucketBytes <= 0 || rowBytes < bucketBytes {
+		return nil, fmt.Errorf("dram: row %dB cannot hold a %dB bucket", rowBytes, bucketBytes)
+	}
+	if channels < 1 || banks < 1 {
+		return nil, fmt.Errorf("dram: need at least one channel and bank")
+	}
+	perRow := rowBytes / bucketBytes
+	k := uint(1)
+	for (1<<(k+1))-1 <= perRow {
+		k++
+	}
+	l := &SubtreeLayout{
+		tr:          tr,
+		k:           k,
+		bucketBytes: bucketBytes,
+		rowBytes:    rowBytes,
+		channels:    channels,
+		banks:       banks,
+	}
+	// A subtree occupies one row-aligned frame.
+	l.frameBytes = rowBytes
+	// Precompute subtree counts per layer. Layer i spans levels
+	// [i*k, min((i+1)*k, L+1)) and contains 2^(i*k) subtrees.
+	levels := tr.Levels()
+	for base := uint(0); base < levels; base += k {
+		l.layerBase = append(l.layerBase, 0)
+	}
+	var cum uint64
+	for i := range l.layerBase {
+		l.layerBase[i] = cum
+		cum += 1 << (uint(i) * k)
+	}
+	return l, nil
+}
+
+// SubtreeLevels returns k, the number of tree levels packed per row.
+func (l *SubtreeLayout) SubtreeLevels() uint { return l.k }
+
+// Place implements Layout.
+func (l *SubtreeLayout) Place(n tree.Node) Location {
+	lvl := l.tr.Level(n)
+	layer := lvl / l.k
+	rootLevel := layer * l.k
+	d := lvl - rootLevel
+	// Ancestor at the subtree root level.
+	anc := ((n + 1) >> d) - 1
+	subtree := l.layerBase[layer] + l.tr.PositionInLevel(anc)
+	// Local heap index of n within its subtree.
+	local := (uint64(1) << d) - 1 + ((n + 1) - ((anc + 1) << d))
+	addr := subtree*uint64(l.frameBytes) + local*uint64(l.bucketBytes)
+	return addrToLocation(addr, l.rowBytes, l.channels, l.banks)
+}
+
+var (
+	_ Layout = FlatLayout{}
+	_ Layout = (*SubtreeLayout)(nil)
+)

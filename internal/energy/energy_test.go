@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"testing"
+
+	"forkoram/internal/dram"
+)
+
+func TestEstimateZeroActivity(t *testing.T) {
+	b := DefaultModel().Estimate(Activity{})
+	if b.TotalMJ() != 0 {
+		t.Fatalf("zero activity costs %v mJ", b.TotalMJ())
+	}
+}
+
+func TestEstimateScalesLinearly(t *testing.T) {
+	m := DefaultModel()
+	a := Activity{
+		DRAM: dram.Counters{
+			Activations:  100,
+			BytesRead:    10000,
+			BytesWritten: 5000,
+		},
+		ElapsedNS:   1e6,
+		Channels:    2,
+		StashOps:    50,
+		CacheOps:    10,
+		QueueOps:    20,
+		CryptoBytes: 1000,
+	}
+	b1 := m.Estimate(a)
+	a2 := a
+	a2.DRAM.Activations *= 2
+	a2.DRAM.BytesRead *= 2
+	a2.DRAM.BytesWritten *= 2
+	a2.ElapsedNS *= 2
+	a2.StashOps *= 2
+	a2.CacheOps *= 2
+	a2.QueueOps *= 2
+	a2.CryptoBytes *= 2
+	b2 := m.Estimate(a2)
+	if b2.TotalMJ() <= b1.TotalMJ()*1.99 || b2.TotalMJ() >= b1.TotalMJ()*2.01 {
+		t.Fatalf("doubling activity: %v -> %v, want 2x", b1.TotalMJ(), b2.TotalMJ())
+	}
+}
+
+func TestDRAMDynamicDominatesForORAMTraffic(t *testing.T) {
+	// The paper's §5.2.2 observation: total energy is dominated by the
+	// external memory. Sanity-check the constants reproduce that for a
+	// representative per-request activity (50 buckets of 336B, a handful
+	// of activations, 50 stash ops).
+	m := DefaultModel()
+	a := Activity{
+		DRAM: dram.Counters{
+			Activations:  12,
+			BytesRead:    25 * 336,
+			BytesWritten: 25 * 336,
+		},
+		ElapsedNS:   1500,
+		Channels:    2,
+		StashOps:    100,
+		CacheOps:    50,
+		QueueOps:    4,
+		CryptoBytes: 50 * 336,
+	}
+	b := m.Estimate(a)
+	dramTotal := b.DRAMDynamicMJ + b.DRAMBackgroundMJ
+	if dramTotal < 2*b.ControllerMJ {
+		t.Fatalf("DRAM %v mJ vs controller %v mJ: DRAM should dominate", dramTotal, b.ControllerMJ)
+	}
+}
+
+func TestBackgroundScalesWithChannelsAndTime(t *testing.T) {
+	m := DefaultModel()
+	b1 := m.Estimate(Activity{ElapsedNS: 1e6, Channels: 1})
+	b2 := m.Estimate(Activity{ElapsedNS: 1e6, Channels: 4})
+	if b2.DRAMBackgroundMJ <= b1.DRAMBackgroundMJ {
+		t.Fatal("background energy must grow with channels")
+	}
+	b3 := m.Estimate(Activity{ElapsedNS: 2e6, Channels: 1})
+	if b3.DRAMBackgroundMJ <= b1.DRAMBackgroundMJ {
+		t.Fatal("background energy must grow with time")
+	}
+}

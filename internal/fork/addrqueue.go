@@ -1,0 +1,193 @@
+// Package fork implements the paper's core contribution: the Fork Path
+// ORAM engine. It consists of
+//
+//   - an address queue (this file) that buffers incoming LLC requests and
+//     resolves data hazards *before* requests are transformed into ORAM
+//     labels, so that reordering in the label queue can never violate
+//     program semantics or leak through hazard stalls (§4);
+//   - a label queue with overlap-maximizing request scheduling, aging
+//     counters against starvation, and always-full dummy padding (§3.4);
+//   - the path-merging access state machine with dummy-request
+//     replacement (§3.2, §3.3, Figure 5).
+package fork
+
+import "fmt"
+
+// AddrOp is the operation of an LLC request.
+type AddrOp int
+
+// LLC request operations.
+const (
+	AddrRead AddrOp = iota
+	AddrWrite
+)
+
+// AddrRequest is one LLC request buffered in the address queue.
+type AddrRequest struct {
+	ID   uint64
+	Op   AddrOp
+	Addr uint64
+	Data []byte // payload for writes; forwarded to hazard-hit reads
+}
+
+// Resolution describes a request that the address queue completed without
+// (or before) sending it to the ORAM pipeline.
+type Resolution struct {
+	ID        uint64
+	Addr      uint64
+	Forwarded bool   // read satisfied by write-before-read forwarding
+	Canceled  bool   // write canceled by write-before-write
+	Data      []byte // forwarded payload (reads only)
+}
+
+type aqEntry struct {
+	req      *AddrRequest
+	released bool // sent to the position map / label queue
+	done     bool // ORAM access completed
+	canceled bool
+}
+
+// AddrQueue implements the paper's four hazard rules (§4):
+//
+//	Read-before-Read    both proceed.
+//	Read-before-Write   the write stays in the address queue until the
+//	                    earlier read's data is ready.
+//	Write-before-Read   the read completes immediately by forwarding the
+//	                    write's data.
+//	Write-before-Write  the earlier (unreleased) write is canceled.
+//
+// Requests are released to the position map strictly in order, so a
+// blocked write also blocks younger requests (conservative in-order
+// transformation, which is what "sent to position map in order" requires).
+type AddrQueue struct {
+	capacity int
+	entries  []*aqEntry
+	byID     map[uint64]*aqEntry
+}
+
+// NewAddrQueue creates an address queue with the given capacity
+// (the paper's N-entry PA queue).
+func NewAddrQueue(capacity int) *AddrQueue {
+	return &AddrQueue{capacity: capacity, byID: make(map[uint64]*aqEntry)}
+}
+
+// Len returns the number of buffered (unreleased, uncompleted) requests.
+func (q *AddrQueue) Len() int {
+	n := 0
+	for _, e := range q.entries {
+		if !e.done && !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Full reports whether Push would be refused.
+func (q *AddrQueue) Full() bool { return q.Len() >= q.capacity }
+
+// Push admits a request. It returns a non-nil Resolution when the request
+// (or an earlier one) completes immediately through hazard handling:
+// write-before-read forwards data to the incoming read, and
+// write-before-write cancels the earlier unreleased write (the resolution
+// then names the *earlier* write). An error is returned when the queue is
+// full.
+func (q *AddrQueue) Push(r *AddrRequest) (*Resolution, error) {
+	if q.Full() {
+		return nil, fmt.Errorf("fork: address queue full")
+	}
+	if r.Op == AddrRead {
+		// Write-before-Read: youngest live earlier write to the address.
+		for i := len(q.entries) - 1; i >= 0; i-- {
+			e := q.entries[i]
+			if e.canceled || e.done || e.req.Addr != r.Addr || e.req.Op != AddrWrite {
+				continue
+			}
+			data := append([]byte(nil), e.req.Data...)
+			return &Resolution{ID: r.ID, Addr: r.Addr, Forwarded: true, Data: data}, nil
+		}
+		q.append(r)
+		return nil, nil
+	}
+	// Write: cancel any earlier unreleased write to the same address.
+	var canceled *Resolution
+	for _, e := range q.entries {
+		if e.canceled || e.done || e.released || e.req.Addr != r.Addr || e.req.Op != AddrWrite {
+			continue
+		}
+		e.canceled = true
+		canceled = &Resolution{ID: e.req.ID, Addr: e.req.Addr, Canceled: true}
+		break // at most one live unreleased write per address can exist
+	}
+	q.append(r)
+	return canceled, nil
+}
+
+func (q *AddrQueue) append(r *AddrRequest) {
+	e := &aqEntry{req: r}
+	q.entries = append(q.entries, e)
+	q.byID[r.ID] = e
+}
+
+// ReleaseReady pops requests that may be transformed into ORAM requests
+// now, in program order. Release stops at the first write that must wait
+// for an earlier incomplete read to the same address (read-before-write).
+func (q *AddrQueue) ReleaseReady() []*AddrRequest {
+	var out []*AddrRequest
+	for _, e := range q.entries {
+		if e.released || e.canceled || e.done {
+			continue
+		}
+		if e.req.Op == AddrWrite && q.hasIncompleteEarlierRead(e) {
+			break // in-order release: this write (and younger ones) wait
+		}
+		e.released = true
+		out = append(out, e.req)
+	}
+	q.compact()
+	return out
+}
+
+func (q *AddrQueue) hasIncompleteEarlierRead(w *aqEntry) bool {
+	for _, e := range q.entries {
+		if e == w {
+			return false
+		}
+		if e.canceled || e.done {
+			continue
+		}
+		if e.req.Addr == w.req.Addr && e.req.Op == AddrRead {
+			return true
+		}
+	}
+	return false
+}
+
+// Complete marks a previously released request as finished (its ORAM data
+// is ready), unblocking read-before-write stalls.
+func (q *AddrQueue) Complete(id uint64) {
+	if e, ok := q.byID[id]; ok {
+		e.done = true
+	}
+	q.compact()
+}
+
+// compact drops entries that no longer constrain anything: completed or
+// canceled entries with no younger live entry that could reference them.
+func (q *AddrQueue) compact() {
+	// Keep it simple: drop leading finished entries; hazards only look
+	// backwards, so an old finished entry sandwiched between live ones is
+	// still harmlessly skipped by the scans above.
+	i := 0
+	for i < len(q.entries) {
+		e := q.entries[i]
+		if (e.done || e.canceled) && e.released || e.canceled {
+			delete(q.byID, e.req.ID)
+			i++
+			continue
+		}
+		break
+	}
+	if i > 0 {
+		q.entries = append(q.entries[:0], q.entries[i:]...)
+	}
+}

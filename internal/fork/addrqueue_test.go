@@ -1,0 +1,266 @@
+package fork
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func push(t *testing.T, q *AddrQueue, r *AddrRequest) *Resolution {
+	t.Helper()
+	res, err := q.Push(r)
+	if err != nil {
+		t.Fatalf("push %+v: %v", r, err)
+	}
+	return res
+}
+
+func TestReadBeforeReadBothProceed(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrRead, Addr: 10})
+	push(t, q, &AddrRequest{ID: 2, Op: AddrRead, Addr: 10})
+	rel := q.ReleaseReady()
+	if len(rel) != 2 {
+		t.Fatalf("released %d want 2", len(rel))
+	}
+}
+
+func TestWriteBeforeReadForwards(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrWrite, Addr: 5, Data: []byte{0xAB}})
+	res := push(t, q, &AddrRequest{ID: 2, Op: AddrRead, Addr: 5})
+	if res == nil || !res.Forwarded || res.ID != 2 {
+		t.Fatalf("read not forwarded: %+v", res)
+	}
+	if len(res.Data) != 1 || res.Data[0] != 0xAB {
+		t.Fatalf("forwarded wrong data: %v", res.Data)
+	}
+	// The write itself still proceeds.
+	if rel := q.ReleaseReady(); len(rel) != 1 || rel[0].ID != 1 {
+		t.Fatalf("release = %v", rel)
+	}
+}
+
+func TestForwardFromReleasedIncompleteWrite(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrWrite, Addr: 5, Data: []byte{7}})
+	if rel := q.ReleaseReady(); len(rel) != 1 {
+		t.Fatal("write not released")
+	}
+	// Write is in the ORAM pipeline but not complete: forwarding must
+	// still serve the read.
+	res := push(t, q, &AddrRequest{ID: 2, Op: AddrRead, Addr: 5})
+	if res == nil || !res.Forwarded {
+		t.Fatal("read not forwarded from in-flight write")
+	}
+	q.Complete(1)
+	// After completion there is nothing left to forward from.
+	if res := push(t, q, &AddrRequest{ID: 3, Op: AddrRead, Addr: 5}); res != nil {
+		t.Fatalf("read forwarded from completed write: %+v", res)
+	}
+}
+
+func TestWriteBeforeWriteCancelsEarlier(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrWrite, Addr: 5, Data: []byte{1}})
+	res := push(t, q, &AddrRequest{ID: 2, Op: AddrWrite, Addr: 5, Data: []byte{2}})
+	if res == nil || !res.Canceled || res.ID != 1 {
+		t.Fatalf("first write not canceled: %+v", res)
+	}
+	rel := q.ReleaseReady()
+	if len(rel) != 1 || rel[0].ID != 2 {
+		t.Fatalf("release = %+v, want only write 2", rel)
+	}
+}
+
+func TestWriteBeforeWriteDoesNotCancelReleased(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrWrite, Addr: 5, Data: []byte{1}})
+	q.ReleaseReady()
+	if res := push(t, q, &AddrRequest{ID: 2, Op: AddrWrite, Addr: 5, Data: []byte{2}}); res != nil {
+		t.Fatalf("released write canceled: %+v", res)
+	}
+}
+
+func TestReadBeforeWriteBlocksWrite(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrRead, Addr: 9})
+	push(t, q, &AddrRequest{ID: 2, Op: AddrWrite, Addr: 9, Data: []byte{3}})
+	push(t, q, &AddrRequest{ID: 3, Op: AddrRead, Addr: 77})
+	rel := q.ReleaseReady()
+	if len(rel) != 1 || rel[0].ID != 1 {
+		t.Fatalf("release = %v, want only read 1 (write blocked, in-order)", ids(rel))
+	}
+	// Read still incomplete: nothing new releasable.
+	if rel := q.ReleaseReady(); len(rel) != 0 {
+		t.Fatalf("premature release: %v", ids(rel))
+	}
+	q.Complete(1)
+	rel = q.ReleaseReady()
+	if len(rel) != 2 || rel[0].ID != 2 || rel[1].ID != 3 {
+		t.Fatalf("after completion release = %v, want [2 3]", ids(rel))
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	q := NewAddrQueue(2)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrRead, Addr: 1})
+	push(t, q, &AddrRequest{ID: 2, Op: AddrRead, Addr: 2})
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	if _, err := q.Push(&AddrRequest{ID: 3, Op: AddrRead, Addr: 3}); err == nil {
+		t.Fatal("overfull push accepted")
+	}
+	// Releasing + completing frees capacity.
+	q.ReleaseReady()
+	q.Complete(1)
+	q.Complete(2)
+	if q.Full() {
+		t.Fatal("queue should have drained")
+	}
+	push(t, q, &AddrRequest{ID: 3, Op: AddrRead, Addr: 3})
+}
+
+func TestUnrelatedAddressesUnblocked(t *testing.T) {
+	q := NewAddrQueue(8)
+	push(t, q, &AddrRequest{ID: 1, Op: AddrRead, Addr: 1})
+	push(t, q, &AddrRequest{ID: 2, Op: AddrWrite, Addr: 2, Data: []byte{1}})
+	rel := q.ReleaseReady()
+	if len(rel) != 2 {
+		t.Fatalf("release = %v want both (no hazard)", ids(rel))
+	}
+}
+
+func ids(rs []*AddrRequest) []uint64 {
+	var out []uint64
+	for _, r := range rs {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// TestAddrQueueModelProperty drives the queue with random request streams
+// and checks it against a straightforward reference model of the four
+// hazard rules, using testing/quick to generate the streams.
+func TestAddrQueueModelProperty(t *testing.T) {
+	type step struct {
+		Write    bool
+		Addr     uint8 // tiny address space provokes hazards
+		Complete bool  // complete the oldest released request instead
+	}
+	check := func(steps []step) bool {
+		q := NewAddrQueue(1 << 20) // effectively unbounded
+		// Reference state.
+		type ref struct {
+			id       uint64
+			write    bool
+			addr     uint64
+			released bool
+			done     bool
+			canceled bool
+		}
+		var model []*ref
+		released := []uint64{}
+		id := uint64(0)
+		for _, st := range steps {
+			if st.Complete {
+				if len(released) == 0 {
+					continue
+				}
+				q.Complete(released[0])
+				for _, r := range model {
+					if r.id == released[0] {
+						r.done = true
+					}
+				}
+				released = released[1:]
+				continue
+			}
+			id++
+			op := AddrRead
+			if st.Write {
+				op = AddrWrite
+			}
+			res, err := q.Push(&AddrRequest{ID: id, Op: op, Addr: uint64(st.Addr), Data: []byte{byte(id)}})
+			if err != nil {
+				return false
+			}
+			// Model the push.
+			switch {
+			case !st.Write:
+				// WbR forwarding from the youngest live earlier write.
+				fwd := false
+				for i := len(model) - 1; i >= 0; i-- {
+					r := model[i]
+					if !r.canceled && !r.done && r.write && r.addr == uint64(st.Addr) {
+						fwd = true
+						break
+					}
+				}
+				if fwd != (res != nil && res.Forwarded) {
+					return false
+				}
+				if !fwd {
+					model = append(model, &ref{id: id, addr: uint64(st.Addr)})
+				}
+			default:
+				// WbW cancels the earliest live unreleased same-addr write.
+				var cancel *ref
+				for _, r := range model {
+					if !r.canceled && !r.done && !r.released && r.write && r.addr == uint64(st.Addr) {
+						cancel = r
+						break
+					}
+				}
+				if (cancel != nil) != (res != nil && res.Canceled) {
+					return false
+				}
+				if cancel != nil {
+					if res.ID != cancel.id {
+						return false
+					}
+					cancel.canceled = true
+				}
+				model = append(model, &ref{id: id, write: true, addr: uint64(st.Addr)})
+			}
+			// Release and compare against the model's in-order rule.
+			got := q.ReleaseReady()
+			var want []uint64
+			for _, r := range model {
+				if r.released || r.canceled || r.done {
+					continue
+				}
+				if r.write {
+					blocked := false
+					for _, e := range model {
+						if e == r {
+							break
+						}
+						if !e.canceled && !e.done && !e.write && e.addr == r.addr {
+							blocked = true
+							break
+						}
+					}
+					if blocked {
+						break // in-order: younger requests wait too
+					}
+				}
+				r.released = true
+				want = append(want, r.id)
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i].ID != want[i] {
+					return false
+				}
+				released = append(released, want[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package fork
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/posmap"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// highUtilEnv builds an engine over a tree whose leaf-level capacity is
+// nearly saturated (utilization well above the paper's 50%), the regime
+// where stash pressure builds and background eviction matters.
+func highUtilEnv(t *testing.T, threshold int) (*Engine, *pathoram.Controller, *posmap.Map, uint64) {
+	t.Helper()
+	tr := tree.MustNew(9)  // 4092 total slots
+	blocks := uint64(3950) // ~97% of total slots (Z*(2^10-1) = 4092)
+	store, err := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := pathoram.NewController(pathoram.Config{Tree: tr, StashCapacity: 200}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		QueueSize: 8, AgeThreshold: 128, MergeEnabled: true,
+		DummyReplaceEnabled: true, BackgroundEvictThreshold: threshold,
+	}, ctl, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ctl, posmap.New(tr, rng.New(7)), blocks
+}
+
+// pump drives the engine under maximal load for n accesses.
+func pumpHighUtil(t *testing.T, eng *Engine, ctl *pathoram.Controller, pos *posmap.Map, blocks uint64, n int) int {
+	t.Helper()
+	r := rng.New(11)
+	id := uint64(0)
+	maxStash := 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < 2 && eng.CanEnqueue(); k++ {
+			addr := r.Uint64n(blocks)
+			old, _, next := pos.Remap(addr)
+			id++
+			a := addr
+			nl := next
+			it := &Item{ID: id, Addr: a, OldLabel: old, NewLabel: nl}
+			it.Serve = func() error {
+				_, err := ctl.FetchBlock(pathoram.OpRead, a, nl, nil)
+				return err
+			}
+			eng.Enqueue(it)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if l := ctl.Stash().Len(); l > maxStash {
+			maxStash = l
+		}
+	}
+	return maxStash
+}
+
+func TestBackgroundEvictionBoundsStash(t *testing.T) {
+	const threshold = 20
+	engOff, ctlOff, posOff, blocks := highUtilEnv(t, 0)
+	maxOff := pumpHighUtil(t, engOff, ctlOff, posOff, blocks, 9000)
+
+	engOn, ctlOn, posOn, blocks2 := highUtilEnv(t, threshold)
+	maxOn := pumpHighUtil(t, engOn, ctlOn, posOn, blocks2, 9000)
+
+	st := engOn.Stats()
+	if st.BackgroundEvictions == 0 {
+		t.Fatal("background eviction never triggered despite high utilization")
+	}
+	if maxOn >= maxOff {
+		t.Fatalf("background eviction did not lower peak stash: %d (on) vs %d (off)", maxOn, maxOff)
+	}
+	// The mechanism must keep the peak within a modest band above the
+	// threshold (an access adds at most one path's worth of blocks).
+	if maxOn > threshold+80 {
+		t.Fatalf("stash peak %d way above threshold %d", maxOn, threshold)
+	}
+}
+
+func TestBackgroundEvictionPreservesScheduledPending(t *testing.T) {
+	eng, ctl, pos, _ := highUtilEnv(t, 1) // absurdly low threshold: every access drains
+	// Enqueue one real request and run: even with constant background
+	// eviction, the real request must eventually be served.
+	old, _, next := pos.Remap(42)
+	served := false
+	it := &Item{ID: 1, Addr: 42, OldLabel: old, NewLabel: next}
+	it.Serve = func() error {
+		_, err := ctl.FetchBlock(pathoram.OpRead, 42, next, nil)
+		served = true
+		return err
+	}
+	// Put a block in the stash so the threshold trips.
+	ctl.Stash().Put(block.Block{Addr: 999, Label: 3})
+	ctl.Stash().Put(block.Block{Addr: 998, Label: 5})
+	if !eng.Enqueue(it) {
+		t.Fatal("enqueue failed")
+	}
+	for i := 0; i < 500 && !served; i++ {
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !served {
+		t.Fatal("real request starved by background eviction")
+	}
+}
+
+func TestBackgroundEvictionDisabledByDefault(t *testing.T) {
+	v := newEnv(t, 6, defaultCfg(4))
+	for i := 0; i < 50; i++ {
+		if _, err := v.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.eng.Stats().BackgroundEvictions != 0 {
+		t.Fatal("background evictions with threshold 0")
+	}
+}

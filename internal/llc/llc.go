@@ -1,0 +1,122 @@
+// Package llc models the shared last-level cache (the paper's 1 MB 8-way
+// L2 in Table 1). Only hit/miss behaviour and dirty write-backs matter to
+// the memory system below, so the model is functional: set-associative
+// LRU over block addresses with a dirty bit per line.
+package llc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"forkoram/internal/cache"
+)
+
+// Config describes the cache geometry.
+type Config struct {
+	CapacityBytes int
+	Ways          int
+	LineBytes     int
+}
+
+// Default returns Table 1's LLC: 1 MB, 8-way, 64 B lines.
+func Default() Config {
+	return Config{CapacityBytes: 1 << 20, Ways: 8, LineBytes: 64}
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// WriteBack is set when a dirty victim was evicted; its block address
+	// must be written to memory.
+	WriteBack     bool
+	WriteBackAddr uint64
+}
+
+// Stats counts accesses.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	WriteBacks uint64
+}
+
+// Cache is the LLC model. Addresses are block-granular (one block = one
+// line), matching the ORAM block size.
+type Cache struct {
+	c       *cache.Cache[bool] // value = dirty bit
+	setMask uint64
+	stats   Stats
+}
+
+// New creates an LLC.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("llc: invalid config %+v", cfg)
+	}
+	lines := cfg.CapacityBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("llc: set count %d must be a positive power of two", sets)
+	}
+	c, err := cache.New[bool](sets, cfg.Ways)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{c: c, setMask: uint64(sets - 1)}, nil
+}
+
+// set hashes a block address to a set. A xor-fold spreads strided
+// addresses across sets.
+func (l *Cache) set(addr uint64) int {
+	h := addr ^ (addr >> uint(bits.Len64(l.setMask)))
+	return int(h & l.setMask)
+}
+
+// Access performs one block access.
+func (l *Cache) Access(addr uint64, write bool) Result {
+	s := l.set(addr)
+	if dirty, ok := l.c.Get(s, addr); ok {
+		l.stats.Hits++
+		if write && !dirty {
+			l.c.Put(s, addr, true)
+		}
+		return Result{Hit: true}
+	}
+	l.stats.Misses++
+	evAddr, evDirty, evicted := l.c.Put(s, addr, write)
+	res := Result{}
+	if evicted && evDirty {
+		l.stats.WriteBacks++
+		res.WriteBack = true
+		res.WriteBackAddr = evAddr
+	}
+	return res
+}
+
+// Insert adds addr as a clean line without touching the demand hit/miss
+// statistics — used for super-block prefetch fills (paper ref [18]: the
+// whole group returns to the cache with one path read). To keep the
+// prefetch free of side effects, the insert is skipped when it would
+// displace a dirty line. Reports whether the line is resident afterwards.
+func (l *Cache) Insert(addr uint64) bool {
+	s := l.set(addr)
+	if _, ok := l.c.Peek(s, addr); ok {
+		return true
+	}
+	if _, dirty, full := l.c.PeekVictim(s); full && dirty {
+		return false
+	}
+	l.c.Put(s, addr, false)
+	return true
+}
+
+// Stats returns cumulative counts.
+func (l *Cache) Stats() Stats { return l.stats }
+
+// MissRate returns misses / accesses (0 when idle).
+func (l *Cache) MissRate() float64 {
+	total := l.stats.Hits + l.stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.stats.Misses) / float64(total)
+}

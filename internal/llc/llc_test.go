@@ -1,0 +1,159 @@
+package llc
+
+import (
+	"testing"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(Config{CapacityBytes: 3000, Ways: 8, LineBytes: 64}); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	if _, err := New(Default()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	l, _ := New(Default())
+	if r := l.Access(42, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := l.Access(42, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	s := l.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	cfg := Config{CapacityBytes: 1024, Ways: 2, LineBytes: 64} // 8 sets
+	l, _ := New(cfg)
+	// Fill one set's two ways with writes, then force an eviction.
+	// Find three addresses in the same set.
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < 3; a++ {
+		if l.set(a) == l.set(0) {
+			addrs = append(addrs, a)
+		}
+	}
+	l.Access(addrs[0], true)
+	l.Access(addrs[1], false)
+	r := l.Access(addrs[2], false)
+	if !r.WriteBack || r.WriteBackAddr != addrs[0] {
+		t.Fatalf("expected write-back of %d, got %+v", addrs[0], r)
+	}
+	if l.Stats().WriteBacks != 1 {
+		t.Fatalf("writebacks %d want 1", l.Stats().WriteBacks)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	cfg := Config{CapacityBytes: 1024, Ways: 2, LineBytes: 64}
+	l, _ := New(cfg)
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < 3; a++ {
+		if l.set(a) == l.set(0) {
+			addrs = append(addrs, a)
+		}
+	}
+	l.Access(addrs[0], false)
+	l.Access(addrs[1], false)
+	if r := l.Access(addrs[2], false); r.WriteBack {
+		t.Fatalf("clean eviction produced write-back: %+v", r)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	cfg := Config{CapacityBytes: 1024, Ways: 2, LineBytes: 64}
+	l, _ := New(cfg)
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < 3; a++ {
+		if l.set(a) == l.set(0) {
+			addrs = append(addrs, a)
+		}
+	}
+	l.Access(addrs[0], false) // clean miss
+	l.Access(addrs[0], true)  // write hit -> dirty
+	l.Access(addrs[1], false)
+	r := l.Access(addrs[2], false) // evicts addrs[0]
+	if !r.WriteBack {
+		t.Fatal("dirty-via-write-hit line evicted without write-back")
+	}
+}
+
+func TestHotWorkloadHitsColdWorkloadMisses(t *testing.T) {
+	l, _ := New(Default())
+	// Hot benchmark: h264ref fits the LLC -> high hit rate.
+	p, _ := workload.Lookup("h264ref")
+	g, _ := workload.NewGenerator(p, rng.New(1), 0, 0, 0)
+	for i := 0; i < 100000; i++ {
+		r := g.Next()
+		l.Access(r.Addr, r.Write)
+	}
+	if mr := l.MissRate(); mr > 0.2 {
+		t.Fatalf("h264ref miss rate %.3f, want cache-resident (<0.2)", mr)
+	}
+	// Cold benchmark: lbm streams - high miss rate.
+	l2, _ := New(Default())
+	p2, _ := workload.Lookup("lbm")
+	g2, _ := workload.NewGenerator(p2, rng.New(2), 0, 0, 0)
+	for i := 0; i < 100000; i++ {
+		r := g2.Next()
+		l2.Access(r.Addr, r.Write)
+	}
+	if mr := l2.MissRate(); mr < 0.5 {
+		t.Fatalf("lbm miss rate %.3f, want memory-bound (>0.5)", mr)
+	}
+}
+
+func TestMissRateIdle(t *testing.T) {
+	l, _ := New(Default())
+	if l.MissRate() != 0 {
+		t.Fatal("idle miss rate not 0")
+	}
+}
+
+func TestInsertPrefetchSemantics(t *testing.T) {
+	cfg := Config{CapacityBytes: 1024, Ways: 2, LineBytes: 64}
+	l, _ := New(cfg)
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < 4; a++ {
+		if l.set(a) == l.set(0) {
+			addrs = append(addrs, a)
+		}
+	}
+	// Prefetch insert: next demand access hits, and stats were untouched
+	// by the insert itself.
+	if !l.Insert(addrs[0]) {
+		t.Fatal("insert refused into empty set")
+	}
+	if s := l.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Insert touched demand stats: %+v", s)
+	}
+	if r := l.Access(addrs[0], false); !r.Hit {
+		t.Fatal("prefetched line missed")
+	}
+	// Fill the set with a dirty LRU victim: Insert must refuse rather
+	// than trigger a write-back.
+	l2, _ := New(cfg)
+	l2.Access(addrs[0], true) // dirty
+	l2.Access(addrs[1], true) // dirty
+	if l2.Insert(addrs[2]) {
+		t.Fatal("insert displaced a dirty line")
+	}
+	if r := l2.Access(addrs[0], false); !r.Hit {
+		t.Fatal("refused insert still evicted the dirty line")
+	}
+	// Idempotent on resident lines.
+	if !l2.Insert(addrs[0]) {
+		t.Fatal("insert of resident line reported failure")
+	}
+}

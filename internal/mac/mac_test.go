@@ -1,0 +1,335 @@
+package mac
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+func geo() block.Geometry { return block.Geometry{Z: 4, PayloadSize: 16} }
+
+func newMeta(t *testing.T, tr tree.Tree) *storage.Meta {
+	t.Helper()
+	s, err := storage.NewMeta(tr, geo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTreetopLevels(t *testing.T) {
+	bucket := geo().BucketSize() // 4*(16+16) = 128B
+	cases := []struct {
+		capacity int
+		want     int
+	}{
+		{0, -1},
+		{bucket - 1, -1},
+		{bucket, 0},         // root only
+		{3 * bucket, 1},     // 3 buckets = levels 0..1
+		{6 * bucket, 1},     // 7 needed for level 2
+		{7 * bucket, 2},     //
+		{1 << 20, 12},       // 8192 buckets: levels 0..12 need 2^13-1 = 8191
+		{(1 << 20) - 1, 12}, // 8191 buckets: still exactly enough
+	}
+	for _, c := range cases {
+		if got := TreetopLevels(c.capacity, bucket); got != c.want {
+			t.Errorf("TreetopLevels(%d) = %d want %d", c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestTreetopServesTopLevelsOnChip(t *testing.T) {
+	tr := tree.MustNew(6)
+	inner := newMeta(t, tr)
+	tracer := storage.NewTracer(inner)
+	top, err := NewTreetop(tracer, tr, 7*geo().BucketSize()) // levels 0..2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.TopLevel() != 2 {
+		t.Fatalf("top level %d want 2", top.TopLevel())
+	}
+	tracer.Begin()
+	b := block.Bucket{Blocks: []block.Block{{Addr: 1, Label: 0}}}
+	// Writes at level <= 2 stay on-chip; deeper writes go to DRAM.
+	if err := top.WriteBucket(0, &b); err != nil { // root
+		t.Fatal(err)
+	}
+	if err := top.WriteBucket(3, &b); err != nil { // level 2? node 3 is level 2
+		t.Fatal(err)
+	}
+	if err := top.WriteBucket(7, &b); err != nil { // level 3
+		t.Fatal(err)
+	}
+	got, err := top.ReadBucket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blocks) != 1 || got.Blocks[0].Addr != 1 {
+		t.Fatalf("pinned bucket round trip failed: %+v", got)
+	}
+	trace := tracer.End()
+	if len(trace.Writes) != 1 || trace.Writes[0] != 7 {
+		t.Fatalf("DRAM writes %v, want only node 7", trace.Writes)
+	}
+	if len(trace.Reads) != 0 {
+		t.Fatalf("DRAM reads %v, want none", trace.Reads)
+	}
+}
+
+func TestTreetopClampsToLeafLevel(t *testing.T) {
+	tr := tree.MustNew(2)
+	top, err := NewTreetop(newMeta(t, tr), tr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.TopLevel() != 2 {
+		t.Fatalf("top level %d want leaf level 2", top.TopLevel())
+	}
+}
+
+func TestTreetopRejectsTinyCapacity(t *testing.T) {
+	tr := tree.MustNew(3)
+	if _, err := NewTreetop(newMeta(t, tr), tr, 1); err == nil {
+		t.Fatal("capacity below one bucket accepted")
+	}
+}
+
+func TestMACRange(t *testing.T) {
+	tr := tree.MustNew(20)
+	// 1MB / 128B = 8192 buckets; pinning levels 7..12 uses 8064, leaving
+	// 128 buckets for the partial level 13.
+	m, err := NewMAC(newMeta(t, tr), tr, MACConfig{CapacityBytes: 1 << 20, M1: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := m.Levels()
+	if m1 != 7 || m2 != 12 {
+		t.Fatalf("levels [%d,%d] want [7,12]", m1, m2)
+	}
+	if m.PartialSets() != 64 { // 128 leftover buckets / 2 bucket-ways
+		t.Fatalf("partial sets %d want 64", m.PartialSets())
+	}
+}
+
+func TestMACAbsorbsWritesInRange(t *testing.T) {
+	tr := tree.MustNew(8)
+	inner := newMeta(t, tr)
+	tracer := storage.NewTracer(inner)
+	m, err := NewMAC(tracer, tr, MACConfig{CapacityBytes: 64 * geo().BucketSize(), M1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.Begin()
+	n := tr.NodeAt(0, 4) // level 4, in range
+	b := block.Bucket{Blocks: []block.Block{{Addr: 9, Label: 0}}}
+	if err := m.WriteBucket(n, &b); err != nil {
+		t.Fatal(err)
+	}
+	if w := tracer.End().Writes; len(w) != 0 {
+		t.Fatalf("in-range write reached DRAM: %v", w)
+	}
+	// Read hit comes from the cache, not DRAM, and removes the entry.
+	tracer.Begin()
+	got, err := m.ReadBucket(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blocks) != 1 || got.Blocks[0].Addr != 9 {
+		t.Fatalf("cache round trip: %+v", got)
+	}
+	if r := tracer.End().Reads; len(r) != 0 {
+		t.Fatalf("cache hit still read DRAM: %v", r)
+	}
+	st := m.Stats()
+	if st.ReadHits != 1 || st.WriteHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMACBypassesBelowM1(t *testing.T) {
+	tr := tree.MustNew(8)
+	inner := newMeta(t, tr)
+	tracer := storage.NewTracer(inner)
+	m, err := NewMAC(tracer, tr, MACConfig{CapacityBytes: 64 * geo().BucketSize(), M1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.Begin()
+	b := block.Bucket{Blocks: []block.Block{{Addr: 1, Label: 0}}}
+	if err := m.WriteBucket(0, &b); err != nil { // root: below m1
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBucket(0); err != nil {
+		t.Fatal(err)
+	}
+	trace := tracer.End()
+	if len(trace.Writes) != 1 || len(trace.Reads) != 1 {
+		t.Fatalf("bypass traffic %d/%d want 1/1", len(trace.Reads), len(trace.Writes))
+	}
+}
+
+func TestMACPartialLevelEvictionFlushesToDRAM(t *testing.T) {
+	tr := tree.MustNew(10)
+	inner := newMeta(t, tr)
+	tracer := storage.NewTracer(inner)
+	// 4 buckets: level 1 fully pinned (2), leftover 2 -> one partial set
+	// of 2 bucket-ways at level 2.
+	m, err := NewMAC(tracer, tr, MACConfig{CapacityBytes: 4 * geo().BucketSize(), M1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := m.Levels()
+	if m1 != 1 || m2 != 1 {
+		t.Fatalf("levels [%d,%d] want [1,1]", m1, m2)
+	}
+	if m.PartialSets() != 1 {
+		t.Fatalf("partial sets %d want 1", m.PartialSets())
+	}
+	tracer.Begin()
+	mk := func(a uint64) *block.Bucket {
+		return &block.Bucket{Blocks: []block.Block{{Addr: a, Label: 0}}}
+	}
+	// Level-2 nodes are 3..6.
+	_ = m.WriteBucket(3, mk(100))
+	_ = m.WriteBucket(4, mk(101))
+	_ = m.WriteBucket(5, mk(102)) // displaces LRU (node 3)
+	trace := tracer.End()
+	if len(trace.Writes) != 1 || trace.Writes[0] != 3 {
+		t.Fatalf("DRAM writes %v, want displaced node 3", trace.Writes)
+	}
+	// Displaced bucket readable from DRAM with its contents.
+	got, err := m.ReadBucket(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blocks) != 1 || got.Blocks[0].Addr != 100 {
+		t.Fatalf("displaced bucket content lost: %+v", got)
+	}
+}
+
+func TestMACPinnedLevelsNeverTouchDRAM(t *testing.T) {
+	tr := tree.MustNew(10)
+	inner := newMeta(t, tr)
+	tracer := storage.NewTracer(inner)
+	m, err := NewMAC(tracer, tr, MACConfig{CapacityBytes: 64 * geo().BucketSize(), M1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2 := m.Levels()
+	tracer.Begin()
+	b := block.Bucket{Blocks: []block.Block{{Addr: 7, Label: 0}}}
+	for lvl := uint(2); lvl <= m2; lvl++ {
+		n := tr.NodeAt(0, lvl)
+		if err := m.WriteBucket(n, &b); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := m.ReadBucket(n); err != nil || len(got.Blocks) != 1 {
+			t.Fatalf("pinned round trip at level %d: %v %+v", lvl, err, got)
+		}
+	}
+	trace := tracer.End()
+	if len(trace.Reads)+len(trace.Writes) != 0 {
+		t.Fatalf("pinned levels touched DRAM: %+v", trace)
+	}
+}
+
+// TestMACTransparencyUnderORAM runs a full ORAM on top of a MAC and
+// verifies functional transparency: same read-your-writes behaviour as
+// without the cache.
+func TestMACTransparencyUnderORAM(t *testing.T) {
+	tr := tree.MustNew(8)
+	inner, err := storage.NewMem(tr, geo(), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMAC(inner, tr, MACConfig{CapacityBytes: 128 * geo().BucketSize(), M1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := pathoram.New(pathoram.Config{Tree: tr, StashCapacity: 300, TrackData: true}, m, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	shadow := map[uint64]byte{}
+	for i := 0; i < 3000; i++ {
+		addr := r.Uint64n(200)
+		if r.Float64() < 0.5 {
+			d := make([]byte, 16)
+			d[0] = byte(r.Uint64())
+			if _, _, err := o.Access(pathoram.OpWrite, addr, d); err != nil {
+				t.Fatal(err)
+			}
+			shadow[addr] = d[0]
+		} else {
+			got, _, err := o.Access(pathoram.OpRead, addr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != shadow[addr] {
+				t.Fatalf("step %d addr %d: %d want %d", i, addr, got[0], shadow[addr])
+			}
+		}
+	}
+	st := m.Stats()
+	if st.ReadHits == 0 {
+		t.Fatal("MAC never hit; decorator not exercised")
+	}
+}
+
+// TestTreetopTransparencyUnderORAM does the same for treetop caching.
+func TestTreetopTransparencyUnderORAM(t *testing.T) {
+	tr := tree.MustNew(8)
+	inner, err := storage.NewMem(tr, geo(), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := NewTreetop(inner, tr, 31*geo().BucketSize()) // levels 0..3
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := pathoram.New(pathoram.Config{Tree: tr, StashCapacity: 300, TrackData: true}, top, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	shadow := map[uint64]byte{}
+	for i := 0; i < 3000; i++ {
+		addr := r.Uint64n(200)
+		if r.Float64() < 0.5 {
+			d := make([]byte, 16)
+			d[0] = byte(r.Uint64())
+			if _, _, err := o.Access(pathoram.OpWrite, addr, d); err != nil {
+				t.Fatal(err)
+			}
+			shadow[addr] = d[0]
+		} else {
+			got, _, err := o.Access(pathoram.OpRead, addr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != shadow[addr] {
+				t.Fatalf("step %d addr %d: %d want %d", i, addr, got[0], shadow[addr])
+			}
+		}
+	}
+}
+
+func TestMACRejectsBadConfig(t *testing.T) {
+	tr := tree.MustNew(8)
+	if _, err := NewMAC(newMeta(t, tr), tr, MACConfig{CapacityBytes: 1, M1: 2}); err == nil {
+		t.Fatal("tiny capacity accepted")
+	}
+	if _, err := NewMAC(newMeta(t, tr), tr, MACConfig{CapacityBytes: 1 << 20, M1: 99}); err == nil {
+		t.Fatal("m1 beyond leaf level accepted")
+	}
+	if _, err := NewMAC(newMeta(t, tr), tr, MACConfig{CapacityBytes: 1 << 20, M1: 2, Ways: -1}); err == nil {
+		t.Fatal("negative ways accepted")
+	}
+}

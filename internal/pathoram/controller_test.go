@@ -1,0 +1,164 @@
+package pathoram
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+func newController(t *testing.T, leafLevel uint) (*Controller, *storage.Mem) {
+	t.Helper()
+	tr := tree.MustNew(leafLevel)
+	store, err := storage.NewMem(tr, block.Geometry{Z: 4, PayloadSize: 8}, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(Config{Tree: tr, StashCapacity: 100, TrackData: true}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, store
+}
+
+func TestControllerAccessors(t *testing.T) {
+	ctl, _ := newController(t, 5)
+	if ctl.Tree().LeafLevel() != 5 {
+		t.Fatal("Tree accessor wrong")
+	}
+	if ctl.Z() != 4 {
+		t.Fatalf("Z = %d", ctl.Z())
+	}
+	if ctl.Stash() == nil || ctl.Err() != nil {
+		t.Fatal("stash/err accessors broken")
+	}
+}
+
+func TestNewControllerRejectsBadInput(t *testing.T) {
+	tr := tree.MustNew(3)
+	bad, _ := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 8})
+	if _, err := NewController(Config{StashCapacity: 10}, bad); err == nil {
+		t.Fatal("zero-value tree accepted")
+	}
+}
+
+func TestWriteLevelWritesExactlyOneBucket(t *testing.T) {
+	ctl, store := newController(t, 5)
+	// Preload blocks via a read+fetch so the stash holds something.
+	if _, err := ctl.ReadRange(3, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.FetchBlock(OpWrite, 9, 3, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Counters().BucketWrites
+	n, err := ctl.WriteLevel(3, 5) // leaf bucket of path-3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Counters().BucketWrites - before; got != 1 {
+		t.Fatalf("WriteLevel issued %d bucket writes, want 1", got)
+	}
+	if ctl.Tree().Level(n) != 5 || !ctl.Tree().OnPath(3, n) {
+		t.Fatalf("wrote wrong bucket %d", n)
+	}
+	// The block labelled 3 must have been evicted into the leaf bucket.
+	bk, err := store.ReadBucket(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bk.Blocks) != 1 || bk.Blocks[0].Addr != 9 {
+		t.Fatalf("leaf bucket contents %+v", bk.Blocks)
+	}
+	if _, ok := ctl.Stash().Get(9); ok {
+		t.Fatal("evicted block still in stash")
+	}
+}
+
+func TestWriteLevelThenReadRangeRoundTrip(t *testing.T) {
+	ctl, _ := newController(t, 4)
+	if _, err := ctl.FetchBlock(OpWrite, 1, 7, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict level by level (leaf to root) like the fork write phase.
+	for lvl := 4; lvl >= 0; lvl-- {
+		if _, err := ctl.WriteLevel(7, uint(lvl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctl.Stash().Len() != 0 {
+		t.Fatalf("stash not drained: %d", ctl.Stash().Len())
+	}
+	if _, err := ctl.ReadRange(7, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := ctl.Stash().Get(1)
+	if !ok || b.Data[0] != 1 {
+		t.Fatalf("block lost after WriteLevel round trip: %+v ok=%v", b, ok)
+	}
+}
+
+func TestCheckInvariantDetectsLoss(t *testing.T) {
+	ctl, store := newController(t, 4)
+	if _, err := ctl.ReadRange(2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.FetchBlock(OpWrite, 5, 2, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	mapping := func(f func(addr uint64, label tree.Label)) { f(5, 2) }
+	if err := CheckInvariant(ctl.Tree(), store, ctl.Stash(), mapping); err != nil {
+		t.Fatalf("invariant should hold with block in stash: %v", err)
+	}
+	// Simulate loss: remove the block without writing it anywhere.
+	ctl.Stash().Remove(5)
+	if err := CheckInvariant(ctl.Tree(), store, ctl.Stash(), mapping); err == nil {
+		t.Fatal("lost block not detected")
+	}
+	// Simulate a label mismatch between map and stash.
+	ctl.Stash().Put(block.Block{Addr: 5, Label: 1, Data: make([]byte, 8)})
+	if err := CheckInvariant(ctl.Tree(), store, ctl.Stash(), mapping); err == nil {
+		t.Fatal("label mismatch not detected")
+	}
+}
+
+func TestFetchBlockValidation(t *testing.T) {
+	ctl, _ := newController(t, 4)
+	if _, err := ctl.FetchBlock(OpWrite, 2, 0, []byte{1}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := ctl.FetchBlock(OpRead, block.DummyAddr, 0, nil); err == nil {
+		t.Fatal("reserved address accepted")
+	}
+}
+
+func TestBaselineAccessorsAndDeterminism(t *testing.T) {
+	tr := tree.MustNew(6)
+	mk := func() *ORAM {
+		store, _ := storage.NewMem(tr, block.Geometry{Z: 4, PayloadSize: 8}, make([]byte, 16))
+		o, err := New(Config{Tree: tr, StashCapacity: 100, TrackData: true}, store, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	a, b := mk(), mk()
+	if a.Controller() == nil || a.PositionMap() == nil {
+		t.Fatal("accessors nil")
+	}
+	for i := 0; i < 50; i++ {
+		_, accA, err := a.Access(OpRead, uint64(i%9), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, accB, err := b.Access(OpRead, uint64(i%9), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accA.Label != accB.Label {
+			t.Fatalf("same seed diverged at access %d", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package pathoram
+
+import (
+	"fmt"
+
+	"forkoram/internal/stash"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// CheckInvariant verifies the Path ORAM invariant for every mapped block:
+// a block mapped to leaf l must be in the stash or in some bucket on
+// path-l (§2.3). mapping enumerates the authoritative (addr → label)
+// pairs; store is the *raw* backend (reads performed here are checker
+// traffic, not protocol traffic — call it on a backend whose counters you
+// do not care about, or snapshot counters around it).
+//
+// It also checks the converse direction: every block found on the checked
+// paths must be stored in a bucket lying on the path of its own label.
+func CheckInvariant(tr tree.Tree, store storage.Backend, st *stash.Stash,
+	mapping func(f func(addr uint64, label tree.Label))) error {
+
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	var failure error
+	mapping(func(addr uint64, label tree.Label) {
+		if failure != nil {
+			return
+		}
+		if b, ok := st.Get(addr); ok {
+			if b.Label != label {
+				failure = fmt.Errorf("invariant: stash block %d labelled %d, position map says %d",
+					addr, b.Label, label)
+			}
+			return
+		}
+		for lvl := uint(0); lvl <= tr.LeafLevel(); lvl++ {
+			n := tr.NodeAt(label, lvl)
+			bk, err := store.ReadBucket(n)
+			if err != nil {
+				failure = err
+				return
+			}
+			for _, blk := range bk.Blocks {
+				if blk.Addr != addr {
+					continue
+				}
+				if blk.Label != label {
+					failure = fmt.Errorf("invariant: tree block %d in bucket %d labelled %d, position map says %d",
+						addr, n, blk.Label, label)
+				}
+				return // found on its path
+			}
+		}
+		failure = fmt.Errorf("invariant: block %d (label %d) neither in stash nor on its path",
+			addr, label)
+	})
+	return failure
+}

@@ -1,0 +1,296 @@
+// Package pathoram implements the baseline Path ORAM controller of §2.3:
+// per request, a full root-to-leaf path is read into the stash and then
+// re-filled leaf-to-root with as many eligible stash blocks as fit.
+//
+// The package is split in two layers:
+//
+//   - Controller exposes label-driven primitives (read/write a path or a
+//     path *segment*, fetch-and-relabel a block). Fork Path
+//     (internal/fork) and the recursive construction (internal/recursion)
+//     are built from these primitives.
+//   - ORAM is the self-contained baseline device: Controller plus an
+//     on-chip position map, performing the exact Step 1–5 flow.
+package pathoram
+
+import (
+	"errors"
+	"fmt"
+
+	"forkoram/internal/block"
+	"forkoram/internal/posmap"
+	"forkoram/internal/rng"
+	"forkoram/internal/stash"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// Op distinguishes reads from writes at the ORAM interface. Both cause the
+// same memory traffic (that is the point of ORAM).
+type Op int
+
+// ORAM operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// ErrStopped is returned by accesses after a fatal controller error.
+var ErrStopped = errors.New("pathoram: controller stopped")
+
+// Access describes one ORAM request as revealed on the memory bus: the
+// accessed label and the buckets requested from memory (before on-chip
+// bucket caches filter them). The adversary model sees exactly this plus
+// timing.
+type Access struct {
+	Label      tree.Label
+	ReadNodes  []tree.Node
+	WriteNodes []tree.Node
+	Dummy      bool
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Tree          tree.Tree
+	StashCapacity int  // paper's C, e.g. 200
+	TrackData     bool // false for metadata-only timing runs
+}
+
+// Controller implements the label-driven Path ORAM mechanics over a
+// storage backend (optionally decorated by on-chip bucket caches).
+type Controller struct {
+	tr    tree.Tree
+	z     int
+	store storage.Backend
+	stash *stash.Stash
+	track bool
+	geo   block.Geometry
+	err   error
+}
+
+// NewController creates a controller. The bucket capacity Z comes from the
+// backend geometry.
+func NewController(cfg Config, store storage.Backend) (*Controller, error) {
+	geo := store.Geometry()
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	// A zero-value Config carries an L=0 single-bucket tree; a real ORAM
+	// needs at least two leaves to randomize anything.
+	if cfg.Tree.Levels() < 2 {
+		return nil, fmt.Errorf("pathoram: tree must have at least 2 levels (got %d; unset Config.Tree?)",
+			cfg.Tree.Levels())
+	}
+	return &Controller{
+		tr:    cfg.Tree,
+		z:     geo.Z,
+		store: store,
+		stash: stash.New(cfg.Tree, cfg.StashCapacity),
+		track: cfg.TrackData,
+		geo:   geo,
+	}, nil
+}
+
+// Tree returns the tree geometry.
+func (c *Controller) Tree() tree.Tree { return c.tr }
+
+// Z returns the bucket capacity.
+func (c *Controller) Z() int { return c.z }
+
+// Stash exposes the stash for invariant checks and statistics.
+func (c *Controller) Stash() *stash.Stash { return c.stash }
+
+// ReadRange loads the buckets of path-label at levels [fromLevel, L] into
+// the stash and returns the nodes read. fromLevel = 0 reads the whole
+// path; a positive fromLevel skips the fork-handle prefix already held in
+// the stash (§3.2 Step 3).
+func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
+	if c.err != nil {
+		return dst, c.err
+	}
+	for lvl := fromLevel; lvl <= c.tr.LeafLevel(); lvl++ {
+		n := c.tr.NodeAt(label, lvl)
+		bk, err := c.store.ReadBucket(n)
+		if err != nil {
+			c.err = err
+			return dst, err
+		}
+		c.stash.PutBucket(&bk)
+		dst = append(dst, n)
+	}
+	return dst, nil
+}
+
+// WriteRange re-fills the buckets of path-label at levels [fromLevel, L],
+// in leaf-to-root order (the refill direction that dummy-request
+// replacement depends on), greedily evicting eligible stash blocks.
+// fromLevel = 0 rewrites the whole path; a positive fromLevel leaves the
+// overlapped prefix in the stash for the next request (§3.2 Step 5).
+// It returns the nodes written, in write order.
+func (c *Controller) WriteRange(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
+	if c.err != nil {
+		return dst, c.err
+	}
+	for i := int(c.tr.LeafLevel()); i >= int(fromLevel); i-- {
+		n := c.tr.NodeAt(label, uint(i))
+		bk := block.Bucket{Blocks: c.stash.EvictFor(n, c.z)}
+		if err := c.store.WriteBucket(n, &bk); err != nil {
+			c.err = err
+			return dst, err
+		}
+		dst = append(dst, n)
+	}
+	return dst, nil
+}
+
+// WriteLevel re-fills the single bucket of path-label at the given level,
+// greedily evicting eligible stash blocks. Fork Path's write phase calls
+// this one level at a time (leaf to root) so that dummy-request
+// replacement can re-target the refill between bucket writes.
+func (c *Controller) WriteLevel(label tree.Label, level uint) (tree.Node, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n := c.tr.NodeAt(label, level)
+	bk := block.Bucket{Blocks: c.stash.EvictFor(n, c.z)}
+	if err := c.store.WriteBucket(n, &bk); err != nil {
+		c.err = err
+		return 0, err
+	}
+	return n, nil
+}
+
+// FetchBlock performs Step 4 for one request: locates the block in the
+// stash (it must have been brought in by ReadRange unless it is a first
+// touch), applies the operation, relabels it to newLabel, and returns a
+// copy of the resulting payload (nil when data tracking is off).
+func (c *Controller) FetchBlock(op Op, addr uint64, newLabel tree.Label, data []byte) ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if addr == block.DummyAddr {
+		return nil, fmt.Errorf("pathoram: reserved address")
+	}
+	b, ok := c.stash.Get(addr)
+	if !ok {
+		// First-ever touch: the block does not exist in the tree yet.
+		// Materialize a zero block, as real controllers do for
+		// never-written memory.
+		b = block.Block{Addr: addr}
+		if c.track {
+			b.Data = make([]byte, c.geo.PayloadSize)
+		}
+	}
+	b.Label = newLabel
+	if op == OpWrite && c.track {
+		if len(data) != c.geo.PayloadSize {
+			return nil, fmt.Errorf("pathoram: write payload %d bytes, want %d", len(data), c.geo.PayloadSize)
+		}
+		copy(b.Data, data)
+	}
+	c.stash.Put(b)
+	if !c.track {
+		return nil, nil
+	}
+	out := make([]byte, len(b.Data))
+	copy(out, b.Data)
+	return out, nil
+}
+
+// EndAccess records stash statistics for one completed request.
+func (c *Controller) EndAccess() { c.stash.EndAccess() }
+
+// Err returns the first fatal error, if any.
+func (c *Controller) Err() error { return c.err }
+
+// ORAM is the baseline (non-recursive) Path ORAM device: Controller plus
+// position map. Each Access performs the full Step 1–5 flow over a
+// complete path.
+type ORAM struct {
+	ctl *Controller
+	pos *posmap.Map
+	rnd *rng.Source
+
+	readBuf  []tree.Node
+	writeBuf []tree.Node
+}
+
+// New creates a baseline Path ORAM.
+func New(cfg Config, store storage.Backend, rnd *rng.Source) (*ORAM, error) {
+	ctl, err := NewController(cfg, store)
+	if err != nil {
+		return nil, err
+	}
+	return &ORAM{
+		ctl: ctl,
+		pos: posmap.New(cfg.Tree, rnd),
+		rnd: rnd,
+	}, nil
+}
+
+// Controller exposes the underlying controller (stash stats etc.).
+func (o *ORAM) Controller() *Controller { return o.ctl }
+
+// PositionMap exposes the position map for invariant checks.
+func (o *ORAM) PositionMap() *posmap.Map { return o.pos }
+
+// Access performs one ORAM request. For OpWrite, data must be a full
+// payload (ignored when data tracking is off). The returned payload is the
+// block contents after the operation. The returned Access record is what
+// the adversary observes.
+func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, Access, error) {
+	// Step 1: stash hit returns immediately with no memory access; the
+	// block is still remapped so its label stays fresh.
+	if b, ok := o.ctl.stash.Get(addr); ok {
+		_, _, next := o.pos.Remap(addr)
+		out, err := o.ctl.FetchBlock(op, addr, next, data)
+		if err != nil {
+			return nil, Access{}, err
+		}
+		_ = b
+		return out, Access{}, nil
+	}
+	// Step 2: look up and remap.
+	oldLabel, _, newLabel := o.pos.Remap(addr)
+	acc := Access{Label: oldLabel}
+	var err error
+	// Step 3: read the full path.
+	o.readBuf, err = o.ctl.ReadRange(oldLabel, 0, o.readBuf[:0])
+	if err != nil {
+		return nil, Access{}, err
+	}
+	acc.ReadNodes = append([]tree.Node(nil), o.readBuf...)
+	// Step 4: fetch, mutate, relabel.
+	out, err := o.ctl.FetchBlock(op, addr, newLabel, data)
+	if err != nil {
+		return nil, Access{}, err
+	}
+	// Step 5: refill the full path.
+	o.writeBuf, err = o.ctl.WriteRange(oldLabel, 0, o.writeBuf[:0])
+	if err != nil {
+		return nil, Access{}, err
+	}
+	acc.WriteNodes = append([]tree.Node(nil), o.writeBuf...)
+	o.ctl.EndAccess()
+	return out, acc, nil
+}
+
+// DummyAccess traverses a uniformly random path without serving any block,
+// exactly as a real request would appear; used for timing-channel
+// protection when there is no pending LLC request (§2.3, Figure 1(c)).
+func (o *ORAM) DummyAccess() (Access, error) {
+	label := o.pos.Random()
+	acc := Access{Label: label, Dummy: true}
+	var err error
+	o.readBuf, err = o.ctl.ReadRange(label, 0, o.readBuf[:0])
+	if err != nil {
+		return Access{}, err
+	}
+	acc.ReadNodes = append([]tree.Node(nil), o.readBuf...)
+	o.writeBuf, err = o.ctl.WriteRange(label, 0, o.writeBuf[:0])
+	if err != nil {
+		return Access{}, err
+	}
+	acc.WriteNodes = append([]tree.Node(nil), o.writeBuf...)
+	o.ctl.EndAccess()
+	return acc, nil
+}

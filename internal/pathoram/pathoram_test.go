@@ -1,0 +1,315 @@
+package pathoram
+
+import (
+	"bytes"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+func newFunctional(t *testing.T, leafLevel uint) (*ORAM, *storage.Mem) {
+	t.Helper()
+	tr := tree.MustNew(leafLevel)
+	geo := block.Geometry{Z: 4, PayloadSize: 16}
+	store, err := storage.NewMem(tr, geo, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(Config{Tree: tr, StashCapacity: 200, TrackData: true}, store, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, store
+}
+
+func payload(geoSize int, fill byte) []byte {
+	d := make([]byte, geoSize)
+	for i := range d {
+		d[i] = fill
+	}
+	return d
+}
+
+func TestReadOfUntouchedAddressIsZero(t *testing.T) {
+	o, _ := newFunctional(t, 5)
+	out, _, err := o.Access(OpRead, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, make([]byte, 16)) {
+		t.Fatalf("untouched block not zero: %x", out)
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	o, _ := newFunctional(t, 5)
+	want := payload(16, 0x5A)
+	if _, _, err := o.Access(OpWrite, 9, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := o.Access(OpRead, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %x want %x", got, want)
+	}
+}
+
+func TestWriteReturnsNewContents(t *testing.T) {
+	o, _ := newFunctional(t, 4)
+	want := payload(16, 0x11)
+	got, _, err := o.Access(OpWrite, 2, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("write returned %x want %x", got, want)
+	}
+}
+
+func TestFullPathTraffic(t *testing.T) {
+	// Baseline: every miss-path access reads and writes exactly L+1
+	// buckets — the paper's fixed path length of 25 for L = 24.
+	o, _ := newFunctional(t, 6)
+	_, acc, err := o.Access(OpRead, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc.ReadNodes) != 7 || len(acc.WriteNodes) != 7 {
+		t.Fatalf("read %d written %d, want 7/7", len(acc.ReadNodes), len(acc.WriteNodes))
+	}
+	// Reads go root -> leaf; writes go leaf -> root over the same set.
+	for i := range acc.ReadNodes {
+		if acc.ReadNodes[i] != acc.WriteNodes[len(acc.WriteNodes)-1-i] {
+			t.Fatalf("write order is not the reverse of read order: %v vs %v",
+				acc.ReadNodes, acc.WriteNodes)
+		}
+	}
+	if acc.ReadNodes[0] != 0 {
+		t.Fatal("path read must start at root")
+	}
+}
+
+func TestAccessedPathMatchesRevealedLabel(t *testing.T) {
+	o, _ := newFunctional(t, 6)
+	for i := 0; i < 50; i++ {
+		_, acc, err := o.Access(OpRead, uint64(i%7), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.ReadNodes == nil { // stash hit
+			continue
+		}
+		want := o.ctl.tr.Path(acc.Label, nil)
+		if len(want) != len(acc.ReadNodes) {
+			t.Fatalf("path length mismatch")
+		}
+		for j := range want {
+			if want[j] != acc.ReadNodes[j] {
+				t.Fatalf("read nodes %v do not match path-%d %v", acc.ReadNodes, acc.Label, want)
+			}
+		}
+	}
+}
+
+func TestReadYourWritesRandomStream(t *testing.T) {
+	o, _ := newFunctional(t, 7)
+	r := rng.New(99)
+	shadow := map[uint64][]byte{}
+	const addrSpace = 300
+	for i := 0; i < 3000; i++ {
+		addr := r.Uint64n(addrSpace)
+		if r.Float64() < 0.5 {
+			d := payload(16, byte(r.Uint64()))
+			if _, _, err := o.Access(OpWrite, addr, d); err != nil {
+				t.Fatal(err)
+			}
+			shadow[addr] = d
+		} else {
+			got, _, err := o.Access(OpRead, addr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := shadow[addr]
+			if !ok {
+				want = make([]byte, 16)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d addr %d: read %x want %x", i, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestInvariantHoldsThroughout(t *testing.T) {
+	o, store := newFunctional(t, 6)
+	r := rng.New(123)
+	for i := 0; i < 400; i++ {
+		addr := r.Uint64n(64)
+		if _, _, err := o.Access(OpWrite, addr, payload(16, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 0 {
+			err := CheckInvariant(o.ctl.tr, store, o.ctl.stash, o.pos.ForEach)
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestLabelRemappedOnEveryAccess(t *testing.T) {
+	o, _ := newFunctional(t, 12)
+	var labels []tree.Label
+	for i := 0; i < 30; i++ {
+		_, acc, err := o.Access(OpRead, 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.ReadNodes != nil {
+			labels = append(labels, acc.Label)
+		}
+	}
+	// Consecutive revealed labels for the same address must (almost surely
+	// in a 4096-leaf tree) differ: remap happens before reveal.
+	same := 0
+	for i := 1; i < len(labels); i++ {
+		if labels[i] == labels[i-1] {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("label repeated %d times across consecutive accesses", same)
+	}
+}
+
+func TestDummyAccessShape(t *testing.T) {
+	o, _ := newFunctional(t, 6)
+	acc, err := o.DummyAccess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Dummy {
+		t.Fatal("dummy access not flagged")
+	}
+	if len(acc.ReadNodes) != 7 || len(acc.WriteNodes) != 7 {
+		t.Fatalf("dummy access traffic %d/%d want 7/7", len(acc.ReadNodes), len(acc.WriteNodes))
+	}
+}
+
+func TestDummyAccessPreservesData(t *testing.T) {
+	o, store := newFunctional(t, 6)
+	want := payload(16, 0x77)
+	if _, _, err := o.Access(OpWrite, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := o.DummyAccess(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CheckInvariant(o.ctl.tr, store, o.ctl.stash, o.pos.ForEach); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := o.Access(OpRead, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("data corrupted by dummy accesses: %x", got)
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	// With Z=4 and a 50%-loaded tree the stash must stay small; a growing
+	// stash indicates broken eviction.
+	o, _ := newFunctional(t, 8) // 256 leaves, capacity Z*(2^9-1) = 2044 slots
+	r := rng.New(7)
+	const blocks = 512 // 25% of slots
+	for i := 0; i < 8000; i++ {
+		if _, _, err := o.Access(OpWrite, r.Uint64n(blocks), payload(16, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.ctl.stash.Stats()
+	if st.OverflowRate > 0.01 {
+		t.Fatalf("stash overflow rate %.4f too high (max occupancy %d)", st.OverflowRate, st.MaxOccupancy)
+	}
+}
+
+func TestMetadataOnlyMode(t *testing.T) {
+	tr := tree.MustNew(8)
+	store, err := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(Config{Tree: tr, StashCapacity: 200, TrackData: false}, store, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		out, _, err := o.Access(OpRead, r.Uint64n(128), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			t.Fatal("metadata mode must not return payloads")
+		}
+	}
+	if err := CheckInvariant(tr, store, o.ctl.stash, o.pos.ForEach); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedAddressRejected(t *testing.T) {
+	o, _ := newFunctional(t, 4)
+	if _, _, err := o.Access(OpRead, block.DummyAddr, nil); err == nil {
+		t.Fatal("dummy address accepted")
+	}
+}
+
+func TestWrongPayloadSizeRejected(t *testing.T) {
+	o, _ := newFunctional(t, 4)
+	if _, _, err := o.Access(OpWrite, 1, []byte{1, 2, 3}); err == nil {
+		t.Fatal("short write payload accepted")
+	}
+}
+
+func TestTracerSeesExactlyControllerTraffic(t *testing.T) {
+	tr := tree.MustNew(5)
+	geo := block.Geometry{Z: 4, PayloadSize: 16}
+	raw, _ := storage.NewMem(tr, geo, make([]byte, 16))
+	tracer := storage.NewTracer(raw)
+	o, err := New(Config{Tree: tr, StashCapacity: 100, TrackData: true}, tracer, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.Begin()
+	_, acc, err := o.Access(OpRead, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tracer.End()
+	if len(trace.Reads) != len(acc.ReadNodes) || len(trace.Writes) != len(acc.WriteNodes) {
+		t.Fatalf("trace %d/%d, access %d/%d",
+			len(trace.Reads), len(trace.Writes), len(acc.ReadNodes), len(acc.WriteNodes))
+	}
+}
+
+func BenchmarkBaselineAccessL16(b *testing.B) {
+	tr := tree.MustNew(16)
+	store, _ := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 64})
+	o, _ := New(Config{Tree: tr, StashCapacity: 200, TrackData: false}, store, rng.New(1))
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Access(OpRead, r.Uint64n(1<<14), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

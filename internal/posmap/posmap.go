@@ -1,0 +1,92 @@
+// Package posmap implements the ORAM position map: the run-time mapping
+// from program block addresses to leaf labels (§2.3). Labels are assigned
+// lazily and uniformly at random; on every access the block is remapped to
+// a fresh independent label *before* the old label is revealed on the
+// memory bus, which is the property the Path ORAM security argument rests
+// on.
+//
+// This package is the trusted on-chip (or conceptually on-chip) map. The
+// recursive construction that spills the map into further ORAM trees is
+// built on top of it in internal/recursion.
+package posmap
+
+import (
+	"fmt"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/tree"
+)
+
+// Map tracks the label of every block address seen so far.
+type Map struct {
+	tr     tree.Tree
+	rnd    *rng.Source
+	labels map[uint64]tree.Label
+}
+
+// New creates a position map for a tree, drawing labels from rnd.
+func New(tr tree.Tree, rnd *rng.Source) *Map {
+	return &Map{tr: tr, rnd: rnd, labels: make(map[uint64]tree.Label)}
+}
+
+// Lookup returns the current label for addr. ok is false if addr has never
+// been accessed (so no label is assigned yet).
+func (m *Map) Lookup(addr uint64) (label tree.Label, ok bool) {
+	label, ok = m.labels[addr]
+	return label, ok
+}
+
+// Remap assigns addr a fresh uniform label, returning both the previous
+// label (existed reports whether there was one) and the new one. For a
+// first touch the "old" label is also freshly random — the controller
+// still traverses a full random path so first accesses are
+// indistinguishable from repeat accesses.
+func (m *Map) Remap(addr uint64) (old tree.Label, existed bool, next tree.Label) {
+	old, existed = m.labels[addr]
+	if !existed {
+		old = m.Random()
+	}
+	next = m.Random()
+	m.labels[addr] = next
+	return old, existed, next
+}
+
+// Random draws a uniform leaf label.
+func (m *Map) Random() tree.Label {
+	return tree.Label(m.rnd.Uint64n(m.tr.Leaves()))
+}
+
+// Set forces addr to map to label. Used by recursion when a parent ORAM
+// level dictates the mapping. label must be valid for the tree.
+func (m *Map) Set(addr uint64, label tree.Label) error {
+	if !m.tr.ValidLabel(label) {
+		return fmt.Errorf("posmap: label %d out of range", label)
+	}
+	m.labels[addr] = label
+	return nil
+}
+
+// Len returns the number of tracked addresses.
+func (m *Map) Len() int { return len(m.labels) }
+
+// SizeBytes estimates the on-chip storage the map would occupy with
+// ceil(L) label bits per entry over n entries, the figure the paper uses
+// to motivate recursion (192 MB for N = 64M, L = 24 → 3 bytes each).
+func (m *Map) SizeBytes(entries uint64) uint64 {
+	bits := uint64(m.tr.LeafLevel())
+	if bits == 0 {
+		bits = 1
+	}
+	return entries * ((bits + 7) / 8)
+}
+
+// Tree returns the geometry the map draws labels for.
+func (m *Map) Tree() tree.Tree { return m.tr }
+
+// ForEach visits every (addr, label) pair in unspecified order. Used by
+// invariant checkers.
+func (m *Map) ForEach(f func(addr uint64, label tree.Label)) {
+	for a, l := range m.labels {
+		f(a, l)
+	}
+}

@@ -1,0 +1,125 @@
+package posmap
+
+import (
+	"testing"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/tree"
+)
+
+func newMap(l uint) *Map {
+	return New(tree.MustNew(l), rng.New(77))
+}
+
+func TestLookupUnknown(t *testing.T) {
+	m := newMap(8)
+	if _, ok := m.Lookup(123); ok {
+		t.Fatal("unknown address reported mapped")
+	}
+}
+
+func TestRemapFirstTouch(t *testing.T) {
+	m := newMap(8)
+	old, existed, next := m.Remap(5)
+	if existed {
+		t.Fatal("first touch reported existing")
+	}
+	if !m.Tree().ValidLabel(old) || !m.Tree().ValidLabel(next) {
+		t.Fatalf("labels out of range: old=%d next=%d", old, next)
+	}
+	got, ok := m.Lookup(5)
+	if !ok || got != next {
+		t.Fatalf("Lookup after Remap = (%d,%v), want (%d,true)", got, ok, next)
+	}
+}
+
+func TestRemapReturnsPreviousLabel(t *testing.T) {
+	m := newMap(10)
+	_, _, first := m.Remap(9)
+	old, existed, second := m.Remap(9)
+	if !existed {
+		t.Fatal("second touch reported new")
+	}
+	if old != first {
+		t.Fatalf("old label %d, want previous %d", old, first)
+	}
+	if got, _ := m.Lookup(9); got != second {
+		t.Fatalf("current label %d, want %d", got, second)
+	}
+}
+
+func TestRemapLabelsLookRandom(t *testing.T) {
+	// Labels across remaps of the same address must not repeat more often
+	// than chance allows; with 2^16 leaves and 500 draws collisions are
+	// possible but a long run of equal labels is not.
+	m := newMap(16)
+	prev, _, _ := m.Remap(1)
+	same := 0
+	for i := 0; i < 500; i++ {
+		_, _, next := m.Remap(1)
+		if next == prev {
+			same++
+		}
+		prev = next
+	}
+	if same > 3 {
+		t.Fatalf("label repeated %d times in 500 remaps of a 2^16-leaf tree", same)
+	}
+}
+
+func TestRemapUniformity(t *testing.T) {
+	// Chi-square over the 16 leaves of a small tree.
+	m := newMap(4)
+	const draws = 32000
+	counts := make([]int, 16)
+	for i := 0; i < draws; i++ {
+		_, _, l := m.Remap(uint64(i))
+		counts[l]++
+	}
+	expected := float64(draws) / 16
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 40 { // ~99.9th percentile for 15 dof
+		t.Fatalf("label distribution skewed: chi2=%.2f", chi2)
+	}
+}
+
+func TestSet(t *testing.T) {
+	m := newMap(4)
+	if err := m.Set(3, 15); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Lookup(3); !ok || got != 15 {
+		t.Fatalf("Lookup = (%d,%v) want (15,true)", got, ok)
+	}
+	if err := m.Set(3, 16); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestLen(t *testing.T) {
+	m := newMap(6)
+	for i := uint64(0); i < 10; i++ {
+		m.Remap(i)
+	}
+	m.Remap(0) // repeat must not grow the map
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d want 10", m.Len())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	// Paper example: N = 64M blocks, L = 24 -> 3 bytes per entry = 192 MB.
+	m := newMap(24)
+	if got := m.SizeBytes(64 << 20); got != 192<<20 {
+		t.Fatalf("SizeBytes = %d want %d", got, 192<<20)
+	}
+	// Degenerate single-leaf tree still needs at least a byte per entry.
+	m0 := newMap(0)
+	if got := m0.SizeBytes(8); got != 8 {
+		t.Fatalf("SizeBytes(L=0) = %d want 8", got)
+	}
+}

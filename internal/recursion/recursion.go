@@ -1,0 +1,512 @@
+// Package recursion implements hierarchical Path ORAM in a unified
+// program address space (Figure 2 of the paper): the position map of the
+// data ORAM is itself stored in ORAM blocks, recursively, with all levels
+// sharing one tree, one stash and one label space, so requests to
+// different hierarchy levels are indistinguishable on the bus.
+//
+// The unified address space is laid out as
+//
+//	[0, N)                     data blocks
+//	[N, N+r1)                  ORAM1 position-map blocks (labels of data)
+//	[N+r1, N+r1+r2)            ORAM2 blocks (labels of ORAM1 blocks), ...
+//
+// until a level is small enough for its labels to live on-chip. One LLC
+// request therefore expands into depth+1 ORAM requests issued top-down.
+//
+// Label values are tracked authoritatively in a controller-side table (the
+// standard simulator shortcut); in data-tracking mode the labels are
+// additionally serialized into the position-map block payloads carried
+// through the tree and cross-checked on every access, which verifies the
+// protocol would also work with the table removed.
+package recursion
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"forkoram/internal/pathoram"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// Config parameterizes a Hierarchy.
+type Config struct {
+	DataBlocks     uint64 // N: number of data blocks the program can address
+	LabelsPerBlock int    // K: position-map entries per block
+	OnChipEntries  uint64 // recursion stops once a level has at most this many blocks
+	Z              int    // bucket slots
+	PayloadSize    int    // block payload bytes
+	StashCapacity  int    // stash capacity C
+	TrackData      bool   // carry (and cross-check) real payloads
+	// SuperBlock enables static super blocks (the paper's ref [18]):
+	// groups of SuperBlock adjacent data blocks share one leaf label and
+	// travel together, so one path access prefetches the whole group.
+	// 0 or 1 disables; otherwise must be a power of two.
+	SuperBlock int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.DataBlocks == 0 {
+		return fmt.Errorf("recursion: DataBlocks must be positive")
+	}
+	if c.LabelsPerBlock < 2 {
+		return fmt.Errorf("recursion: LabelsPerBlock must be at least 2")
+	}
+	if c.OnChipEntries == 0 {
+		return fmt.Errorf("recursion: OnChipEntries must be positive")
+	}
+	if c.TrackData && c.PayloadSize < 8*c.LabelsPerBlock {
+		return fmt.Errorf("recursion: payload %dB too small for %d 8-byte label entries",
+			c.PayloadSize, c.LabelsPerBlock)
+	}
+	if s := c.SuperBlock; s > 1 {
+		if s&(s-1) != 0 {
+			return fmt.Errorf("recursion: super-block size %d must be a power of two", s)
+		}
+		if s > c.LabelsPerBlock {
+			return fmt.Errorf("recursion: super-block size %d exceeds LabelsPerBlock %d (a group must fit one position-map block)",
+				s, c.LabelsPerBlock)
+		}
+	}
+	return nil
+}
+
+// superBlock returns the effective super-block size (>= 1).
+func (c Config) superBlock() uint64 {
+	if c.SuperBlock > 1 {
+		return uint64(c.SuperBlock)
+	}
+	return 1
+}
+
+// Level describes one hierarchy level's slice of the unified address space.
+type Level struct {
+	Base  uint64 // first unified address of this level
+	Count uint64 // number of blocks
+}
+
+// Request is one unified-tree ORAM request produced by expanding an LLC
+// request. Depth 0 is the data block itself; higher depths are
+// position-map blocks, accessed top-down (highest depth first).
+type Request struct {
+	Addr     uint64
+	OldLabel tree.Label
+	NewLabel tree.Label
+	Depth    int
+	// FirstTouch reports that Addr had never been accessed, so OldLabel is
+	// a fresh random path that cannot contain the block.
+	FirstTouch bool
+	// For Depth > 0: the chain child entry this position-map block covers.
+	// ChildOld is the label the child held before this chain remapped it
+	// (what the stored entry must equal) and ChildNew the label to store.
+	ChildAddr uint64
+	ChildOld  tree.Label
+	ChildNew  tree.Label
+	// ChildFirstTouch mirrors the child's FirstTouch: when set, the stored
+	// entry is expected to be unassigned rather than ChildOld.
+	ChildFirstTouch bool
+}
+
+// Hierarchy is the recursive, unified Path ORAM.
+type Hierarchy struct {
+	cfg    Config
+	tr     tree.Tree
+	ctl    *pathoram.Controller
+	rnd    *rng.Source
+	levels []Level // levels[0] = data, levels[i] = ORAM_i
+	labels map[uint64]tree.Label
+	total  uint64
+
+	readBuf  []tree.Node
+	writeBuf []tree.Node
+}
+
+// Plan computes the level layout and tree geometry implied by cfg without
+// allocating storage: useful for sizing backends before construction.
+func Plan(cfg Config) (levels []Level, tr tree.Tree, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, tree.Tree{}, err
+	}
+	levels = []Level{{Base: 0, Count: cfg.DataBlocks}}
+	base := cfg.DataBlocks
+	count := cfg.DataBlocks
+	for count > cfg.OnChipEntries {
+		count = (count + uint64(cfg.LabelsPerBlock) - 1) / uint64(cfg.LabelsPerBlock)
+		levels = append(levels, Level{Base: base, Count: count})
+		base += count
+	}
+	total := base
+	// Size the tree so the leaf level alone can hold every block:
+	// Z * 2^L >= total, i.e. utilization of the full tree is ~50%, the
+	// configuration the paper adopts to keep stash overflow negligible.
+	l := uint(0)
+	for uint64(cfg.Z)<<l < total {
+		l++
+	}
+	tr, err = tree.New(l)
+	if err != nil {
+		return nil, tree.Tree{}, err
+	}
+	return levels, tr, nil
+}
+
+// New creates a Hierarchy over the given backend, which must have been
+// created for the tree returned by Plan(cfg) and a geometry matching
+// cfg.Z/cfg.PayloadSize.
+func New(cfg Config, store storage.Backend, rnd *rng.Source) (*Hierarchy, error) {
+	levels, tr, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	geo := store.Geometry()
+	if geo.Z != cfg.Z || geo.PayloadSize != cfg.PayloadSize {
+		return nil, fmt.Errorf("recursion: backend geometry %+v does not match config Z=%d payload=%d",
+			geo, cfg.Z, cfg.PayloadSize)
+	}
+	ctl, err := pathoram.NewController(pathoram.Config{
+		Tree:          tr,
+		StashCapacity: cfg.StashCapacity,
+		TrackData:     cfg.TrackData,
+	}, store)
+	if err != nil {
+		return nil, err
+	}
+	last := levels[len(levels)-1]
+	return &Hierarchy{
+		cfg:    cfg,
+		tr:     tr,
+		ctl:    ctl,
+		rnd:    rnd,
+		levels: levels,
+		labels: make(map[uint64]tree.Label),
+		total:  last.Base + last.Count,
+	}, nil
+}
+
+// Tree returns the unified tree geometry.
+func (h *Hierarchy) Tree() tree.Tree { return h.tr }
+
+// Controller exposes the underlying path controller.
+func (h *Hierarchy) Controller() *pathoram.Controller { return h.ctl }
+
+// Levels returns the hierarchy layout (levels[0] is the data level).
+func (h *Hierarchy) Levels() []Level { return h.levels }
+
+// Depth returns the number of position-map levels stored in the tree.
+func (h *Hierarchy) Depth() int { return len(h.levels) - 1 }
+
+// TotalBlocks returns the unified address-space size.
+func (h *Hierarchy) TotalBlocks() uint64 { return h.total }
+
+// RandomLabel draws a uniform label of the unified tree.
+func (h *Hierarchy) RandomLabel() tree.Label {
+	return tree.Label(h.rnd.Uint64n(h.tr.Leaves()))
+}
+
+// parentAddr returns the unified address of the position-map block at
+// depth d+1 covering the block at unified address a of depth d.
+func (h *Hierarchy) parentAddr(a uint64, d int) uint64 {
+	child := h.levels[d]
+	parent := h.levels[d+1]
+	return parent.Base + (a-child.Base)/uint64(h.cfg.LabelsPerBlock)
+}
+
+// labelKey returns the key under which a block's label is tracked: data
+// blocks share their super-block group's key (the group base address);
+// position-map blocks are their own key.
+func (h *Hierarchy) labelKey(a uint64, depth int) uint64 {
+	if depth == 0 {
+		s := h.cfg.superBlock()
+		return a - a%s
+	}
+	return a
+}
+
+// GroupOf returns the super-block ordering key of a data address: the
+// group base, tagged so it cannot collide with unified addresses. With
+// super blocks disabled it returns the address itself.
+func (h *Hierarchy) GroupOf(addr uint64) uint64 {
+	s := h.cfg.superBlock()
+	if s == 1 {
+		return addr
+	}
+	return (addr - addr%s) | 1<<63
+}
+
+// Expand transforms a data-block access into its chain of unified ORAM
+// requests in issue order (deepest position-map level first, data block
+// last). Each expanded address is remapped exactly once: its OldLabel is
+// the label to traverse and NewLabel the label it will hold afterwards.
+// addr must be below DataBlocks.
+func (h *Hierarchy) Expand(addr uint64) ([]Request, error) {
+	if addr >= h.cfg.DataBlocks {
+		return nil, fmt.Errorf("recursion: address %d out of range (N=%d)", addr, h.cfg.DataBlocks)
+	}
+	chain := make([]Request, 0, len(h.levels))
+	a := addr
+	for d := 0; d < len(h.levels); d++ {
+		key := h.labelKey(a, d)
+		old, existed := h.labels[key]
+		if !existed {
+			old = h.RandomLabel()
+		}
+		next := h.RandomLabel()
+		h.labels[key] = next
+		chain = append(chain, Request{
+			Addr:       a,
+			OldLabel:   old,
+			NewLabel:   next,
+			Depth:      d,
+			FirstTouch: !existed,
+		})
+		if d+1 < len(h.levels) {
+			a = h.parentAddr(a, d)
+		}
+	}
+	// Link each position-map request to the child entry it covers.
+	for d := 1; d < len(chain); d++ {
+		chain[d].ChildAddr = chain[d-1].Addr
+		chain[d].ChildOld = chain[d-1].OldLabel
+		chain[d].ChildNew = chain[d-1].NewLabel
+		chain[d].ChildFirstTouch = chain[d-1].FirstTouch
+	}
+	// Reverse: issue top (deepest recursion) first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// ExpandTrunc is Expand with position-map chain truncation, the
+// unified-design behaviour of the paper's baseline (ref [12], Freecursive
+// ORAM): walking up from the data block, the chain stops at the first
+// position-map level whose block is already available on-chip (onChip
+// returns true — typically a stash hit, or an in-flight request that will
+// deliver it). Truncated levels are not remapped and produce no ORAM
+// request, exactly as a PosMap Lookaside Buffer hit skips the deeper
+// recursion accesses.
+//
+// In data-tracking mode, a truncation whose block is stash-resident has
+// its payload entry fixed up in place so the serialized position map
+// stays consistent; truncation on merely in-flight blocks is intended for
+// metadata-mode simulation.
+func (h *Hierarchy) ExpandTrunc(addr uint64, onChip func(addr uint64) bool) ([]Request, error) {
+	if addr >= h.cfg.DataBlocks {
+		return nil, fmt.Errorf("recursion: address %d out of range (N=%d)", addr, h.cfg.DataBlocks)
+	}
+	chain := make([]Request, 0, len(h.levels))
+	a := addr
+	for d := 0; d < len(h.levels); d++ {
+		if d > 0 && onChip != nil && onChip(a) {
+			// The position-map block is on-chip: its stored entry for the
+			// child must reflect the child's new label.
+			if h.cfg.TrackData {
+				prev := chain[len(chain)-1]
+				req := Request{
+					Addr:      a,
+					Depth:     d,
+					ChildAddr: prev.Addr, ChildOld: prev.OldLabel,
+					ChildNew: prev.NewLabel, ChildFirstTouch: prev.FirstTouch,
+				}
+				if _, ok := h.ctl.Stash().Get(a); ok {
+					if err := h.updatePosMapPayload(req); err != nil {
+						return nil, err
+					}
+				}
+			}
+			break
+		}
+		key := h.labelKey(a, d)
+		old, existed := h.labels[key]
+		if !existed {
+			old = h.RandomLabel()
+		}
+		next := h.RandomLabel()
+		h.labels[key] = next
+		chain = append(chain, Request{
+			Addr: a, OldLabel: old, NewLabel: next, Depth: d, FirstTouch: !existed,
+		})
+		if d+1 < len(h.levels) {
+			a = h.parentAddr(a, d)
+		}
+	}
+	for d := 1; d < len(chain); d++ {
+		chain[d].ChildAddr = chain[d-1].Addr
+		chain[d].ChildOld = chain[d-1].OldLabel
+		chain[d].ChildNew = chain[d-1].NewLabel
+		chain[d].ChildFirstTouch = chain[d-1].FirstTouch
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// Serve executes one expanded request against the tree with a full-path
+// (baseline) access, maintaining position-map payloads in data-tracking
+// mode. op/data apply only to the depth-0 (data) request; the returned
+// payload is non-nil only for that request under data tracking.
+//
+// Fork Path replaces the full-path read/write with merged segments but
+// reuses ServeBlock for the stash-side work.
+func (h *Hierarchy) Serve(req Request, op pathoram.Op, data []byte) ([]byte, pathoram.Access, error) {
+	acc := pathoram.Access{Label: req.OldLabel}
+	// Stash hit: no bus traffic (same shortcut as the baseline device).
+	// With super blocks the shortcut is unsound for depth-0 requests: the
+	// group was already remapped at expansion, and siblings still in the
+	// tree would miss the relabel the path read delivers.
+	if _, ok := h.ctl.Stash().Get(req.Addr); ok && (req.Depth > 0 || h.cfg.superBlock() == 1) {
+		out, err := h.ServeBlock(req, op, data)
+		return out, pathoram.Access{}, err
+	}
+	var err error
+	h.readBuf, err = h.ctl.ReadRange(req.OldLabel, 0, h.readBuf[:0])
+	if err != nil {
+		return nil, acc, err
+	}
+	acc.ReadNodes = append([]tree.Node(nil), h.readBuf...)
+	out, err := h.ServeBlock(req, op, data)
+	if err != nil {
+		return nil, acc, err
+	}
+	h.writeBuf, err = h.ctl.WriteRange(req.OldLabel, 0, h.writeBuf[:0])
+	if err != nil {
+		return nil, acc, err
+	}
+	acc.WriteNodes = append([]tree.Node(nil), h.writeBuf...)
+	h.ctl.EndAccess()
+	return out, acc, nil
+}
+
+// ServeBlock performs the stash-side work for one expanded request, after
+// the necessary path segment has been read into the stash: fetch/create
+// the block, apply the data operation (depth 0) or the position-map entry
+// update (depth > 0), and relabel. It is shared by the baseline Serve and
+// the Fork Path engine.
+func (h *Hierarchy) ServeBlock(req Request, op pathoram.Op, data []byte) ([]byte, error) {
+	effOp := pathoram.OpRead
+	var payload []byte
+	if req.Depth == 0 {
+		effOp = op
+		payload = data
+	}
+	out, err := h.ctl.FetchBlock(effOp, req.Addr, req.NewLabel, payload)
+	if err != nil {
+		return nil, err
+	}
+	if req.Depth > 0 && h.cfg.TrackData {
+		if err := h.updatePosMapPayload(req); err != nil {
+			return nil, err
+		}
+	}
+	if req.Depth != 0 {
+		return nil, nil
+	}
+	// Super blocks: the whole group moves to the new label together. Live
+	// siblings were brought into the stash by the path read (they shared
+	// the old label, so they lay on the path just traversed); siblings
+	// never touched are materialized as zero blocks — the group exists as
+	// a unit from its first touch, so one access prefetches all members.
+	if s := h.cfg.superBlock(); s > 1 {
+		base := req.Addr - req.Addr%s
+		for a := base; a < base+s && a < h.cfg.DataBlocks; a++ {
+			if a == req.Addr {
+				continue
+			}
+			if !h.ctl.Stash().Relabel(a, req.NewLabel) {
+				if _, err := h.ctl.FetchBlock(pathoram.OpRead, a, req.NewLabel, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// updatePosMapPayload maintains the serialized label entries inside a
+// position-map block's payload and cross-checks the stored child label
+// against the authoritative table. Entries are 8-byte little-endian
+// values storing label+1 (0 = never assigned).
+func (h *Hierarchy) updatePosMapPayload(req Request) error {
+	b, ok := h.ctl.Stash().Get(req.Addr)
+	if !ok {
+		return fmt.Errorf("recursion: position-map block %d vanished from stash", req.Addr)
+	}
+	lvl := h.levels[req.Depth-1]
+	// With super blocks, the whole group of a depth-0 child shares one
+	// label: every member's entry is checked and rewritten (the group is
+	// aligned and fits a single position-map block by validation).
+	first, count := req.ChildAddr, uint64(1)
+	if req.Depth == 1 {
+		if s := h.cfg.superBlock(); s > 1 {
+			first = req.ChildAddr - req.ChildAddr%s
+			count = s
+		}
+	}
+	for a := first; a < first+count; a++ {
+		slot := int((a - lvl.Base) % uint64(h.cfg.LabelsPerBlock))
+		off := slot * 8
+		stored := binary.LittleEndian.Uint64(b.Data[off : off+8])
+		switch {
+		case req.ChildFirstTouch:
+			if stored != 0 {
+				return fmt.Errorf("recursion: posmap block %d slot %d holds label %d for a first-touch child",
+					req.Addr, slot, stored-1)
+			}
+		case stored != uint64(req.ChildOld)+1:
+			return fmt.Errorf("recursion: posmap block %d slot %d holds entry %d, table says label %d",
+				req.Addr, slot, stored, req.ChildOld)
+		}
+		binary.LittleEndian.PutUint64(b.Data[off:off+8], uint64(req.ChildNew)+1)
+	}
+	h.ctl.Stash().Put(b)
+	return nil
+}
+
+// TryStashServe implements the Step-1 shortcut of §2.3: if the data block
+// is already in the stash, it is returned (and the operation applied)
+// immediately, with no memory access and no remap. served is false when
+// the block is not stash-resident. Callers must not use the shortcut for
+// addresses that still have in-flight ORAM requests (per-address order).
+func (h *Hierarchy) TryStashServe(op pathoram.Op, addr uint64, data []byte) (out []byte, served bool, err error) {
+	if addr >= h.cfg.DataBlocks {
+		return nil, false, fmt.Errorf("recursion: address %d out of range", addr)
+	}
+	if _, ok := h.ctl.Stash().Get(addr); !ok {
+		return nil, false, nil
+	}
+	label, ok := h.labels[h.labelKey(addr, 0)]
+	if !ok {
+		return nil, false, fmt.Errorf("recursion: stash holds unmapped block %d", addr)
+	}
+	out, err = h.ctl.FetchBlock(op, addr, label, data)
+	return out, true, err
+}
+
+// Access performs a complete data access: expands the chain and serves
+// each request in order with baseline full-path traversals. It returns the
+// data payload and the per-request access records (stash hits produce no
+// record, matching what the bus reveals).
+func (h *Hierarchy) Access(op pathoram.Op, addr uint64, data []byte) ([]byte, []pathoram.Access, error) {
+	chain, err := h.Expand(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	accs := make([]pathoram.Access, 0, len(chain))
+	var out []byte
+	for _, req := range chain {
+		o, acc, err := h.Serve(req, op, data)
+		if err != nil {
+			return nil, accs, err
+		}
+		if req.Depth == 0 {
+			out = o
+		}
+		if acc.ReadNodes != nil || acc.WriteNodes != nil {
+			accs = append(accs, acc)
+		}
+	}
+	return out, accs, nil
+}

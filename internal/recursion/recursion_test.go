@@ -1,0 +1,288 @@
+package recursion
+
+import (
+	"bytes"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+func functionalConfig() Config {
+	return Config{
+		DataBlocks:     1024,
+		LabelsPerBlock: 8,
+		OnChipEntries:  32,
+		Z:              4,
+		PayloadSize:    64, // 8 entries * 8 bytes
+		StashCapacity:  200,
+		TrackData:      true,
+	}
+}
+
+func newFunctional(t *testing.T) (*Hierarchy, storage.Backend) {
+	t.Helper()
+	cfg := functionalConfig()
+	_, tr, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.NewMem(tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.PayloadSize}, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(cfg, store, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, store
+}
+
+func TestPlanLevels(t *testing.T) {
+	cfg := functionalConfig()
+	levels, tr, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 data -> 128 ORAM1 -> 16 ORAM2 blocks; 16 <= 32 on-chip stops.
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d want 3 (%v)", len(levels), levels)
+	}
+	if levels[1].Count != 128 || levels[1].Base != 1024 {
+		t.Fatalf("ORAM1 = %+v", levels[1])
+	}
+	if levels[2].Count != 16 || levels[2].Base != 1152 {
+		t.Fatalf("ORAM2 = %+v", levels[2])
+	}
+	// total = 1168 blocks; Z*2^L >= 1168 -> 2^L >= 292 -> L = 9.
+	if tr.LeafLevel() != 9 {
+		t.Fatalf("L = %d want 9", tr.LeafLevel())
+	}
+}
+
+func TestPlanPaperScale(t *testing.T) {
+	// Paper default: 4 GB data / 64 B blocks = 2^26 blocks, Z = 4 -> L = 24
+	// and a 25-bucket path.
+	cfg := Config{
+		DataBlocks:     1 << 26,
+		LabelsPerBlock: 16,
+		OnChipEntries:  1 << 15,
+		Z:              4,
+		PayloadSize:    64,
+		StashCapacity:  200,
+	}
+	levels, tr, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LeafLevel() != 25 { // data + posmap blocks tip it just past Z*2^24
+		// With the posmap overhead (~6.7%), total blocks exceed Z*2^24, so
+		// the tree needs L = 25. The paper quotes L = 24 for the data ORAM
+		// alone; both give 25-26 bucket paths.
+		t.Fatalf("L = %d want 25", tr.LeafLevel())
+	}
+	// 2^26 -> 2^22 -> 2^18 -> 2^14 (<= 2^15 on-chip): data + 3 map levels.
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d want 4", len(levels))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{},
+		{DataBlocks: 10, LabelsPerBlock: 1, OnChipEntries: 4},
+		{DataBlocks: 10, LabelsPerBlock: 4, OnChipEntries: 0},
+		{DataBlocks: 10, LabelsPerBlock: 16, OnChipEntries: 4, TrackData: true, PayloadSize: 64},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestExpandChainShape(t *testing.T) {
+	h, _ := newFunctional(t)
+	chain, err := h.Expand(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d want 3", len(chain))
+	}
+	// Top-down order: depth 2, 1, 0.
+	for i, want := range []int{2, 1, 0} {
+		if chain[i].Depth != want {
+			t.Fatalf("chain[%d].Depth = %d want %d", i, chain[i].Depth, want)
+		}
+	}
+	if chain[2].Addr != 77 {
+		t.Fatalf("data request addr %d want 77", chain[2].Addr)
+	}
+	// Parent covers child: 77/8 = 9 -> ORAM1 block 1024+9.
+	if chain[1].Addr != 1024+9 {
+		t.Fatalf("ORAM1 addr %d want %d", chain[1].Addr, 1024+9)
+	}
+	if chain[0].Addr != 1152+1 { // (9)/8 = 1
+		t.Fatalf("ORAM2 addr %d want %d", chain[0].Addr, 1152+1)
+	}
+	// Child links.
+	if chain[0].ChildAddr != chain[1].Addr || chain[1].ChildAddr != chain[2].Addr {
+		t.Fatal("child links broken")
+	}
+	if chain[1].ChildOld != chain[2].OldLabel || chain[1].ChildNew != chain[2].NewLabel {
+		t.Fatal("child labels not propagated")
+	}
+}
+
+func TestExpandRemapsOncePerLevel(t *testing.T) {
+	h, _ := newFunctional(t)
+	c1, _ := h.Expand(5)
+	c2, _ := h.Expand(5)
+	// The second chain must traverse the labels the first chain assigned.
+	for i := range c1 {
+		if c2[i].OldLabel != c1[i].NewLabel {
+			t.Fatalf("level %d: second chain old=%d, first chain new=%d",
+				c1[i].Depth, c2[i].OldLabel, c1[i].NewLabel)
+		}
+		if c2[i].FirstTouch {
+			t.Fatalf("level %d still first-touch on second expand", c1[i].Depth)
+		}
+	}
+}
+
+func TestExpandRejectsOutOfRange(t *testing.T) {
+	h, _ := newFunctional(t)
+	if _, err := h.Expand(1024); err == nil {
+		t.Fatal("address N accepted")
+	}
+}
+
+func TestAccessReadYourWrites(t *testing.T) {
+	h, _ := newFunctional(t)
+	r := rng.New(5)
+	shadow := map[uint64][]byte{}
+	mk := func(b byte) []byte {
+		d := make([]byte, 64)
+		for i := range d {
+			d[i] = b
+		}
+		return d
+	}
+	for i := 0; i < 1500; i++ {
+		addr := r.Uint64n(256)
+		if r.Float64() < 0.5 {
+			d := mk(byte(r.Uint64()))
+			if _, _, err := h.Access(pathoram.OpWrite, addr, d); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			shadow[addr] = d
+		} else {
+			got, _, err := h.Access(pathoram.OpRead, addr, nil)
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			want, ok := shadow[addr]
+			if !ok {
+				want = make([]byte, 64)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d addr %d: mismatch", i, addr)
+			}
+		}
+	}
+}
+
+func TestAccessProducesChainOfFullPaths(t *testing.T) {
+	h, _ := newFunctional(t)
+	_, accs, err := h.Access(pathoram.OpRead, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-ever access: nothing in stash, so all 3 levels hit the bus.
+	if len(accs) != 3 {
+		t.Fatalf("accesses %d want 3", len(accs))
+	}
+	want := int(h.Tree().Levels())
+	for i, a := range accs {
+		if len(a.ReadNodes) != want || len(a.WriteNodes) != want {
+			t.Fatalf("access %d: %d/%d buckets want %d", i, len(a.ReadNodes), len(a.WriteNodes), want)
+		}
+	}
+}
+
+func TestPosMapPayloadCrossCheck(t *testing.T) {
+	// The strict payload verification inside updatePosMapPayload runs on
+	// every access; a long random run passing means tree-carried labels
+	// always agree with the authoritative table.
+	h, _ := newFunctional(t)
+	r := rng.New(17)
+	for i := 0; i < 2000; i++ {
+		if _, _, err := h.Access(pathoram.OpRead, r.Uint64n(1024), nil); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestInvariantAcrossHierarchy(t *testing.T) {
+	h, store := newFunctional(t)
+	r := rng.New(29)
+	for i := 0; i < 600; i++ {
+		if _, _, err := h.Access(pathoram.OpRead, r.Uint64n(512), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := pathoram.CheckInvariant(h.Tree(), store, h.Controller().Stash(),
+		func(f func(addr uint64, label tree.Label)) {
+			for a, l := range h.labels {
+				f(a, l)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataModeHierarchy(t *testing.T) {
+	cfg := functionalConfig()
+	cfg.TrackData = false
+	cfg.DataBlocks = 1 << 16
+	cfg.LabelsPerBlock = 16
+	cfg.OnChipEntries = 256
+	_, tr, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.NewMeta(tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.PayloadSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(cfg, store, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 2 {
+		t.Fatalf("depth %d want 2", h.Depth())
+	}
+	r := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		if _, _, err := h.Access(pathoram.OpRead, r.Uint64n(cfg.DataBlocks), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.Controller().Stash().Stats(); st.OverflowRate > 0.02 {
+		t.Fatalf("stash overflow rate %.4f (max %d)", st.OverflowRate, st.MaxOccupancy)
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	cfg := functionalConfig()
+	_, tr, _ := Plan(cfg)
+	store, _ := storage.NewMeta(tr, block.Geometry{Z: 8, PayloadSize: cfg.PayloadSize})
+	if _, err := New(cfg, store, rng.New(1)); err == nil {
+		t.Fatal("mismatched Z accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package recursion
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+)
+
+func TestExpandTruncNilPredicateEqualsExpand(t *testing.T) {
+	h, _ := newFunctional(t)
+	c1, err := h.ExpandTrunc(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != 3 {
+		t.Fatalf("chain length %d want 3", len(c1))
+	}
+	// Labels were remapped by the first expansion; a plain Expand now must
+	// traverse exactly the labels ExpandTrunc assigned.
+	c2, err := h.Expand(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1 {
+		if c2[i].OldLabel != c1[i].NewLabel {
+			t.Fatalf("level %d: labels diverge", i)
+		}
+	}
+}
+
+func TestExpandTruncStopsAtOnChipLevel(t *testing.T) {
+	h, _ := newFunctional(t)
+	// Mark the pm1 block of address 77 (1024+9) as on-chip.
+	pm1 := uint64(1024 + 9)
+	onChip := func(a uint64) bool { return a == pm1 }
+	chain, err := h.ExpandTrunc(77, onChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain must contain only the data request (depth 0): pm1 truncated,
+	// so pm2 is never reached.
+	if len(chain) != 1 || chain[0].Depth != 0 || chain[0].Addr != 77 {
+		t.Fatalf("chain %+v, want only the data request", chain)
+	}
+	// The truncated pm1 block's label must NOT have been remapped.
+	if _, ok := h.labels[pm1]; ok {
+		t.Fatal("truncated level acquired a label without being accessed")
+	}
+}
+
+func TestExpandTruncMidChain(t *testing.T) {
+	h, _ := newFunctional(t)
+	pm2 := uint64(1152 + 1) // covers pm1 block 1024+9
+	chain, err := h.ExpandTrunc(77, func(a uint64) bool { return a == pm2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pm1 emitted, pm2 truncated: chain = [pm1, data] top-down.
+	if len(chain) != 2 {
+		t.Fatalf("chain length %d want 2 (%+v)", len(chain), chain)
+	}
+	if chain[0].Depth != 1 || chain[1].Depth != 0 {
+		t.Fatalf("chain order wrong: %+v", chain)
+	}
+	if chain[0].ChildAddr != chain[1].Addr {
+		t.Fatal("child link broken after truncation")
+	}
+}
+
+func TestExpandTruncFunctionalConsistency(t *testing.T) {
+	// Run a workload where pm blocks are frequently stash-resident and
+	// serve chains with truncation; read-your-writes must hold and the
+	// strict posmap payload cross-check must keep passing.
+	h, _ := newFunctional(t)
+	r := rng.New(5)
+	onChip := func(a uint64) bool {
+		_, ok := h.Controller().Stash().Get(a)
+		return ok
+	}
+	shadow := map[uint64]byte{}
+	mk := func(b byte) []byte {
+		d := make([]byte, 64)
+		d[0] = b
+		return d
+	}
+	for i := 0; i < 1200; i++ {
+		addr := r.Uint64n(64) // tight locality: pm blocks often in stash
+		chain, err := h.ExpandTrunc(addr, onChip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write := r.Float64() < 0.5
+		op := pathoram.OpRead
+		var data []byte
+		if write {
+			op = pathoram.OpWrite
+			data = mk(byte(i))
+		}
+		for _, req := range chain {
+			out, _, err := h.Serve(req, op, data)
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if req.Depth == 0 {
+				if write {
+					shadow[addr] = byte(i)
+				} else if out[0] != shadow[addr] {
+					t.Fatalf("step %d addr %d: got %d want %d", i, addr, out[0], shadow[addr])
+				}
+			}
+		}
+	}
+}
+
+func TestExpandTruncSavesAccessesUnderLocality(t *testing.T) {
+	// Drive truncation with a PLB-style predicate: a position-map block
+	// counts as on-chip once it has been fetched before. (TrackData is
+	// off here: a pure PLB does not fix up serialized payload mirrors.)
+	cfg := functionalConfig()
+	cfg.TrackData = false
+	_, tr, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.NewMeta(tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.PayloadSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(cfg, store, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	onChip := func(a uint64) bool { return seen[a] }
+	r := rng.New(9)
+	total := 0
+	for i := 0; i < 300; i++ {
+		chain, err := h.ExpandTrunc(r.Uint64n(32), onChip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(chain)
+		for _, req := range chain {
+			if req.Depth > 0 {
+				seen[req.Addr] = true
+			}
+			if _, _, err := h.Serve(req, pathoram.OpRead, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Full chains would be 900 requests; after warmup nearly every chain
+	// is data-only.
+	if total >= 400 {
+		t.Fatalf("truncation ineffective: %d requests for 300 accesses", total)
+	}
+}
+
+func TestExpandTruncRejectsOutOfRange(t *testing.T) {
+	h, _ := newFunctional(t)
+	if _, err := h.ExpandTrunc(1<<60, nil); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs out of 1000", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d): expected panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square over 16 cells; 150 dof-adjusted threshold is generous but
+	// catches gross modulo bias.
+	r := New(99)
+	const cells = 16
+	const draws = 160000
+	var counts [cells]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(cells)]++
+	}
+	expected := float64(draws) / cells
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 99.9th percentile of chi-square with 15 dof is ~37.7.
+	if chi2 > 40 {
+		t.Fatalf("chi2 = %.2f, distribution too skewed", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	const p = 0.25
+	const n = 200000
+	total := 0
+	for i := 0; i < n; i++ {
+		total += r.Geometric(p)
+	}
+	mean := float64(total) / n
+	want := (1 - p) / p // mean of geometric on {0,1,2,...}
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %.3f, want ~%.3f", mean, want)
+	}
+}
+
+func TestGeometricPIsOne(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestGeometricPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v): expected panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(123)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64n(1000003)
+	}
+}

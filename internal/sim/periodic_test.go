@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+func TestPeriodicIssuePacesAccesses(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.RequestsPerCore = 800
+	base := run(t, cfg)
+
+	paced := cfg
+	// An interval well above the natural service time forces pacing.
+	paced.PeriodicIntervalNS = 3 * base.MeanAccessDRAMNS
+	res := run(t, paced)
+
+	// Execution time must be at least accesses * interval (each access
+	// occupies its own slot).
+	minExec := float64(res.TotalAccesses()-1) * paced.PeriodicIntervalNS
+	if res.ExecNS < minExec*0.9 {
+		t.Fatalf("paced run finished in %.0f ns, below the slot floor %.0f", res.ExecNS, minExec)
+	}
+	if res.ExecNS <= base.ExecNS {
+		t.Fatal("pacing at 3x service time did not slow the run")
+	}
+	if res.MeanORAMLatencyNS <= base.MeanORAMLatencyNS {
+		t.Fatal("pacing did not increase ORAM latency")
+	}
+}
+
+func TestPeriodicIssueTightIntervalHarmless(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.RequestsPerCore = 800
+	base := run(t, cfg)
+
+	paced := cfg
+	paced.PeriodicIntervalNS = 1 // far below service time: no-op pacing
+	res := run(t, paced)
+	if res.ExecNS > base.ExecNS*1.05 {
+		t.Fatalf("1ns pacing slowed the run: %.0f vs %.0f", res.ExecNS, base.ExecNS)
+	}
+}

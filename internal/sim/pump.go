@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+
+	"forkoram/internal/fork"
+	"forkoram/internal/pathoram"
+)
+
+// pump advances all non-memory machinery to time `now`: cores issue every
+// request whose gap has elapsed, LLC hits retire instantly, misses and
+// dirty write-backs enter the address queue, hazard-cleared requests are
+// transformed (stash shortcut or chain expansion) and pushed toward the
+// engine / FIFO. It loops until a fixed point because completions can
+// unblock further issues at the same instant.
+func (m *machine) pump(now float64) error {
+	if now > m.now {
+		m.now = now
+	}
+	for {
+		progress := false
+		for _, c := range m.cores {
+			for {
+				t, ok := c.NextIssue()
+				if !ok || t > now || m.aq.Full() {
+					break
+				}
+				req := c.Issue(t)
+				res := m.cache.Access(req.Addr, req.Write)
+				if res.Hit {
+					c.Hit(t)
+					progress = true
+					continue
+				}
+				c.Miss()
+				if err := m.pushRequest(t, req.Addr, fork.AddrRead, c.ID()); err != nil {
+					return err
+				}
+				if res.WriteBack {
+					if m.aq.Full() {
+						// No room for the write-back right now; model it as
+						// coalesced into the demand miss (the LLC would hold
+						// the victim in an MSHR). Counted, not dropped.
+						m.queueOps++
+					} else if err := m.pushRequest(t, res.WriteBackAddr, fork.AddrWrite, -1); err != nil {
+						return err
+					}
+				}
+				progress = true
+			}
+		}
+		if m.release(now) {
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// pushRequest admits one LLC-level request into the address queue,
+// handling MSHR coalescing (duplicate in-flight demand misses share one
+// ORAM request, as real miss-handling hardware does) and immediate hazard
+// resolutions.
+func (m *machine) pushRequest(t float64, addr uint64, op fork.AddrOp, core int) error {
+	m.nextID++
+	id := m.nextID
+	demand := core >= 0
+	rec := &reqRecord{id: id, core: core, addr: addr, demand: demand, arrival: t}
+	m.records[id] = rec
+	m.queueOps++
+	if demand {
+		if waiters, inflight := m.mshr[addr]; inflight {
+			m.mshr[addr] = append(waiters, id)
+			return nil
+		}
+		m.mshr[addr] = nil // this request is the primary miss
+	}
+	res, err := m.aq.Push(&fork.AddrRequest{ID: id, Op: op, Addr: addr})
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		switch {
+		case res.Forwarded:
+			// Write-before-read forwarding: the read completes on-chip.
+			m.completeRecord(id, t)
+		case res.Canceled:
+			// An older write-back was canceled; drop its record.
+			delete(m.records, res.ID)
+		}
+	}
+	return nil
+}
+
+// release drains hazard-cleared address-queue requests into the ORAM
+// pipeline and moves spilled items into the label queue. Deferred
+// requests (waiting on an in-flight super-block group access) are retried
+// first. Returns whether anything moved.
+func (m *machine) release(now float64) bool {
+	progress := false
+	if len(m.deferred) > 0 {
+		pend := m.deferred
+		m.deferred = nil
+		for _, ar := range pend {
+			if m.handleRelease(ar, now) {
+				progress = true
+			}
+		}
+	}
+	for _, ar := range m.aq.ReleaseReady() {
+		progress = true
+		m.handleRelease(ar, now)
+	}
+	// Feed the label queue from the spill buffer in order.
+	for len(m.spill) > 0 && m.eng != nil && m.eng.Enqueue(m.spill[0]) {
+		m.spill = m.spill[1:]
+		progress = true
+	}
+	return progress
+}
+
+// handleRelease transforms one hazard-cleared request: stash shortcut,
+// group-MSHR deferral, or chain expansion. Reports whether the request
+// made progress (false = deferred again).
+func (m *machine) handleRelease(ar *fork.AddrRequest, now float64) bool {
+	op := pathoram.OpRead
+	if ar.Op == fork.AddrWrite {
+		op = pathoram.OpWrite
+	}
+	groupKey := m.hier.GroupOf(ar.Addr)
+	// Step-1 stash shortcut: only when no in-flight request targets the
+	// address or its super-block group (per-address ordering).
+	if !m.addrInFlight(groupKey) {
+		if _, served, err := m.hier.TryStashServe(op, ar.Addr, ar.Data); err == nil && served {
+			m.stashSrv++
+			m.completeRecord(ar.ID, now)
+			return true
+		}
+	} else if m.cfg.SuperBlock > 1 {
+		// Group-granular MSHR (ref [18]'s prefetch): an in-flight access
+		// to this super block will deliver the whole group to the stash;
+		// wait for it instead of spending a full ORAM access.
+		m.deferred = append(m.deferred, ar)
+		return false
+	}
+	// Position-map chain truncation (PLB semantics of the paper's
+	// baseline [12]): a recursion level already on-chip — in the stash,
+	// or being delivered by an in-flight request — needs no ORAM access
+	// of its own.
+	onChip := func(a uint64) bool {
+		if _, ok := m.hier.Controller().Stash().Get(a); ok {
+			return true
+		}
+		return m.addrInFlight(a) // pm addresses are their own key
+	}
+	chain, err := m.hier.ExpandTrunc(ar.Addr, onChip)
+	if err != nil {
+		return true // out-of-range cannot happen post-validation
+	}
+	for _, req := range chain {
+		req := req
+		data := ar.Data
+		m.nextID++
+		it := &fork.Item{ID: m.nextID, Addr: req.Addr, OldLabel: req.OldLabel, NewLabel: req.NewLabel}
+		if req.Depth == 0 {
+			it.Key = m.hier.GroupOf(req.Addr)
+		}
+		itemOp := pathoram.OpRead
+		var itemData []byte
+		if req.Depth == 0 {
+			itemOp = op
+			itemData = data
+			m.itemRecord[it.ID] = ar.ID
+		}
+		it.Serve = func() error {
+			_, err := m.hier.ServeBlock(req, itemOp, itemData)
+			if err == nil && req.Depth == 0 && m.cfg.SuperBlock > 1 {
+				m.prefetchGroup(req.Addr)
+			}
+			return err
+		}
+		m.queueOps++
+		if m.cfg.Scheme == Traditional {
+			m.fifo = append(m.fifo, it)
+		} else {
+			m.spill = append(m.spill, it)
+		}
+	}
+	return true
+}
+
+// prefetchGroup fills the LLC with the super-block siblings that the
+// path read just delivered to the stash (ref [18]: one path access
+// returns the whole group to the cache).
+func (m *machine) prefetchGroup(addr uint64) {
+	s := uint64(m.cfg.SuperBlock)
+	base := addr - addr%s
+	for a := base; a < base+s; a++ {
+		if a == addr || a >= m.cfg.DataBlocks {
+			continue
+		}
+		if _, ok := m.hier.Controller().Stash().Get(a); ok {
+			m.cache.Insert(a)
+		}
+	}
+}
+
+// addrInFlight reports whether any queued or spilled item carries the
+// given ordering key (a unified address or a super-block group key).
+func (m *machine) addrInFlight(key uint64) bool {
+	if m.eng != nil && m.eng.HasAddr(key) {
+		return true
+	}
+	for _, it := range m.spill {
+		if it.OrderKey() == key {
+			return true
+		}
+	}
+	for _, it := range m.fifo {
+		if it.OrderKey() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// completeItem resolves a served label-queue item: if it was a depth-0
+// data item, the owning LLC request completes.
+func (m *machine) completeItem(itemID uint64, t float64) {
+	recID, ok := m.itemRecord[itemID]
+	if !ok {
+		return // position-map item
+	}
+	delete(m.itemRecord, itemID)
+	m.completeRecord(recID, t)
+}
+
+// completeRecord finishes an LLC-level request at time t: latency is
+// recorded for demand requests, the owning core unblocked, and MSHR
+// waiters piggybacking on the same address completed alongside.
+func (m *machine) completeRecord(recID uint64, t float64) {
+	rec, ok := m.records[recID]
+	if !ok {
+		return
+	}
+	delete(m.records, recID)
+	m.aq.Complete(recID)
+	if rec.core >= 0 {
+		m.latency.Add(t - rec.arrival)
+		m.cores[rec.core].Complete(t)
+	}
+	if rec.demand {
+		waiters := m.mshr[rec.addr]
+		delete(m.mshr, rec.addr)
+		for _, wid := range waiters {
+			w, ok := m.records[wid]
+			if !ok {
+				continue
+			}
+			delete(m.records, wid)
+			if w.core >= 0 {
+				m.latency.Add(t - w.arrival)
+				m.cores[w.core].Complete(t)
+			}
+		}
+	}
+}
+
+// coresDone reports whether every core drained its trace and misses.
+func (m *machine) coresDone() bool {
+	for _, c := range m.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// nextArrival returns the earliest future core issue time, or ok=false.
+func (m *machine) nextArrival() (float64, bool) {
+	best, ok := 0.0, false
+	for _, c := range m.cores {
+		if t, can := c.NextIssue(); can && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// drainedReal reports whether no real ORAM work remains anywhere.
+func (m *machine) drainedReal() bool {
+	if m.aq.Len() > 0 || len(m.spill) > 0 || len(m.fifo) > 0 || len(m.deferred) > 0 {
+		return false
+	}
+	if m.eng != nil && (m.eng.RealQueued() > 0 || m.eng.PendingReal()) {
+		return false
+	}
+	return true
+}
+
+// guardAccessCount enforces the runaway-safety cap.
+func (m *machine) guardAccessCount() error {
+	if m.accReal+m.accDummy >= m.maxAccess {
+		m.truncated = true
+		return fmt.Errorf("sim: access cap reached (%d)", m.maxAccess)
+	}
+	return nil
+}

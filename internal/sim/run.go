@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// runFork executes the Fork Path scheme: the engine runs back-to-back
+// ORAM accesses (dummies when idle, as the nonstop timing-protected bus
+// requires), with arrivals pumped between every DRAM event so dummy
+// replacement sees the same timing a real controller would.
+func (m *machine) runFork() error {
+	for {
+		if err := m.pump(m.now); err != nil {
+			return err
+		}
+		if m.coresDone() && m.drainedReal() {
+			return nil
+		}
+		if err := m.guardAccessCount(); err != nil {
+			return nil // truncated, not fatal
+		}
+		// Periodic issue: each access starts at its fixed slot, hiding
+		// the request timing entirely (Figure 1(c)).
+		if iv := m.cfg.PeriodicIntervalNS; iv > 0 {
+			if m.slot > m.now {
+				if err := m.pump(m.slot); err != nil {
+					return err
+				}
+			}
+			next := m.slot + iv
+			if m.now > next {
+				next = m.now + iv // overloaded: next slot after completion
+			}
+			m.slot = next
+		}
+
+		// Read phase (functional) + DRAM timing of the cache misses.
+		m.tracer.Begin()
+		a, err := m.eng.Begin()
+		if err != nil {
+			return err
+		}
+		trace := m.tracer.End()
+		m.buckets += uint64(len(a.ReadNodes))
+		start := m.now
+		readEnd := m.mem.Phase(trace.Reads, false, m.now)
+		if a.Item != nil {
+			m.completeItem(a.Item.ID, readEnd)
+		}
+		if err := m.pump(readEnd); err != nil {
+			return err
+		}
+
+		// Write phase, bucket by bucket, pumping arrivals between bucket
+		// writes so Figure 5's replacement window is modeled faithfully.
+		// Writes are issued from the phase start: the per-channel bus
+		// state serializes same-channel buckets in order while different
+		// channels overlap, exactly like the read phase.
+		t := readEnd
+		for {
+			m.tracer.Begin()
+			_, wrote, done, err := m.eng.WriteStep(a)
+			tr := m.tracer.End()
+			if err != nil {
+				return err
+			}
+			if wrote {
+				m.buckets++
+			}
+			for _, w := range tr.Writes {
+				if done2 := m.mem.AccessBucket(w, true, readEnd); done2 > t {
+					t = done2
+				}
+			}
+			if err := m.pump(t); err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		if err := m.eng.Finish(a); err != nil {
+			return err
+		}
+		if a.Dummy() {
+			m.accDummy++
+		} else {
+			m.accReal++
+		}
+		t += ctrlOverheadNS
+		m.dramTime.Add(t - start)
+		if err := m.pump(t); err != nil {
+			return err
+		}
+	}
+}
+
+// runTraditional executes the baseline hierarchical Path ORAM: FIFO over
+// expanded requests, a full path read and re-written per request, and an
+// idle bus when no request pends.
+func (m *machine) runTraditional() error {
+	ctl := m.hier.Controller()
+	lvls := m.hier.Tree().Levels()
+	for {
+		if err := m.pump(m.now); err != nil {
+			return err
+		}
+		if m.coresDone() && m.drainedReal() {
+			return nil
+		}
+		if err := m.guardAccessCount(); err != nil {
+			return nil
+		}
+		if len(m.fifo) == 0 {
+			// Idle: jump to the next core arrival.
+			t, ok := m.nextArrival()
+			if !ok {
+				// Cores are only waiting on completions; none can exist
+				// with an empty pipeline.
+				return fmt.Errorf("sim: deadlock — empty pipeline with blocked cores")
+			}
+			m.now = t
+			continue
+		}
+		it := m.fifo[0]
+		m.fifo = m.fifo[1:]
+
+		start := m.now
+		m.tracer.Begin()
+		if _, err := ctl.ReadRange(it.OldLabel, 0, nil); err != nil {
+			return err
+		}
+		trace := m.tracer.End()
+		m.buckets += uint64(lvls)
+		readEnd := m.mem.Phase(trace.Reads, false, m.now)
+		if err := it.Serve(); err != nil {
+			return err
+		}
+		m.completeItem(it.ID, readEnd)
+		if err := m.pump(readEnd); err != nil {
+			return err
+		}
+
+		m.tracer.Begin()
+		if _, err := ctl.WriteRange(it.OldLabel, 0, nil); err != nil {
+			return err
+		}
+		wtrace := m.tracer.End()
+		m.buckets += uint64(lvls)
+		t := m.mem.Phase(wtrace.Writes, true, readEnd)
+		ctl.EndAccess()
+		m.accReal++
+		t += ctrlOverheadNS
+		m.dramTime.Add(t - start)
+		if err := m.pump(t); err != nil {
+			return err
+		}
+	}
+}
+
+// completion is a scheduled miss completion in the insecure run.
+type completion struct {
+	t    float64
+	core int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runInsecure executes the unprotected baseline: LLC misses go straight
+// to DRAM as 64-byte line transfers.
+func (m *machine) runInsecure() error {
+	var comps completionHeap
+	for {
+		// Next event: earliest issuable core request or completion.
+		it, issuable := m.nextArrival()
+		hasComp := comps.Len() > 0
+		switch {
+		case !issuable && !hasComp:
+			if m.coresDone() {
+				return nil
+			}
+			return fmt.Errorf("sim: insecure deadlock")
+		case hasComp && (!issuable || comps[0].t <= it):
+			c := heap.Pop(&comps).(completion)
+			m.cores[c.core].Complete(c.t)
+			if c.t > m.now {
+				m.now = c.t
+			}
+		default:
+			for _, core := range m.cores {
+				t, ok := core.NextIssue()
+				if !ok || t != it {
+					continue
+				}
+				req := core.Issue(t)
+				res := m.cache.Access(req.Addr, req.Write)
+				if res.Hit {
+					core.Hit(t)
+					break
+				}
+				core.Miss()
+				done := m.mem.RawAccess(req.Addr*64, 64, false, t)
+				m.latency.Add(done - t)
+				heap.Push(&comps, completion{t: done, core: core.ID()})
+				if res.WriteBack {
+					m.mem.RawAccess(res.WriteBackAddr*64, 64, true, t)
+				}
+				if t > m.now {
+					m.now = t
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"forkoram/internal/cpu"
+)
+
+// testConfig returns a small, fast configuration: 16 MB data ORAM,
+// 2000 requests per core.
+func testConfig(scheme Scheme) Config {
+	cfg := Default(scheme)
+	cfg.DataBlocks = 1 << 18
+	cfg.OnChipEntries = 1 << 10
+	cfg.RequestsPerCore = 2000
+	cfg.Workloads = []string{"mcf", "lbm", "bwaves", "libquantum"}
+	return cfg
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("run truncated by safety cap")
+	}
+	return res
+}
+
+func TestValidate(t *testing.T) {
+	bad := testConfig(ForkPath)
+	bad.Cores = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	bad2 := testConfig(ForkPath)
+	bad2.Workloads = []string{"mcf"}
+	if _, err := Run(bad2); err == nil {
+		t.Fatal("workload/core mismatch accepted")
+	}
+	bad3 := testConfig(ForkPath)
+	bad3.Workloads = []string{"definitely-not-a-benchmark", "mcf", "mcf", "mcf"}
+	if _, err := Run(bad3); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestInsecureRunCompletes(t *testing.T) {
+	res := run(t, testConfig(Insecure))
+	if res.ExecNS <= 0 {
+		t.Fatal("no execution time")
+	}
+	if res.DemandRequests == 0 {
+		t.Fatal("no demand requests recorded")
+	}
+	if res.TotalAccesses() != 0 {
+		t.Fatal("insecure run performed ORAM accesses")
+	}
+	if res.MeanORAMLatencyNS <= 0 || res.MeanORAMLatencyNS > 1000 {
+		t.Fatalf("implausible DRAM latency %v ns", res.MeanORAMLatencyNS)
+	}
+}
+
+func TestTraditionalFullPaths(t *testing.T) {
+	res := run(t, testConfig(Traditional))
+	if res.RealAccesses == 0 {
+		t.Fatal("no ORAM accesses")
+	}
+	if res.DummyAccesses != 0 {
+		t.Fatal("traditional scheme issued dummies")
+	}
+	// Full path per access: AvgPathBuckets equals the tree's level count.
+	if res.AvgPathBuckets < 15 || res.AvgPathBuckets > 25 {
+		t.Fatalf("avg path buckets %.1f implausible for the test tree", res.AvgPathBuckets)
+	}
+	if res.Stash.OverflowRate > 0.02 {
+		t.Fatalf("stash overflow rate %.4f", res.Stash.OverflowRate)
+	}
+}
+
+func TestForkPathShorterAndFaster(t *testing.T) {
+	trad := run(t, testConfig(Traditional))
+	fk := run(t, testConfig(ForkPath))
+	if fk.AvgPathBuckets >= trad.AvgPathBuckets-1 {
+		t.Fatalf("fork path buckets %.2f vs traditional %.2f: merging ineffective",
+			fk.AvgPathBuckets, trad.AvgPathBuckets)
+	}
+	if fk.MeanORAMLatencyNS >= trad.MeanORAMLatencyNS {
+		t.Fatalf("fork ORAM latency %.0f >= traditional %.0f",
+			fk.MeanORAMLatencyNS, trad.MeanORAMLatencyNS)
+	}
+	if fk.ExecNS >= trad.ExecNS {
+		t.Fatalf("fork exec %.0f >= traditional %.0f", fk.ExecNS, trad.ExecNS)
+	}
+}
+
+func TestORAMSlowdownVsInsecure(t *testing.T) {
+	ins := run(t, testConfig(Insecure))
+	trad := run(t, testConfig(Traditional))
+	slowdown := trad.ExecNS / ins.ExecNS
+	if slowdown < 2 {
+		t.Fatalf("traditional ORAM slowdown %.2fx implausibly low", slowdown)
+	}
+}
+
+func TestMACReducesDRAMTraffic(t *testing.T) {
+	base := run(t, testConfig(ForkPath))
+	cfg := testConfig(ForkPath)
+	cfg.Cache = CacheMAC
+	cfg.CacheBytes = 256 << 10
+	cached := run(t, cfg)
+	baseBytes := base.DRAM.BytesRead + base.DRAM.BytesWritten
+	cachedBytes := cached.DRAM.BytesRead + cached.DRAM.BytesWritten
+	// Normalize per ORAM access (access counts differ slightly).
+	b := float64(baseBytes) / float64(base.TotalAccesses())
+	c := float64(cachedBytes) / float64(cached.TotalAccesses())
+	if c >= b {
+		t.Fatalf("MAC did not reduce DRAM bytes/access: %.0f vs %.0f", c, b)
+	}
+	if cached.MeanORAMLatencyNS >= base.MeanORAMLatencyNS {
+		t.Fatalf("MAC did not reduce ORAM latency: %.0f vs %.0f",
+			cached.MeanORAMLatencyNS, base.MeanORAMLatencyNS)
+	}
+}
+
+func TestTreetopReducesDRAMTraffic(t *testing.T) {
+	base := run(t, testConfig(Traditional))
+	cfg := testConfig(Traditional)
+	cfg.Cache = CacheTreetop
+	cfg.CacheBytes = 256 << 10
+	cached := run(t, cfg)
+	b := float64(base.DRAM.BytesRead+base.DRAM.BytesWritten) / float64(base.TotalAccesses())
+	c := float64(cached.DRAM.BytesRead+cached.DRAM.BytesWritten) / float64(cached.TotalAccesses())
+	if c >= b {
+		t.Fatalf("treetop did not reduce DRAM bytes/access: %.0f vs %.0f", c, b)
+	}
+}
+
+func TestLowIntensityProducesDummies(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.Workloads = []string{"povray", "tonto", "calculix", "h264ref"}
+	cfg.RequestsPerCore = 4000
+	res := run(t, cfg)
+	if res.DummyAccesses == 0 {
+		t.Fatal("low-intensity run produced no dummy accesses")
+	}
+}
+
+func TestInOrderMoreDummiesThanOoO(t *testing.T) {
+	ooo := testConfig(ForkPath)
+	ooo.RequestsPerCore = 3000
+	inord := ooo
+	inord.CoreModel = cpu.InOrder
+	r1 := run(t, ooo)
+	r2 := run(t, inord)
+	ratio1 := float64(r1.DummyAccesses) / float64(r1.TotalAccesses())
+	ratio2 := float64(r2.DummyAccesses) / float64(r2.TotalAccesses())
+	if ratio2 <= ratio1 {
+		t.Fatalf("in-order dummy ratio %.3f <= OoO %.3f (Figure 16 effect missing)", ratio2, ratio1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.RequestsPerCore = 800
+	r1 := run(t, cfg)
+	r2 := run(t, cfg)
+	if r1.ExecNS != r2.ExecNS || r1.TotalAccesses() != r2.TotalAccesses() ||
+		r1.MeanORAMLatencyNS != r2.MeanORAMLatencyNS {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", r1, r2)
+	}
+	cfg.Seed = 2
+	r3 := run(t, cfg)
+	if r3.ExecNS == r1.ExecNS && r3.MeanORAMLatencyNS == r1.MeanORAMLatencyNS {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestMultithreadedRun(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.Multithreaded = true
+	cfg.Workloads = []string{"canneal"}
+	cfg.RequestsPerCore = 2000
+	res := run(t, cfg)
+	if res.RealAccesses == 0 {
+		t.Fatal("no ORAM accesses for multithreaded run")
+	}
+}
+
+func TestQueueSizeReducesPathLength(t *testing.T) {
+	// Figure 10's core trend: bigger label queues give shorter paths.
+	get := func(q int) float64 {
+		cfg := testConfig(ForkPath)
+		cfg.QueueSize = q
+		cfg.RequestsPerCore = 2500
+		return run(t, cfg).AvgPathBuckets
+	}
+	q1, q16, q64 := get(1), get(16), get(64)
+	if !(q64 < q16 && q16 < q1) {
+		t.Fatalf("path length not decreasing with queue size: Q1=%.2f Q16=%.2f Q64=%.2f", q1, q16, q64)
+	}
+}
+
+func TestStashServedShortcut(t *testing.T) {
+	// Hot, small footprints put blocks in the stash often enough for the
+	// Step-1 shortcut to fire at least occasionally.
+	cfg := testConfig(ForkPath)
+	cfg.Workloads = []string{"lbm", "lbm", "lbm", "lbm"}
+	cfg.RequestsPerCore = 4000
+	res := run(t, cfg)
+	if res.StashServed == 0 {
+		t.Log("note: no stash-served requests this run (acceptable but unusual)")
+	}
+}
+
+func TestChannelsSpeedup(t *testing.T) {
+	cfg1 := testConfig(Traditional)
+	cfg1.Channels = 1
+	cfg4 := testConfig(Traditional)
+	cfg4.Channels = 4
+	r1 := run(t, cfg1)
+	r4 := run(t, cfg4)
+	if r4.MeanORAMLatencyNS >= r1.MeanORAMLatencyNS {
+		t.Fatalf("4 channels not faster: %.0f vs %.0f", r4.MeanORAMLatencyNS, r1.MeanORAMLatencyNS)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/workload"
+)
+
+func rngFor(seed uint64) *rng.Source { return rng.New(seed) }
+
+func traceFor(name string, n int, seed uint64, t *testing.T) []workload.Request {
+	t.Helper()
+	p, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(p, rngFor(seed), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]workload.Request, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestTraceDrivenRun(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.Traces = [][]workload.Request{
+		traceFor("mcf", 3000, 1, t),
+		traceFor("lbm", 3000, 2, t),
+		traceFor("bwaves", 3000, 3, t),
+		traceFor("h264ref", 3000, 4, t),
+	}
+	cfg.RequestsPerCore = 1500
+	res := run(t, cfg)
+	if res.RealAccesses == 0 {
+		t.Fatal("trace-driven run produced no ORAM accesses")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	cfg := testConfig(ForkPath)
+	cfg.Traces = [][]workload.Request{traceFor("mcf", 10, 1, t)} // 1 trace, 4 cores
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("trace/core mismatch accepted")
+	}
+	cfg.Traces = [][]workload.Request{nil, nil, nil, nil}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestTraceLoopsWhenShort(t *testing.T) {
+	// A 50-request trace with RequestsPerCore 500 must loop, not stall.
+	cfg := testConfig(Traditional)
+	short := traceFor("mcf", 50, 9, t)
+	cfg.Traces = [][]workload.Request{short, short, short, short}
+	cfg.RequestsPerCore = 500
+	res := run(t, cfg)
+	if res.DemandRequests == 0 {
+		t.Fatal("no demand requests")
+	}
+}
+
+func TestSchedulerDiagnosticsHealthy(t *testing.T) {
+	// With posmap chain truncation, the eligible pool should stay close
+	// to the queue size: order blocking must be rare.
+	cfg := testConfig(ForkPath)
+	cfg.RequestsPerCore = 1500
+	m, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.runFork(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.eng.Stats()
+	if st.MeanEligible < float64(cfg.QueueSize)*0.9 {
+		t.Fatalf("eligible pool %.1f of %d: ordering constraint binding too hard (mean blocked %.2f)",
+			st.MeanEligible, cfg.QueueSize, st.MeanBlocked)
+	}
+}

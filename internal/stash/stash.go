@@ -1,0 +1,180 @@
+// Package stash implements the ORAM controller's on-chip stash: a small
+// trusted buffer that temporarily holds data blocks between the read and
+// write phases of ORAM requests (§2.3). Under Fork Path the stash also
+// holds the blocks of the "fork handle" — buckets overlapped by
+// consecutive paths that are deliberately neither written back nor
+// re-read (§3.2).
+//
+// The stash enforces the Path ORAM invariant from the controller side: a
+// block mapped to leaf l is either here or on path-l in external memory.
+// Eviction is the standard greedy leaf-to-root fill: for each bucket on
+// the written path segment, take as many resident-eligible blocks as fit.
+package stash
+
+import (
+	"fmt"
+	"sort"
+
+	"forkoram/internal/block"
+	"forkoram/internal/tree"
+)
+
+// Stash holds data blocks keyed by program address.
+type Stash struct {
+	tr       tree.Tree
+	capacity int // soft capacity C; 0 disables overflow accounting
+	blocks   map[uint64]block.Block
+
+	maxOccupancy  int
+	overflowCount uint64
+	samples       uint64
+	occupancySum  uint64
+}
+
+// New creates a stash for the given tree geometry. capacity is the
+// paper's C (e.g. 200 blocks); occupancy beyond it after an access is
+// counted as an overflow event rather than a hard failure, matching how
+// stash overflow probability is studied in the Path ORAM literature.
+func New(tr tree.Tree, capacity int) *Stash {
+	return &Stash{tr: tr, capacity: capacity, blocks: make(map[uint64]block.Block)}
+}
+
+// Get returns the block with the given address, if present.
+func (s *Stash) Get(addr uint64) (block.Block, bool) {
+	b, ok := s.blocks[addr]
+	return b, ok
+}
+
+// Put inserts or replaces a block. Dummy blocks are never stored.
+func (s *Stash) Put(b block.Block) {
+	if b.IsDummy() {
+		return
+	}
+	s.blocks[b.Addr] = b
+	if n := len(s.blocks); n > s.maxOccupancy {
+		s.maxOccupancy = n
+	}
+}
+
+// PutBucket inserts every real block of a bucket.
+func (s *Stash) PutBucket(bk *block.Bucket) {
+	for _, b := range bk.Blocks {
+		s.Put(b)
+	}
+}
+
+// Remove deletes the block with the given address, if present.
+func (s *Stash) Remove(addr uint64) { delete(s.blocks, addr) }
+
+// Relabel updates the label of a stash-resident block (Step 4 of the
+// access flow). It reports whether the block was present.
+func (s *Stash) Relabel(addr uint64, label tree.Label) bool {
+	b, ok := s.blocks[addr]
+	if !ok {
+		return false
+	}
+	b.Label = label
+	s.blocks[addr] = b
+	return true
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// EvictFor removes and returns up to max blocks eligible to reside in
+// bucket n (blocks whose current label's path passes through n).
+// Selection among eligible blocks is by ascending address, which keeps the
+// simulation deterministic regardless of map iteration order; any choice
+// preserves the invariant.
+func (s *Stash) EvictFor(n tree.Node, max int) []block.Block {
+	if max <= 0 {
+		return nil
+	}
+	level := s.tr.Level(n)
+	var addrs []uint64
+	for addr, b := range s.blocks {
+		if s.tr.NodeAt(b.Label, level) == n {
+			addrs = append(addrs, addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if len(addrs) > max {
+		addrs = addrs[:max]
+	}
+	out := make([]block.Block, 0, len(addrs))
+	for _, addr := range addrs {
+		out = append(out, s.blocks[addr])
+		delete(s.blocks, addr)
+	}
+	return out
+}
+
+// EndAccess records occupancy statistics at the end of one ORAM access
+// (after the write phase). This is the instant the stash-overflow
+// probability is defined over.
+func (s *Stash) EndAccess() {
+	s.samples++
+	s.occupancySum += uint64(len(s.blocks))
+	if s.capacity > 0 && len(s.blocks) > s.capacity {
+		s.overflowCount++
+	}
+}
+
+// Stats summarizes stash behaviour over the run.
+type Stats struct {
+	MaxOccupancy  int     // peak blocks ever held
+	MeanOccupancy float64 // mean post-access occupancy
+	OverflowRate  float64 // fraction of accesses ending above capacity
+	Accesses      uint64
+}
+
+// Stats returns accumulated statistics.
+func (s *Stash) Stats() Stats {
+	st := Stats{MaxOccupancy: s.maxOccupancy, Accesses: s.samples}
+	if s.samples > 0 {
+		st.MeanOccupancy = float64(s.occupancySum) / float64(s.samples)
+		st.OverflowRate = float64(s.overflowCount) / float64(s.samples)
+	}
+	return st
+}
+
+// ResetStats clears accumulated occupancy statistics (e.g. after a
+// warmup phase) without touching the stash contents.
+func (s *Stash) ResetStats() {
+	s.maxOccupancy = len(s.blocks)
+	s.overflowCount = 0
+	s.samples = 0
+	s.occupancySum = 0
+}
+
+// ForEach visits all blocks in ascending address order. Used by invariant
+// checkers; controllers should not need it.
+func (s *Stash) ForEach(f func(b block.Block)) {
+	addrs := make([]uint64, 0, len(s.blocks))
+	for a := range s.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		f(s.blocks[a])
+	}
+}
+
+// Validate checks internal consistency (no dummies, labels in range).
+func (s *Stash) Validate() error {
+	for addr, b := range s.blocks {
+		if b.Addr != addr {
+			return fmt.Errorf("stash: key %d holds block addressed %d", addr, b.Addr)
+		}
+		if b.IsDummy() {
+			return fmt.Errorf("stash: dummy block stored at %d", addr)
+		}
+		if !s.tr.ValidLabel(b.Label) {
+			return fmt.Errorf("stash: block %d has invalid label %d", addr, b.Label)
+		}
+	}
+	return nil
+}

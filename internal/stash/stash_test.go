@@ -1,0 +1,223 @@
+package stash
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/tree"
+)
+
+func tr() tree.Tree { return tree.MustNew(4) }
+
+func TestPutGetRemove(t *testing.T) {
+	s := New(tr(), 10)
+	s.Put(block.Block{Addr: 7, Label: 3})
+	if b, ok := s.Get(7); !ok || b.Label != 3 {
+		t.Fatalf("Get = (%+v,%v)", b, ok)
+	}
+	s.Remove(7)
+	if _, ok := s.Get(7); ok {
+		t.Fatal("block survives Remove")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	s := New(tr(), 10)
+	s.Put(block.Block{Addr: 1, Label: 2})
+	s.Put(block.Block{Addr: 1, Label: 9})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d want 1", s.Len())
+	}
+	if b, _ := s.Get(1); b.Label != 9 {
+		t.Fatalf("label %d want 9", b.Label)
+	}
+}
+
+func TestDummiesNeverStored(t *testing.T) {
+	s := New(tr(), 10)
+	s.Put(block.Dummy(8))
+	if s.Len() != 0 {
+		t.Fatal("dummy stored in stash")
+	}
+	s.PutBucket(&block.Bucket{Blocks: []block.Block{block.Dummy(8), {Addr: 2, Label: 1}}})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d want 1", s.Len())
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	s := New(tr(), 10)
+	s.Put(block.Block{Addr: 4, Label: 0})
+	if !s.Relabel(4, 13) {
+		t.Fatal("Relabel missed present block")
+	}
+	if b, _ := s.Get(4); b.Label != 13 {
+		t.Fatalf("label %d want 13", b.Label)
+	}
+	if s.Relabel(99, 0) {
+		t.Fatal("Relabel succeeded for absent block")
+	}
+}
+
+func TestEvictForSelectsOnlyEligible(t *testing.T) {
+	g := tr() // L = 4, leaves 0..15
+	s := New(g, 100)
+	// Labels 0..15; bucket at level 1 on path-0 is node 1, covering labels 0..7.
+	for l := uint64(0); l < 16; l++ {
+		s.Put(block.Block{Addr: l, Label: l})
+	}
+	n := g.NodeAt(0, 1) // left child of root
+	out := s.EvictFor(n, 100)
+	if len(out) != 8 {
+		t.Fatalf("evicted %d blocks want 8", len(out))
+	}
+	for _, b := range out {
+		if b.Label >= 8 {
+			t.Fatalf("block with label %d not eligible for node %d", b.Label, n)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("stash left with %d want 8", s.Len())
+	}
+}
+
+func TestEvictForHonorsMax(t *testing.T) {
+	g := tr()
+	s := New(g, 100)
+	for a := uint64(0); a < 10; a++ {
+		s.Put(block.Block{Addr: a, Label: 0})
+	}
+	out := s.EvictFor(g.Root(), 4)
+	if len(out) != 4 {
+		t.Fatalf("evicted %d want 4 (Z)", len(out))
+	}
+	if s.Len() != 6 {
+		t.Fatalf("stash %d want 6", s.Len())
+	}
+	if s.EvictFor(g.Root(), 0) != nil {
+		t.Fatal("max=0 must evict nothing")
+	}
+}
+
+func TestEvictDeterministicOrder(t *testing.T) {
+	g := tr()
+	run := func() []uint64 {
+		s := New(g, 100)
+		for _, a := range []uint64{9, 3, 14, 1, 6} {
+			s.Put(block.Block{Addr: a, Label: 0})
+		}
+		var got []uint64
+		for _, b := range s.EvictFor(g.Root(), 3) {
+			got = append(got, b.Addr)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic eviction: %v vs %v", a, b)
+		}
+	}
+	// Ascending address order.
+	if a[0] != 1 || a[1] != 3 || a[2] != 6 {
+		t.Fatalf("unexpected order %v", a)
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	s := New(tr(), 2)
+	s.Put(block.Block{Addr: 1, Label: 0})
+	s.EndAccess() // occupancy 1 <= 2
+	s.Put(block.Block{Addr: 2, Label: 0})
+	s.Put(block.Block{Addr: 3, Label: 0})
+	s.EndAccess() // occupancy 3 > 2
+	st := s.Stats()
+	if st.Accesses != 2 {
+		t.Fatalf("accesses %d want 2", st.Accesses)
+	}
+	if st.OverflowRate != 0.5 {
+		t.Fatalf("overflow rate %v want 0.5", st.OverflowRate)
+	}
+	if st.MaxOccupancy != 3 {
+		t.Fatalf("max occupancy %d want 3", st.MaxOccupancy)
+	}
+	if st.MeanOccupancy != 2 {
+		t.Fatalf("mean occupancy %v want 2", st.MeanOccupancy)
+	}
+}
+
+func TestUnboundedCapacityNeverOverflows(t *testing.T) {
+	s := New(tr(), 0)
+	for a := uint64(0); a < 100; a++ {
+		s.Put(block.Block{Addr: a, Label: 0})
+	}
+	s.EndAccess()
+	if s.Stats().OverflowRate != 0 {
+		t.Fatal("capacity 0 must disable overflow accounting")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := New(tr(), 10)
+	s.Put(block.Block{Addr: 1, Label: 3})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.blocks[2] = block.Block{Addr: 5, Label: 0} // corrupt key
+	if err := s.Validate(); err == nil {
+		t.Fatal("corrupted stash passed validation")
+	}
+	delete(s.blocks, 2)
+	s.blocks[3] = block.Block{Addr: 3, Label: 16} // out-of-range label
+	if err := s.Validate(); err == nil {
+		t.Fatal("invalid label passed validation")
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	s := New(tr(), 10)
+	for _, a := range []uint64{8, 2, 5} {
+		s.Put(block.Block{Addr: a, Label: 0})
+	}
+	var got []uint64
+	s.ForEach(func(b block.Block) { got = append(got, b.Addr) })
+	want := []uint64{2, 5, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v want %v", got, want)
+		}
+	}
+}
+
+func TestEvictionPreservesInvariantUnderRandomLoad(t *testing.T) {
+	// Property: after evicting for every node of a random path leaf-to-
+	// root, no remaining stash block could have been placed in any of
+	// those buckets that still had room. (Greedy maximality.)
+	g := tree.MustNew(6)
+	r := rng.New(5)
+	s := New(g, 0)
+	for a := uint64(0); a < 200; a++ {
+		s.Put(block.Block{Addr: a, Label: tree.Label(r.Uint64n(g.Leaves()))})
+	}
+	const z = 4
+	leaf := tree.Label(r.Uint64n(g.Leaves()))
+	path := g.Path(leaf, nil)
+	room := map[tree.Node]int{}
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		got := s.EvictFor(n, z)
+		room[n] = z - len(got)
+	}
+	s.ForEach(func(b block.Block) {
+		for n, free := range room {
+			if free > 0 && g.OnPath(b.Label, n) {
+				t.Fatalf("block %d (label %d) could still fit node %d with %d free slots",
+					b.Addr, b.Label, n, free)
+			}
+		}
+	})
+}

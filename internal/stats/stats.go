@@ -1,0 +1,112 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness and the security tests: running means, geometric
+// means (the paper reports geomeans in Figures 17–18), histograms and a
+// chi-square uniformity test for label sequences.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean is a running arithmetic mean.
+type Mean struct {
+	n   uint64
+	sum float64
+}
+
+// Add accumulates a sample.
+func (m *Mean) Add(x float64) { m.n++; m.sum += x }
+
+// N returns the sample count.
+func (m *Mean) N() uint64 { return m.n }
+
+// Value returns the mean (0 with no samples).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Geomean returns the geometric mean of xs. All values must be positive.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Histogram counts integer-valued samples in [0, bins).
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given number of bins.
+func NewHistogram(bins int) *Histogram {
+	return &Histogram{counts: make([]uint64, bins)}
+}
+
+// Add counts a sample; out-of-range samples clamp to the edge bins.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		v = len(h.counts) - 1
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Counts returns the raw bin counts.
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
+// Total returns the sample count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against a uniform expectation, and reports whether it is below the
+// given critical value. Use a critical value appropriate for
+// len(counts)-1 degrees of freedom.
+func ChiSquareUniform(counts []uint64, critical float64) (chi2 float64, ok bool, err error) {
+	if len(counts) < 2 {
+		return 0, false, fmt.Errorf("stats: need at least 2 cells")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false, fmt.Errorf("stats: no samples")
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, chi2 <= critical, nil
+}
+
+// ChiSquareCritical999 returns an approximate 99.9th-percentile critical
+// value for the chi-square distribution with df degrees of freedom, using
+// the Wilson–Hilferty approximation. Good enough for gating tests.
+func ChiSquareCritical999(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	// Wilson-Hilferty: chi2_p ~ df * (1 - 2/(9df) + z_p*sqrt(2/(9df)))^3,
+	// z_0.999 = 3.0902.
+	const z = 3.0902
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		m.Add(x)
+	}
+	if m.Value() != 2.5 || m.N() != 4 {
+		t.Fatalf("mean %v n %d", m.Value(), m.N())
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean %v want 4", g)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Geomean([]float64{1, 0}); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := Geomean([]float64{1, -2}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 3, 99, -5} {
+		h.Add(v)
+	}
+	c := h.Counts()
+	if c[0] != 2 || c[1] != 2 || c[2] != 0 || c[3] != 2 {
+		t.Fatalf("counts %v", c)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	uniform := []uint64{100, 98, 103, 99}
+	chi2, ok, err := ChiSquareUniform(uniform, ChiSquareCritical999(3))
+	if err != nil || !ok {
+		t.Fatalf("uniform rejected: chi2=%v ok=%v err=%v", chi2, ok, err)
+	}
+	skewed := []uint64{1000, 1, 1, 1}
+	_, ok, err = ChiSquareUniform(skewed, ChiSquareCritical999(3))
+	if err != nil || ok {
+		t.Fatal("skewed accepted")
+	}
+	if _, _, err := ChiSquareUniform([]uint64{5}, 1); err == nil {
+		t.Fatal("single cell accepted")
+	}
+	if _, _, err := ChiSquareUniform([]uint64{0, 0}, 1); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestChiSquareCritical999(t *testing.T) {
+	// Reference values: df=15 -> ~37.70, df=1 -> ~10.83, df=63 -> ~103.4.
+	cases := []struct {
+		df   int
+		want float64
+		tol  float64
+	}{
+		{1, 10.83, 1.2},
+		{15, 37.70, 1.0},
+		{63, 103.4, 2.0},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical999(c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("df=%d: %v want ~%v", c.df, got, c.want)
+		}
+	}
+	if ChiSquareCritical999(0) != 0 {
+		t.Error("df=0 should give 0")
+	}
+}

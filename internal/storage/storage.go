@@ -1,0 +1,193 @@
+// Package storage provides the untrusted external memory holding the ORAM
+// tree. Two backends implement the same Backend interface:
+//
+//   - Mem keeps real encrypted bucket images (ciphertext bytes), exactly
+//     what an adversary snooping DRAM would observe. It is used by the
+//     functional correctness and security tests.
+//   - Meta keeps only block metadata (address, label) with no payload and
+//     no encryption, lazily materializing buckets on first touch. It makes
+//     paper-scale trees (L = 24 and beyond) affordable for the timing and
+//     energy experiments, where payload bytes are never consulted.
+//
+// Both backends model a tree that starts empty (all dummy blocks): data
+// blocks enter the tree through write-back from the stash, the standard
+// initialization in Path ORAM implementations.
+package storage
+
+import (
+	"fmt"
+
+	"forkoram/internal/block"
+	"forkoram/internal/crypt"
+	"forkoram/internal/tree"
+)
+
+// Backend is the plaintext-level view of untrusted memory used by ORAM
+// controllers: whole-bucket reads and writes addressed by tree node.
+// Implementations count accesses for the experiment harness.
+type Backend interface {
+	// ReadBucket returns the current contents of bucket n (real blocks
+	// only; dummies are implicit).
+	ReadBucket(n tree.Node) (block.Bucket, error)
+	// WriteBucket replaces the contents of bucket n.
+	WriteBucket(n tree.Node, b *block.Bucket) error
+	// Geometry returns the bucket shape.
+	Geometry() block.Geometry
+	// Counters returns cumulative access counts.
+	Counters() Counters
+}
+
+// Counters tallies bucket-level traffic to untrusted memory.
+type Counters struct {
+	BucketReads  uint64
+	BucketWrites uint64
+}
+
+// Mem is a ciphertext-at-rest backend: every bucket is stored sealed with
+// probabilistic encryption, and re-sealed under a fresh nonce on every
+// write. Buckets never written are implicitly all-dummy.
+type Mem struct {
+	tr   tree.Tree
+	geo  block.Geometry
+	eng  *crypt.Engine
+	data map[tree.Node][]byte
+	cnt  Counters
+}
+
+// NewMem creates a Mem backend for the given tree and bucket geometry,
+// encrypting with key (16 bytes).
+func NewMem(tr tree.Tree, geo block.Geometry, key []byte) (*Mem, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := crypt.NewEngine(key, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Mem{tr: tr, geo: geo, eng: eng, data: make(map[tree.Node][]byte)}, nil
+}
+
+// ReadBucket implements Backend.
+func (m *Mem) ReadBucket(n tree.Node) (block.Bucket, error) {
+	if !m.tr.ValidNode(n) {
+		return block.Bucket{}, fmt.Errorf("storage: node %d out of range", n)
+	}
+	m.cnt.BucketReads++
+	ct, ok := m.data[n]
+	if !ok {
+		return block.Bucket{}, nil // never-written bucket: all dummies
+	}
+	pt := make([]byte, m.geo.BucketSize())
+	if err := m.eng.Open(pt, ct); err != nil {
+		return block.Bucket{}, err
+	}
+	return m.geo.DecodeBucket(pt)
+}
+
+// WriteBucket implements Backend.
+func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
+	if !m.tr.ValidNode(n) {
+		return fmt.Errorf("storage: node %d out of range", n)
+	}
+	m.cnt.BucketWrites++
+	pt := make([]byte, m.geo.BucketSize())
+	if err := m.geo.EncodeBucket(pt, b); err != nil {
+		return err
+	}
+	ct := make([]byte, crypt.SealedSize(len(pt)))
+	if err := m.eng.Seal(ct, pt); err != nil {
+		return err
+	}
+	m.data[n] = ct
+	return nil
+}
+
+// Geometry implements Backend.
+func (m *Mem) Geometry() block.Geometry { return m.geo }
+
+// Counters implements Backend.
+func (m *Mem) Counters() Counters { return m.cnt }
+
+// Ciphertext returns the raw sealed image of bucket n as an adversary
+// would observe it, or nil if the bucket was never written. Test-only
+// introspection; controllers must not use it.
+func (m *Mem) Ciphertext(n tree.Node) []byte { return m.data[n] }
+
+// Meta is a metadata-only backend for large-scale timing simulation. It
+// stores (addr, label) pairs per bucket with nil payloads and performs no
+// encryption. Blocks round-trip with Data == nil.
+type Meta struct {
+	tr   tree.Tree
+	geo  block.Geometry
+	data map[tree.Node][]metaBlock
+	cnt  Counters
+}
+
+type metaBlock struct {
+	addr  uint64
+	label uint64
+}
+
+// NewMeta creates a Meta backend.
+func NewMeta(tr tree.Tree, geo block.Geometry) (*Meta, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Meta{tr: tr, geo: geo, data: make(map[tree.Node][]metaBlock)}, nil
+}
+
+// ReadBucket implements Backend.
+func (m *Meta) ReadBucket(n tree.Node) (block.Bucket, error) {
+	if !m.tr.ValidNode(n) {
+		return block.Bucket{}, fmt.Errorf("storage: node %d out of range", n)
+	}
+	m.cnt.BucketReads++
+	blocks := m.data[n]
+	var b block.Bucket
+	for _, mb := range blocks {
+		b.Blocks = append(b.Blocks, block.Block{Addr: mb.addr, Label: mb.label})
+	}
+	return b, nil
+}
+
+// WriteBucket implements Backend.
+func (m *Meta) WriteBucket(n tree.Node, b *block.Bucket) error {
+	if !m.tr.ValidNode(n) {
+		return fmt.Errorf("storage: node %d out of range", n)
+	}
+	if len(b.Blocks) > m.geo.Z {
+		return fmt.Errorf("storage: bucket %d overfull (%d > Z=%d)", n, len(b.Blocks), m.geo.Z)
+	}
+	m.cnt.BucketWrites++
+	if len(b.Blocks) == 0 {
+		delete(m.data, n) // keep the lazy map sparse
+		return nil
+	}
+	mbs := make([]metaBlock, len(b.Blocks))
+	for i, blk := range b.Blocks {
+		mbs[i] = metaBlock{addr: blk.Addr, label: blk.Label}
+	}
+	m.data[n] = mbs
+	return nil
+}
+
+// Geometry implements Backend.
+func (m *Meta) Geometry() block.Geometry { return m.geo }
+
+// Counters implements Backend.
+func (m *Meta) Counters() Counters { return m.cnt }
+
+// Occupancy returns the total number of real blocks currently stored in
+// the tree — used by invariant checks and utilization accounting.
+func (m *Meta) Occupancy() uint64 {
+	var n uint64
+	for _, b := range m.data {
+		n += uint64(len(b))
+	}
+	return n
+}
+
+var (
+	_ Backend = (*Mem)(nil)
+	_ Backend = (*Meta)(nil)
+)

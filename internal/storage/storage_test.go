@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/tree"
+)
+
+func testGeo() block.Geometry { return block.Geometry{Z: 4, PayloadSize: 32} }
+
+func newMem(t *testing.T) *Mem {
+	t.Helper()
+	m, err := NewMem(tree.MustNew(4), testGeo(), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newMeta(t *testing.T) *Meta {
+	t.Helper()
+	m, err := NewMeta(tree.MustNew(4), testGeo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func backends(t *testing.T) map[string]Backend {
+	return map[string]Backend{"mem": newMem(t), "meta": newMeta(t)}
+}
+
+func TestUnwrittenBucketIsEmpty(t *testing.T) {
+	for name, b := range backends(t) {
+		got, err := b.ReadBucket(3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Blocks) != 0 {
+			t.Fatalf("%s: fresh bucket not empty", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for name, be := range backends(t) {
+		in := block.Bucket{Blocks: []block.Block{
+			{Addr: 42, Label: 7, Data: make([]byte, 32)},
+			{Addr: 43, Label: 9, Data: make([]byte, 32)},
+		}}
+		in.Blocks[0].Data[0] = 0xAB
+		if err := be.WriteBucket(5, &in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := be.ReadBucket(5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out.Blocks) != 2 {
+			t.Fatalf("%s: got %d blocks want 2", name, len(out.Blocks))
+		}
+		for i := range out.Blocks {
+			if out.Blocks[i].Addr != in.Blocks[i].Addr || out.Blocks[i].Label != in.Blocks[i].Label {
+				t.Fatalf("%s: metadata mismatch at %d", name, i)
+			}
+		}
+		if name == "mem" && out.Blocks[0].Data[0] != 0xAB {
+			t.Fatal("mem: payload not preserved")
+		}
+	}
+}
+
+func TestOverwriteReplacesContents(t *testing.T) {
+	for name, be := range backends(t) {
+		full := block.Bucket{Blocks: []block.Block{{Addr: 1, Label: 2, Data: make([]byte, 32)}}}
+		if err := be.WriteBucket(0, &full); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := be.WriteBucket(0, &block.Bucket{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, _ := be.ReadBucket(0)
+		if len(out.Blocks) != 0 {
+			t.Fatalf("%s: overwrite with empty bucket left %d blocks", name, len(out.Blocks))
+		}
+	}
+}
+
+func TestNodeRangeChecked(t *testing.T) {
+	for name, be := range backends(t) {
+		bad := tree.Node(1<<5) - 1 + 100
+		if _, err := be.ReadBucket(bad); err == nil {
+			t.Fatalf("%s: out-of-range read accepted", name)
+		}
+		if err := be.WriteBucket(bad, &block.Bucket{}); err == nil {
+			t.Fatalf("%s: out-of-range write accepted", name)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	for name, be := range backends(t) {
+		for i := 0; i < 3; i++ {
+			_, _ = be.ReadBucket(tree.Node(i))
+		}
+		for i := 0; i < 2; i++ {
+			_ = be.WriteBucket(tree.Node(i), &block.Bucket{})
+		}
+		c := be.Counters()
+		if c.BucketReads != 3 || c.BucketWrites != 2 {
+			t.Fatalf("%s: counters %+v want reads=3 writes=2", name, c)
+		}
+	}
+}
+
+func TestMemCiphertextChangesOnRewrite(t *testing.T) {
+	// Probabilistic encryption end-to-end: writing identical plaintext to
+	// the same bucket must change the ciphertext the adversary sees.
+	m := newMem(t)
+	in := block.Bucket{Blocks: []block.Block{{Addr: 9, Label: 1, Data: make([]byte, 32)}}}
+	if err := m.WriteBucket(2, &in); err != nil {
+		t.Fatal(err)
+	}
+	c1 := append([]byte(nil), m.Ciphertext(2)...)
+	if err := m.WriteBucket(2, &in); err != nil {
+		t.Fatal(err)
+	}
+	c2 := m.Ciphertext(2)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("ciphertext identical across rewrites")
+	}
+}
+
+func TestMemDummyIndistinguishable(t *testing.T) {
+	// An all-dummy bucket and a full bucket must produce same-size
+	// ciphertexts.
+	m := newMem(t)
+	full := block.Bucket{Blocks: []block.Block{
+		{Addr: 1, Label: 0, Data: make([]byte, 32)},
+		{Addr: 2, Label: 0, Data: make([]byte, 32)},
+		{Addr: 3, Label: 0, Data: make([]byte, 32)},
+		{Addr: 4, Label: 0, Data: make([]byte, 32)},
+	}}
+	if err := m.WriteBucket(0, &block.Bucket{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBucket(1, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ciphertext(0)) != len(m.Ciphertext(1)) {
+		t.Fatal("bucket fill level leaks through ciphertext size")
+	}
+}
+
+func TestMetaRejectsOverfull(t *testing.T) {
+	m := newMeta(t)
+	over := block.Bucket{Blocks: make([]block.Block, 5)}
+	if err := m.WriteBucket(0, &over); err == nil {
+		t.Fatal("overfull bucket accepted")
+	}
+}
+
+func TestMetaOccupancy(t *testing.T) {
+	m := newMeta(t)
+	if m.Occupancy() != 0 {
+		t.Fatal("fresh tree occupancy != 0")
+	}
+	_ = m.WriteBucket(0, &block.Bucket{Blocks: []block.Block{{Addr: 1}, {Addr: 2}}})
+	_ = m.WriteBucket(3, &block.Bucket{Blocks: []block.Block{{Addr: 3}}})
+	if m.Occupancy() != 3 {
+		t.Fatalf("occupancy %d want 3", m.Occupancy())
+	}
+	_ = m.WriteBucket(0, &block.Bucket{})
+	if m.Occupancy() != 1 {
+		t.Fatalf("occupancy %d want 1 after clearing bucket 0", m.Occupancy())
+	}
+}
+
+func TestNewMemRejectsBadInput(t *testing.T) {
+	if _, err := NewMem(tree.MustNew(2), block.Geometry{}, make([]byte, 16)); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if _, err := NewMem(tree.MustNew(2), testGeo(), []byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := NewMeta(tree.MustNew(2), block.Geometry{}); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}

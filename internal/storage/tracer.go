@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"forkoram/internal/block"
+	"forkoram/internal/tree"
+)
+
+// Trace lists the bucket accesses that actually reached external memory
+// during one window — after any on-chip caches (treetop, merging-aware)
+// have filtered the stream. The timing and energy models consume traces.
+type Trace struct {
+	Reads  []tree.Node
+	Writes []tree.Node
+}
+
+// Tracer wraps a Backend and records which buckets are read and written.
+// Place it directly in front of the raw memory backend so that cache
+// decorators stacked above it are invisible to the trace, i.e. the trace
+// is exactly the DRAM traffic.
+type Tracer struct {
+	inner Backend
+	cur   Trace
+	on    bool
+}
+
+// NewTracer wraps inner.
+func NewTracer(inner Backend) *Tracer { return &Tracer{inner: inner} }
+
+// Begin clears the trace window and starts recording.
+func (t *Tracer) Begin() {
+	t.cur = Trace{}
+	t.on = true
+}
+
+// End stops recording and returns the accumulated trace.
+func (t *Tracer) End() Trace {
+	t.on = false
+	out := t.cur
+	t.cur = Trace{}
+	return out
+}
+
+// ReadBucket implements Backend.
+func (t *Tracer) ReadBucket(n tree.Node) (block.Bucket, error) {
+	if t.on {
+		t.cur.Reads = append(t.cur.Reads, n)
+	}
+	return t.inner.ReadBucket(n)
+}
+
+// WriteBucket implements Backend.
+func (t *Tracer) WriteBucket(n tree.Node, b *block.Bucket) error {
+	if t.on {
+		t.cur.Writes = append(t.cur.Writes, n)
+	}
+	return t.inner.WriteBucket(n, b)
+}
+
+// Geometry implements Backend.
+func (t *Tracer) Geometry() block.Geometry { return t.inner.Geometry() }
+
+// Counters implements Backend.
+func (t *Tracer) Counters() Counters { return t.inner.Counters() }
+
+var _ Backend = (*Tracer)(nil)

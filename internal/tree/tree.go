@@ -1,0 +1,186 @@
+// Package tree implements the geometry of a Path ORAM binary tree: heap
+// node indexing, root-to-leaf paths, lowest-common-ancestor computations
+// and the path-overlap measure that drives Fork Path's merging and
+// scheduling decisions.
+//
+// Terminology follows the paper: the tree has L+1 levels, level 0 is the
+// root and level L holds the 2^L leaves. Each leaf carries a label in
+// [0, 2^L). path-l is the set of buckets from leaf l up to the root. The
+// overlap of two paths is the number of buckets they share, which equals
+// one (the root) plus the length of the common prefix of the two labels
+// read from the most significant of the L label bits.
+package tree
+
+import "fmt"
+
+// Label identifies a leaf of the ORAM tree, in [0, Leaves()).
+type Label = uint64
+
+// Node identifies a bucket. Nodes are heap-indexed: the root is 0 and the
+// node at level l, position p (0-based from the left) is 2^l - 1 + p.
+type Node = uint64
+
+// Tree describes the geometry of an ORAM tree. The zero value is invalid;
+// construct with New.
+type Tree struct {
+	l uint // leaf level index; the tree has l+1 levels
+}
+
+// New returns the geometry of a tree whose leaf level is leafLevel (the
+// paper's L), so the tree has leafLevel+1 levels and 2^leafLevel leaves.
+// leafLevel must be in [0, 60].
+func New(leafLevel uint) (Tree, error) {
+	if leafLevel > 60 {
+		return Tree{}, fmt.Errorf("tree: leaf level %d too large (max 60)", leafLevel)
+	}
+	return Tree{l: leafLevel}, nil
+}
+
+// MustNew is New for statically known-good levels; it panics on error.
+func MustNew(leafLevel uint) Tree {
+	t, err := New(leafLevel)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// LeafLevel returns L, the level index of the leaves.
+func (t Tree) LeafLevel() uint { return t.l }
+
+// Levels returns the number of levels, L+1. This is also the number of
+// buckets on any root-to-leaf path — the paper's "path length" (25 for the
+// default 4 GB ORAM with L = 24).
+func (t Tree) Levels() uint { return t.l + 1 }
+
+// Leaves returns the number of leaves, 2^L.
+func (t Tree) Leaves() uint64 { return 1 << t.l }
+
+// Nodes returns the total number of buckets, 2^(L+1) - 1.
+func (t Tree) Nodes() uint64 { return 1<<(t.l+1) - 1 }
+
+// NodeAt returns the bucket on path-label at the given level.
+// level must be <= L and label < Leaves().
+func (t Tree) NodeAt(label Label, level uint) Node {
+	return (label >> (t.l - level)) + (1 << level) - 1
+}
+
+// Root returns the root node (always 0).
+func (t Tree) Root() Node { return 0 }
+
+// LeafNode returns the node of the leaf with the given label.
+func (t Tree) LeafNode(label Label) Node { return t.NodeAt(label, t.l) }
+
+// Level returns the level of node n: floor(log2(n+1)).
+func (t Tree) Level(n Node) uint {
+	lvl := uint(0)
+	for v := n + 1; v > 1; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// PositionInLevel returns the 0-based position of n among the nodes of its
+// level, counted from the left.
+func (t Tree) PositionInLevel(n Node) uint64 {
+	lvl := t.Level(n)
+	return n + 1 - (1 << lvl)
+}
+
+// Parent returns the parent of n. The root is its own parent.
+func (t Tree) Parent(n Node) Node {
+	if n == 0 {
+		return 0
+	}
+	return (n - 1) / 2
+}
+
+// Children returns the two children of n. It must not be called on a leaf.
+func (t Tree) Children(n Node) (left, right Node) {
+	return 2*n + 1, 2*n + 2
+}
+
+// IsLeaf reports whether n is at the leaf level.
+func (t Tree) IsLeaf(n Node) bool { return t.Level(n) == t.l }
+
+// OnPath reports whether node n lies on path-label, i.e. whether a block
+// mapped to label may reside in bucket n.
+func (t Tree) OnPath(label Label, n Node) bool {
+	return t.NodeAt(label, t.Level(n)) == n
+}
+
+// Path appends the nodes of path-label in root-to-leaf order to dst and
+// returns the extended slice. Pass a slice with adequate capacity to avoid
+// allocation in hot loops.
+func (t Tree) Path(label Label, dst []Node) []Node {
+	for lvl := uint(0); lvl <= t.l; lvl++ {
+		dst = append(dst, t.NodeAt(label, lvl))
+	}
+	return dst
+}
+
+// Overlap returns the number of buckets shared by path-a and path-b:
+// 1 (the root) + the common most-significant-bit prefix length of the two
+// labels. It ranges from 1 (only the root) to L+1 (identical labels).
+// This is the paper's "overlap degree" used for scheduling.
+func (t Tree) Overlap(a, b Label) uint {
+	if t.l == 0 {
+		return 1
+	}
+	x := a ^ b
+	n := uint(1)
+	for i := int(t.l) - 1; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// LCALevel returns the level of the lowest common bucket of path-a and
+// path-b, which is Overlap(a,b) - 1.
+func (t Tree) LCALevel(a, b Label) uint { return t.Overlap(a, b) - 1 }
+
+// LCA returns the lowest (deepest) bucket shared by path-a and path-b.
+func (t Tree) LCA(a, b Label) Node {
+	return t.NodeAt(a, t.LCALevel(a, b))
+}
+
+// PathSuffix appends the nodes of path-label strictly below level
+// `fromLevel` (exclusive) in top-down order — the non-overlapped "tine" of
+// the fork that must actually be read or written after merging with a path
+// sharing fromLevel+1 buckets. If fromLevel >= L the suffix is empty.
+func (t Tree) PathSuffix(label Label, fromLevel uint, dst []Node) []Node {
+	for lvl := fromLevel + 1; lvl <= t.l; lvl++ {
+		dst = append(dst, t.NodeAt(label, lvl))
+	}
+	return dst
+}
+
+// ValidLabel reports whether label names a leaf of this tree.
+func (t Tree) ValidLabel(label Label) bool { return label < t.Leaves() }
+
+// ValidNode reports whether n is a node of this tree.
+func (t Tree) ValidNode(n Node) bool { return n < t.Nodes() }
+
+// LabelOfLeaf returns the label of a leaf node.
+func (t Tree) LabelOfLeaf(n Node) Label {
+	return t.PositionInLevel(n)
+}
+
+// SomeLeafUnder returns the label of the leftmost leaf in the subtree
+// rooted at n. Every block that may reside in bucket n may also reside on
+// the path to this leaf, which makes it a convenient canonical witness.
+func (t Tree) SomeLeafUnder(n Node) Label {
+	lvl := t.Level(n)
+	return t.PositionInLevel(n) << (t.l - lvl)
+}
+
+// LevelNodes returns the number of nodes at a level: 2^level.
+func (t Tree) LevelNodes(level uint) uint64 { return 1 << level }
+
+// String implements fmt.Stringer.
+func (t Tree) String() string {
+	return fmt.Sprintf("tree(L=%d, leaves=%d, nodes=%d)", t.l, t.Leaves(), t.Nodes())
+}

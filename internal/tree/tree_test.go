@@ -1,0 +1,301 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"forkoram/internal/rng"
+)
+
+func TestNewRejectsHugeLevel(t *testing.T) {
+	if _, err := New(61); err == nil {
+		t.Fatal("expected error for leaf level 61")
+	}
+	if _, err := New(60); err != nil {
+		t.Fatalf("level 60 should be accepted: %v", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	cases := []struct {
+		l      uint
+		leaves uint64
+		nodes  uint64
+	}{
+		{0, 1, 1},
+		{1, 2, 3},
+		{3, 8, 15},
+		{24, 1 << 24, 1<<25 - 1},
+	}
+	for _, c := range cases {
+		tr := MustNew(c.l)
+		if tr.Leaves() != c.leaves {
+			t.Errorf("L=%d: leaves=%d want %d", c.l, tr.Leaves(), c.leaves)
+		}
+		if tr.Nodes() != c.nodes {
+			t.Errorf("L=%d: nodes=%d want %d", c.l, tr.Nodes(), c.nodes)
+		}
+		if tr.Levels() != c.l+1 {
+			t.Errorf("L=%d: levels=%d want %d", c.l, tr.Levels(), c.l+1)
+		}
+	}
+}
+
+func TestPathFigure1(t *testing.T) {
+	// Figure 1(a) of the paper: L = 3, path-1 descends root, left child,
+	// then right, then leaf 1. Heap indices: level 0: {0}, level 1: {1,2},
+	// level 2: {3,4,5,6}, level 3: {7..14}.
+	tr := MustNew(3)
+	got := tr.Path(1, nil)
+	want := []Node{0, 1, 3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("path length %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path-1[%d] = %d want %d (full %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	tr := MustNew(10)
+	for _, label := range []Label{0, 1, 511, 1023} {
+		p := tr.Path(label, nil)
+		if p[0] != tr.Root() {
+			t.Fatalf("path-%d does not start at root", label)
+		}
+		if p[len(p)-1] != tr.LeafNode(label) {
+			t.Fatalf("path-%d does not end at its leaf", label)
+		}
+		if uint(len(p)) != tr.Levels() {
+			t.Fatalf("path-%d has %d nodes, want %d", label, len(p), tr.Levels())
+		}
+	}
+}
+
+func TestParentChildRoundTrip(t *testing.T) {
+	tr := MustNew(8)
+	for n := Node(0); n < tr.Nodes(); n++ {
+		if tr.IsLeaf(n) {
+			continue
+		}
+		l, r := tr.Children(n)
+		if tr.Parent(l) != n || tr.Parent(r) != n {
+			t.Fatalf("children of %d: %d,%d do not point back", n, l, r)
+		}
+		if tr.Level(l) != tr.Level(n)+1 || tr.Level(r) != tr.Level(n)+1 {
+			t.Fatalf("child level wrong for node %d", n)
+		}
+	}
+	if tr.Parent(0) != 0 {
+		t.Fatal("root parent must be root")
+	}
+}
+
+func TestLevelAndPosition(t *testing.T) {
+	tr := MustNew(6)
+	for lvl := uint(0); lvl <= tr.LeafLevel(); lvl++ {
+		for p := uint64(0); p < tr.LevelNodes(lvl); p++ {
+			n := Node(1<<lvl - 1 + p)
+			if tr.Level(n) != lvl {
+				t.Fatalf("node %d: level %d want %d", n, tr.Level(n), lvl)
+			}
+			if tr.PositionInLevel(n) != p {
+				t.Fatalf("node %d: pos %d want %d", n, tr.PositionInLevel(n), p)
+			}
+		}
+	}
+}
+
+func TestOverlapExamplesFromPaper(t *testing.T) {
+	// Section 3.1 example, L = 3: path-1 and path-3 share the root and
+	// the level-1 node (labels 0b001 and 0b011 share one leading bit), so
+	// overlap degree is 2 — buckets A and B in Figure 3.
+	tr := MustNew(3)
+	if ovl := tr.Overlap(1, 3); ovl != 2 {
+		t.Fatalf("overlap(1,3) = %d want 2", ovl)
+	}
+	// path-0 overlaps path-1 in 3 buckets (0b000 vs 0b001); Figure 6
+	// schedules path-0 ahead of path-4 for exactly this reason.
+	if ovl := tr.Overlap(0, 1); ovl != 3 {
+		t.Fatalf("overlap(0,1) = %d want 3", ovl)
+	}
+	if ovl := tr.Overlap(1, 4); ovl != 1 {
+		t.Fatalf("overlap(1,4) = %d want 1", ovl)
+	}
+	// Identical labels share the full path.
+	if ovl := tr.Overlap(5, 5); ovl != 4 {
+		t.Fatalf("overlap(5,5) = %d want 4", ovl)
+	}
+}
+
+func TestOverlapMatchesPathIntersection(t *testing.T) {
+	tr := MustNew(7)
+	r := rng.New(2024)
+	for i := 0; i < 500; i++ {
+		a := Label(r.Uint64n(tr.Leaves()))
+		b := Label(r.Uint64n(tr.Leaves()))
+		pa := tr.Path(a, nil)
+		pb := tr.Path(b, nil)
+		shared := uint(0)
+		set := map[Node]bool{}
+		for _, n := range pa {
+			set[n] = true
+		}
+		for _, n := range pb {
+			if set[n] {
+				shared++
+			}
+		}
+		if got := tr.Overlap(a, b); got != shared {
+			t.Fatalf("overlap(%d,%d) = %d, set intersection %d", a, b, got, shared)
+		}
+	}
+}
+
+func TestOverlapSymmetricProperty(t *testing.T) {
+	tr := MustNew(20)
+	f := func(a, b uint32) bool {
+		la := Label(a) % tr.Leaves()
+		lb := Label(b) % tr.Leaves()
+		return tr.Overlap(la, lb) == tr.Overlap(lb, la)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCAIsOnBothPaths(t *testing.T) {
+	tr := MustNew(12)
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		a := Label(r.Uint64n(tr.Leaves()))
+		b := Label(r.Uint64n(tr.Leaves()))
+		lca := tr.LCA(a, b)
+		if !tr.OnPath(a, lca) || !tr.OnPath(b, lca) {
+			t.Fatalf("LCA(%d,%d) = %d not on both paths", a, b, lca)
+		}
+		lvl := tr.Level(lca)
+		// One level deeper must not be shared (unless already at leaf).
+		if lvl < tr.LeafLevel() {
+			na := tr.NodeAt(a, lvl+1)
+			nb := tr.NodeAt(b, lvl+1)
+			if a != b && na == nb {
+				t.Fatalf("LCA(%d,%d) not lowest: children also shared", a, b)
+			}
+		}
+	}
+}
+
+func TestPathSuffix(t *testing.T) {
+	tr := MustNew(4)
+	full := tr.Path(9, nil)
+	// Suffix below level 1 must be the path minus its first two nodes.
+	suf := tr.PathSuffix(9, 1, nil)
+	if len(suf) != len(full)-2 {
+		t.Fatalf("suffix length %d want %d", len(suf), len(full)-2)
+	}
+	for i, n := range suf {
+		if n != full[i+2] {
+			t.Fatalf("suffix[%d] = %d want %d", i, n, full[i+2])
+		}
+	}
+	// Suffix from the leaf level is empty.
+	if s := tr.PathSuffix(9, tr.LeafLevel(), nil); len(s) != 0 {
+		t.Fatalf("suffix below leaf not empty: %v", s)
+	}
+}
+
+func TestPathSuffixComplementsOverlap(t *testing.T) {
+	// Read phase after merging: the suffix below the LCA level plus the
+	// overlapped prefix must reconstruct the whole path.
+	tr := MustNew(16)
+	r := rng.New(31)
+	for i := 0; i < 300; i++ {
+		prev := Label(r.Uint64n(tr.Leaves()))
+		cur := Label(r.Uint64n(tr.Leaves()))
+		ovl := tr.Overlap(prev, cur)
+		suf := tr.PathSuffix(cur, ovl-1, nil)
+		if uint(len(suf))+ovl != tr.Levels() {
+			t.Fatalf("suffix %d + overlap %d != levels %d", len(suf), ovl, tr.Levels())
+		}
+		for _, n := range suf {
+			if tr.OnPath(prev, n) {
+				t.Fatalf("suffix node %d of path-%d still on path-%d", n, cur, prev)
+			}
+		}
+	}
+}
+
+func TestOnPathAgainstEnumeration(t *testing.T) {
+	tr := MustNew(6)
+	for label := Label(0); label < tr.Leaves(); label += 13 {
+		onPath := map[Node]bool{}
+		for _, n := range tr.Path(label, nil) {
+			onPath[n] = true
+		}
+		for n := Node(0); n < tr.Nodes(); n++ {
+			if tr.OnPath(label, n) != onPath[n] {
+				t.Fatalf("OnPath(%d, %d) = %v disagrees with enumeration", label, n, tr.OnPath(label, n))
+			}
+		}
+	}
+}
+
+func TestSomeLeafUnder(t *testing.T) {
+	tr := MustNew(10)
+	for n := Node(0); n < 2047; n += 5 {
+		label := tr.SomeLeafUnder(n)
+		if !tr.ValidLabel(label) {
+			t.Fatalf("node %d: invalid witness label %d", n, label)
+		}
+		if !tr.OnPath(label, n) {
+			t.Fatalf("node %d not on path of its witness leaf %d", n, label)
+		}
+	}
+}
+
+func TestLabelOfLeafRoundTrip(t *testing.T) {
+	tr := MustNew(9)
+	for label := Label(0); label < tr.Leaves(); label++ {
+		if got := tr.LabelOfLeaf(tr.LeafNode(label)); got != label {
+			t.Fatalf("leaf label round trip: %d -> %d", label, got)
+		}
+	}
+}
+
+func TestDegenerateSingleNodeTree(t *testing.T) {
+	tr := MustNew(0)
+	if tr.Nodes() != 1 || tr.Leaves() != 1 {
+		t.Fatal("L=0 tree must be a single node")
+	}
+	if tr.Overlap(0, 0) != 1 {
+		t.Fatal("single node tree overlap must be 1")
+	}
+	p := tr.Path(0, nil)
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("single node path: %v", p)
+	}
+}
+
+func BenchmarkOverlap(b *testing.B) {
+	tr := MustNew(24)
+	r := rng.New(1)
+	labels := make([]Label, 1024)
+	for i := range labels {
+		labels[i] = Label(r.Uint64n(tr.Leaves()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Overlap(labels[i%1024], labels[(i+1)%1024])
+	}
+}
+
+func BenchmarkPath(b *testing.B) {
+	tr := MustNew(24)
+	buf := make([]Node, 0, tr.Levels())
+	for i := 0; i < b.N; i++ {
+		buf = tr.Path(Label(i)&(tr.Leaves()-1), buf[:0])
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace parser never panics on arbitrary input
+// and that whatever parses survives a write/read round trip.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("12 34 R\n7 99 W\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("1 2 R"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, reqs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("canonical form failed to parse: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip length %d -> %d", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if reqs[i] != again[i] {
+				t.Fatalf("request %d changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTrace serializes requests, one per line: "<gapCycles> <blockAddr> <R|W>".
+// The format is what cmd/oramgen emits and cmd/forksim --trace consumes.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := 'R'
+		if r.Write {
+			op = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %c\n", r.GapCycles, r.Addr, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace produced by WriteTrace.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		var gap, addr uint64
+		var op string
+		if _, err := fmt.Sscanf(txt, "%d %d %s", &gap, &addr, &op); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		switch op {
+		case "R", "W":
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: bad op %q", line, op)
+		}
+		out = append(out, Request{GapCycles: gap, Addr: addr, Write: op == "W"})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay is a Stream over a fixed request slice, optionally looping.
+type Replay struct {
+	reqs []Request
+	i    int
+	loop bool
+}
+
+// NewReplay wraps a request slice. With loop true the stream is infinite.
+func NewReplay(reqs []Request, loop bool) *Replay {
+	return &Replay{reqs: reqs, loop: loop}
+}
+
+// Next returns the next request; done reports stream exhaustion.
+func (r *Replay) Next() (Request, bool) {
+	if len(r.reqs) == 0 {
+		return Request{}, false
+	}
+	if r.i >= len(r.reqs) {
+		if !r.loop {
+			return Request{}, false
+		}
+		r.i = 0
+	}
+	req := r.reqs[r.i]
+	r.i++
+	return req, true
+}

@@ -1,0 +1,241 @@
+// Package workload generates the memory request streams that drive the
+// full-system evaluation. It stands in for the paper's gem5 + SPEC 2006 /
+// PARSEC setup (see DESIGN.md §3): each benchmark is modeled as a
+// parameterized synthetic stream characterized by the three properties
+// that matter to ORAM performance —
+//
+//   - memory intensity: mean compute gap (core cycles) between
+//     post-L1 memory accesses,
+//   - locality: fraction of accesses hitting a hot set that fits the
+//     shared LLC vs. cold accesses over a large footprint (this sets the
+//     LLC miss rate and hence the ORAM request rate),
+//   - write fraction.
+//
+// Profiles are split into the paper's low ORAM overhead group (LG) and
+// high ORAM overhead group (HG), and Table 2's Mix1–Mix10 are reproduced
+// verbatim. PARSEC-like multithreaded workloads share one footprint
+// across threads.
+package workload
+
+import (
+	"fmt"
+
+	"forkoram/internal/rng"
+)
+
+// Request is one post-L1 memory access: a 64-byte-block address plus the
+// compute gap (in core cycles) separating it from the previous access of
+// the same thread.
+type Request struct {
+	Addr      uint64 // block-granular address
+	Write     bool
+	GapCycles uint64
+}
+
+// Group classifies a profile.
+type Group string
+
+// Profile groups.
+const (
+	LG     Group = "LG"     // low ORAM overhead
+	HG     Group = "HG"     // high ORAM overhead
+	Parsec Group = "PARSEC" // multithreaded
+)
+
+// Profile is a synthetic benchmark characterization.
+type Profile struct {
+	Name          string
+	Group         Group
+	GapMeanCycles float64 // mean compute gap between post-L1 accesses
+	HotFrac       float64 // probability an access targets the hot set
+	HotBlocks     uint64  // hot-set size in 64B blocks
+	FootprintBlks uint64  // total footprint in 64B blocks
+	WriteFrac     float64
+	SharedFrac    float64 // PARSEC only: fraction of accesses to the shared region
+}
+
+// Validate checks a profile for usability.
+func (p Profile) Validate() error {
+	if p.GapMeanCycles < 1 {
+		return fmt.Errorf("workload %s: gap mean must be >= 1", p.Name)
+	}
+	if p.HotFrac < 0 || p.HotFrac > 1 || p.WriteFrac < 0 || p.WriteFrac > 1 || p.SharedFrac < 0 || p.SharedFrac > 1 {
+		return fmt.Errorf("workload %s: fractions must be in [0,1]", p.Name)
+	}
+	if p.HotBlocks == 0 || p.FootprintBlks < p.HotBlocks {
+		return fmt.Errorf("workload %s: need 0 < hot <= footprint", p.Name)
+	}
+	return nil
+}
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// blk converts bytes to 64-byte blocks.
+func blk(bytes uint64) uint64 { return bytes / 64 }
+
+// profiles is the SPEC-2006-like table. Values are calibrated so LG
+// members rarely miss a 1MB shared LLC while HG members are memory
+// bound, spanning the intensity range the paper's groups imply.
+var profiles = map[string]Profile{
+	// Low ORAM overhead group: compute bound, cache resident.
+	"povray":     {Name: "povray", Group: LG, GapMeanCycles: 900, HotFrac: 0.995, HotBlocks: blk(96 * kb), FootprintBlks: blk(4 * mb), WriteFrac: 0.25},
+	"sjeng":      {Name: "sjeng", Group: LG, GapMeanCycles: 600, HotFrac: 0.98, HotBlocks: blk(160 * kb), FootprintBlks: blk(160 * mb), WriteFrac: 0.30},
+	"GemsFDTD":   {Name: "GemsFDTD", Group: LG, GapMeanCycles: 300, HotFrac: 0.97, HotBlocks: blk(192 * kb), FootprintBlks: blk(64 * mb), WriteFrac: 0.40},
+	"h264ref":    {Name: "h264ref", Group: LG, GapMeanCycles: 500, HotFrac: 0.99, HotBlocks: blk(128 * kb), FootprintBlks: blk(16 * mb), WriteFrac: 0.30},
+	"bzip2":      {Name: "bzip2", Group: LG, GapMeanCycles: 350, HotFrac: 0.96, HotBlocks: blk(224 * kb), FootprintBlks: blk(32 * mb), WriteFrac: 0.35},
+	"tonto":      {Name: "tonto", Group: LG, GapMeanCycles: 700, HotFrac: 0.99, HotBlocks: blk(96 * kb), FootprintBlks: blk(8 * mb), WriteFrac: 0.25},
+	"omnetpp":    {Name: "omnetpp", Group: LG, GapMeanCycles: 250, HotFrac: 0.94, HotBlocks: blk(224 * kb), FootprintBlks: blk(96 * mb), WriteFrac: 0.35},
+	"astar":      {Name: "astar", Group: LG, GapMeanCycles: 300, HotFrac: 0.95, HotBlocks: blk(192 * kb), FootprintBlks: blk(48 * mb), WriteFrac: 0.30},
+	"calculix":   {Name: "calculix", Group: LG, GapMeanCycles: 800, HotFrac: 0.99, HotBlocks: blk(64 * kb), FootprintBlks: blk(8 * mb), WriteFrac: 0.25},
+	"453.povray": {Name: "453.povray", Group: LG, GapMeanCycles: 900, HotFrac: 0.995, HotBlocks: blk(96 * kb), FootprintBlks: blk(4 * mb), WriteFrac: 0.25},
+
+	// High ORAM overhead group: memory bound.
+	"gcc":        {Name: "gcc", Group: HG, GapMeanCycles: 120, HotFrac: 0.80, HotBlocks: blk(256 * kb), FootprintBlks: blk(256 * mb), WriteFrac: 0.35},
+	"bwaves":     {Name: "bwaves", Group: HG, GapMeanCycles: 60, HotFrac: 0.55, HotBlocks: blk(256 * kb), FootprintBlks: blk(768 * mb), WriteFrac: 0.30},
+	"mcf":        {Name: "mcf", Group: HG, GapMeanCycles: 45, HotFrac: 0.40, HotBlocks: blk(256 * kb), FootprintBlks: blk(1536 * mb), WriteFrac: 0.25},
+	"gromacs":    {Name: "gromacs", Group: HG, GapMeanCycles: 150, HotFrac: 0.85, HotBlocks: blk(192 * kb), FootprintBlks: blk(128 * mb), WriteFrac: 0.35},
+	"libquantum": {Name: "libquantum", Group: HG, GapMeanCycles: 50, HotFrac: 0.15, HotBlocks: blk(64 * kb), FootprintBlks: blk(512 * mb), WriteFrac: 0.25},
+	"lbm":        {Name: "lbm", Group: HG, GapMeanCycles: 40, HotFrac: 0.10, HotBlocks: blk(64 * kb), FootprintBlks: blk(1024 * mb), WriteFrac: 0.45},
+	"wrf":        {Name: "wrf", Group: HG, GapMeanCycles: 130, HotFrac: 0.75, HotBlocks: blk(256 * kb), FootprintBlks: blk(384 * mb), WriteFrac: 0.35},
+	"namd":       {Name: "namd", Group: HG, GapMeanCycles: 170, HotFrac: 0.88, HotBlocks: blk(128 * kb), FootprintBlks: blk(96 * mb), WriteFrac: 0.30},
+
+	// PARSEC-like multithreaded profiles (4 threads sharing a footprint).
+	"blackscholes":  {Name: "blackscholes", Group: Parsec, GapMeanCycles: 400, HotFrac: 0.97, HotBlocks: blk(128 * kb), FootprintBlks: blk(64 * mb), WriteFrac: 0.30, SharedFrac: 0.10},
+	"bodytrack":     {Name: "bodytrack", Group: Parsec, GapMeanCycles: 220, HotFrac: 0.90, HotBlocks: blk(192 * kb), FootprintBlks: blk(128 * mb), WriteFrac: 0.30, SharedFrac: 0.35},
+	"canneal":       {Name: "canneal", Group: Parsec, GapMeanCycles: 70, HotFrac: 0.35, HotBlocks: blk(192 * kb), FootprintBlks: blk(1024 * mb), WriteFrac: 0.30, SharedFrac: 0.70},
+	"dedup":         {Name: "dedup", Group: Parsec, GapMeanCycles: 120, HotFrac: 0.70, HotBlocks: blk(256 * kb), FootprintBlks: blk(512 * mb), WriteFrac: 0.40, SharedFrac: 0.50},
+	"ferret":        {Name: "ferret", Group: Parsec, GapMeanCycles: 160, HotFrac: 0.80, HotBlocks: blk(224 * kb), FootprintBlks: blk(256 * mb), WriteFrac: 0.30, SharedFrac: 0.45},
+	"fluidanimate":  {Name: "fluidanimate", Group: Parsec, GapMeanCycles: 140, HotFrac: 0.78, HotBlocks: blk(224 * kb), FootprintBlks: blk(256 * mb), WriteFrac: 0.40, SharedFrac: 0.40},
+	"freqmine":      {Name: "freqmine", Group: Parsec, GapMeanCycles: 180, HotFrac: 0.85, HotBlocks: blk(256 * kb), FootprintBlks: blk(192 * mb), WriteFrac: 0.30, SharedFrac: 0.30},
+	"streamcluster": {Name: "streamcluster", Group: Parsec, GapMeanCycles: 55, HotFrac: 0.25, HotBlocks: blk(128 * kb), FootprintBlks: blk(512 * mb), WriteFrac: 0.25, SharedFrac: 0.60},
+	"swaptions":     {Name: "swaptions", Group: Parsec, GapMeanCycles: 500, HotFrac: 0.98, HotBlocks: blk(96 * kb), FootprintBlks: blk(32 * mb), WriteFrac: 0.25, SharedFrac: 0.15},
+	"vips":          {Name: "vips", Group: Parsec, GapMeanCycles: 200, HotFrac: 0.85, HotBlocks: blk(224 * kb), FootprintBlks: blk(256 * mb), WriteFrac: 0.35, SharedFrac: 0.30},
+}
+
+// Lookup returns the profile with the given name.
+func Lookup(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// Names returns all profile names in a group.
+func Names(g Group) []string {
+	var out []string
+	for _, p := range profiles {
+		if p.Group == g {
+			out = append(out, p.Name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// Mix is one of Table 2's multi-programmed workloads: four benchmarks,
+// one per core.
+type Mix struct {
+	Name    string
+	Members [4]string
+}
+
+// Mixes reproduces Table 2 verbatim.
+func Mixes() []Mix {
+	return []Mix{
+		{"Mix1", [4]string{"povray", "sjeng", "GemsFDTD", "h264ref"}},
+		{"Mix2", [4]string{"bzip2", "tonto", "omnetpp", "astar"}},
+		{"Mix3", [4]string{"gcc", "bwaves", "mcf", "gromacs"}},
+		{"Mix4", [4]string{"libquantum", "lbm", "wrf", "namd"}},
+		{"Mix5", [4]string{"povray", "povray", "sjeng", "sjeng"}},
+		{"Mix6", [4]string{"namd", "namd", "gromacs", "gromacs"}},
+		{"Mix7", [4]string{"bwaves", "bwaves", "bwaves", "bwaves"}},
+		{"Mix8", [4]string{"h264ref", "h264ref", "h264ref", "h264ref"}},
+		{"Mix9", [4]string{"calculix", "h264ref", "mcf", "sjeng"}},
+		{"Mix10", [4]string{"bzip2", "povray", "libquantum", "libquantum"}},
+	}
+}
+
+// ParsecNames returns the multithreaded workload names used by Figure 19.
+func ParsecNames() []string { return Names(Parsec) }
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Generator produces the request stream of one thread.
+type Generator struct {
+	p   Profile
+	rnd *rng.Source
+	// Private region [base, base+footprint) and hot subset at its start.
+	base uint64
+	// Shared region for PARSEC threads (zero-length otherwise).
+	sharedBase uint64
+	sharedLen  uint64
+	sharedHot  uint64
+	seqCur     uint64
+	gapP       float64
+}
+
+// NewGenerator creates a thread stream. base is the first block address
+// of the thread's private region. For multithreaded profiles, sharedBase/
+// sharedLen describe the region all threads share (pass zero length for
+// single-threaded use).
+func NewGenerator(p Profile, rnd *rng.Source, base, sharedBase, sharedLen uint64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		p: p, rnd: rnd, base: base,
+		sharedBase: sharedBase, sharedLen: sharedLen,
+		gapP: 1 / p.GapMeanCycles,
+	}
+	if sharedLen > 0 {
+		g.sharedHot = sharedLen / 8
+		if g.sharedHot == 0 {
+			g.sharedHot = 1
+		}
+	}
+	return g, nil
+}
+
+// Footprint returns the private region length in blocks.
+func (g *Generator) Footprint() uint64 { return g.p.FootprintBlks }
+
+// Next produces the next request. The stream is infinite.
+func (g *Generator) Next() Request {
+	gap := uint64(g.rnd.Geometric(g.gapP))
+	var addr uint64
+	if g.sharedLen > 0 && g.rnd.Float64() < g.p.SharedFrac {
+		// Shared-region access, with the same hot/cold split.
+		if g.rnd.Float64() < g.p.HotFrac {
+			addr = g.sharedBase + g.rnd.Uint64n(g.sharedHot)
+		} else {
+			addr = g.sharedBase + g.rnd.Uint64n(g.sharedLen)
+		}
+	} else if g.rnd.Float64() < g.p.HotFrac {
+		addr = g.base + g.rnd.Uint64n(g.p.HotBlocks)
+	} else {
+		// Cold access: a short sequential run through the footprint keeps
+		// some spatial structure (matters for the insecure baseline's row
+		// buffer, not for ORAM).
+		if g.rnd.Float64() < 0.5 {
+			g.seqCur = g.rnd.Uint64n(g.p.FootprintBlks)
+		} else {
+			g.seqCur = (g.seqCur + 1) % g.p.FootprintBlks
+		}
+		addr = g.base + g.seqCur
+	}
+	return Request{
+		Addr:      addr,
+		Write:     g.rnd.Float64() < g.p.WriteFrac,
+		GapCycles: gap,
+	}
+}

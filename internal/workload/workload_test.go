@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"forkoram/internal/rng"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for name, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name && name != "453.povray" {
+			t.Errorf("%s: name field %q", name, p.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMixesMatchTable2(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 10 {
+		t.Fatalf("%d mixes want 10", len(mixes))
+	}
+	// Spot-check rows of Table 2.
+	if mixes[0].Members != [4]string{"povray", "sjeng", "GemsFDTD", "h264ref"} {
+		t.Fatalf("Mix1 = %v", mixes[0].Members)
+	}
+	if mixes[6].Members != [4]string{"bwaves", "bwaves", "bwaves", "bwaves"} {
+		t.Fatalf("Mix7 = %v", mixes[6].Members)
+	}
+	if mixes[9].Members != [4]string{"bzip2", "povray", "libquantum", "libquantum"} {
+		t.Fatalf("Mix10 = %v", mixes[9].Members)
+	}
+	// Every member must resolve to a profile.
+	for _, m := range mixes {
+		for _, b := range m.Members {
+			if _, err := Lookup(b); err != nil {
+				t.Errorf("%s member %s: %v", m.Name, b, err)
+			}
+		}
+	}
+}
+
+func TestGroupSplit(t *testing.T) {
+	lg, hg := Names(LG), Names(HG)
+	if len(lg) == 0 || len(hg) == 0 {
+		t.Fatal("groups must be non-empty")
+	}
+	for _, n := range lg {
+		p, _ := Lookup(n)
+		if p.Group != LG {
+			t.Errorf("%s misgrouped", n)
+		}
+	}
+	if len(ParsecNames()) < 8 {
+		t.Fatalf("need at least 8 PARSEC-like workloads, got %d", len(ParsecNames()))
+	}
+}
+
+func TestGeneratorAddressesInRegion(t *testing.T) {
+	p, _ := Lookup("mcf")
+	g, err := NewGenerator(p, rng.New(1), 1000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Addr < 1000 || r.Addr >= 1000+p.FootprintBlks {
+			t.Fatalf("address %d outside region [1000, %d)", r.Addr, 1000+p.FootprintBlks)
+		}
+	}
+}
+
+func TestGeneratorGapMean(t *testing.T) {
+	p, _ := Lookup("lbm") // gap mean 40
+	g, _ := NewGenerator(p, rng.New(2), 0, 0, 0)
+	var total float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		total += float64(g.Next().GapCycles)
+	}
+	mean := total / n
+	// Geometric with success p = 1/40 has mean 39.
+	if math.Abs(mean-(p.GapMeanCycles-1)) > 2 {
+		t.Fatalf("gap mean %.1f want ~%.1f", mean, p.GapMeanCycles-1)
+	}
+}
+
+func TestGeneratorHotColdSplit(t *testing.T) {
+	p, _ := Lookup("h264ref") // hotFrac 0.99
+	g, _ := NewGenerator(p, rng.New(3), 0, 0, 0)
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Addr < p.HotBlocks {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.97 {
+		t.Fatalf("hot fraction %.3f want ~0.99", frac)
+	}
+}
+
+func TestGeneratorIntensityOrdering(t *testing.T) {
+	// HG members must produce much higher memory intensity (shorter gaps,
+	// colder addresses) than LG members — the property the paper's groups
+	// encode.
+	measure := func(name string) float64 {
+		p, _ := Lookup(name)
+		g, _ := NewGenerator(p, rng.New(4), 0, 0, 0)
+		var gaps float64
+		cold := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			gaps += float64(r.GapCycles)
+			if r.Addr >= p.HotBlocks {
+				cold++
+			}
+		}
+		// Cold accesses per kilocycle ~ LLC-miss intensity proxy.
+		return float64(cold) / gaps * 1000
+	}
+	if hi, lo := measure("mcf"), measure("povray"); hi < 20*lo {
+		t.Fatalf("mcf intensity %.3f vs povray %.3f: HG should dwarf LG", hi, lo)
+	}
+}
+
+func TestSharedRegionAccesses(t *testing.T) {
+	p, _ := Lookup("canneal") // sharedFrac 0.70
+	g, err := NewGenerator(p, rng.New(5), 1<<30, 1<<20, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := g.Next().Addr
+		if a >= 1<<20 && a < 1<<20+1<<16 {
+			shared++
+		}
+	}
+	frac := float64(shared) / n
+	if math.Abs(frac-p.SharedFrac) > 0.05 {
+		t.Fatalf("shared fraction %.3f want ~%.2f", frac, p.SharedFrac)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := Lookup("gcc")
+	g1, _ := NewGenerator(p, rng.New(7), 0, 0, 0)
+	g2, _ := NewGenerator(p, rng.New(7), 0, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := Lookup("astar")
+	g, _ := NewGenerator(p, rng.New(8), 0, 0, 0)
+	var reqs []Request
+	for i := 0; i < 500; i++ {
+		reqs = append(reqs, g.Next())
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip length %d want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("12 34 X\n")); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("nonsense\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	reqs := []Request{{Addr: 1}, {Addr: 2}}
+	r := NewReplay(reqs, false)
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatal("premature end")
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("non-looping replay did not end")
+	}
+	loop := NewReplay(reqs, true)
+	for i := 0; i < 10; i++ {
+		req, ok := loop.Next()
+		if !ok {
+			t.Fatal("looping replay ended")
+		}
+		if req.Addr != uint64(i%2+1) {
+			t.Fatalf("loop order broken at %d", i)
+		}
+	}
+	empty := NewReplay(nil, true)
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty replay returned a request")
+	}
+}
