@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the worker pool and the parallel harness
+# (TestParallel* run one generator sequentially and at parallel=4 and
+# require bit-identical output).
+race:
+	$(GO) test -race ./internal/par ./internal/bench -run TestParallel
+
+bench:
+	$(GO) test -bench BenchmarkAccessAllocs -benchtime 1000x ./internal/fork ./internal/pathoram
+
+# Regenerate the perf-trajectory record (BENCH_<date>.json).
+json:
+	$(GO) run ./cmd/orambench -mixes 2 -requests 800 -json

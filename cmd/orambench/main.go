@@ -6,17 +6,47 @@
 //	orambench                      # all experiments at reduced scale
 //	orambench -experiment fig12    # one figure
 //	orambench -mixes 4 -requests 1500   # faster sweep
+//	orambench -parallel 4          # four simulations in flight
+//	orambench -json                # also write BENCH_<date>.json
 //	orambench -paper               # Table 1 geometry (slow, memory-hungry)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	forkoram "forkoram"
 )
+
+// benchReport is the perf-trajectory record -json writes: enough to
+// compare harness throughput and hot-path cost across commits.
+type benchReport struct {
+	Date        string             `json:"date"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Parallel    int                `json:"parallel"`
+	Experiments []experimentReport `json:"experiments"`
+	WallSeconds float64            `json:"wall_seconds"`
+	SimRuns     uint64             `json:"sim_runs"`
+	RunsPerSec  float64            `json:"runs_per_sec"`
+	// Speedup is aggregate simulation busy time / wall time: the
+	// effective parallelism the worker pool achieved.
+	Speedup float64 `json:"speedup"`
+	// Fork-engine access-loop microbenchmark (see AccessLoopStats).
+	AccessAllocsPerOp float64 `json:"access_allocs_per_op"`
+	AccessNSPerOp     float64 `json:"access_ns_per_op"`
+}
+
+type experimentReport struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+}
 
 func main() {
 	var (
@@ -25,6 +55,8 @@ func main() {
 		requests   = flag.Uint64("requests", 0, "post-L1 accesses per core (0 = default)")
 		dataBlocks = flag.Uint64("data-blocks", 0, "data ORAM size in 64B blocks (0 = default)")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "simulations in flight (0 = one per CPU)")
+		jsonOut    = flag.Bool("json", false, "write a BENCH_<date>.json perf record")
 		paper      = flag.Bool("paper", false, "full Table 1 geometry (4 GB ORAM; slow)")
 		list       = flag.Bool("list", false, "list experiment names")
 	)
@@ -41,18 +73,73 @@ func main() {
 		RequestsPerCore: *requests,
 		Mixes:           *mixes,
 		Seed:            *seed,
+		Parallel:        *parallel,
 		PaperScale:      *paper,
 	}
-	start := time.Now()
-	var err error
+	names := forkoram.Experiments()
 	if *experiment != "" {
-		err = forkoram.RunExperiment(*experiment, o, os.Stdout)
-	} else {
-		err = forkoram.RunAllExperiments(o, os.Stdout)
+		names = []string{*experiment}
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "orambench: %v\n", err)
+	forkoram.ResetExperimentStats()
+	start := time.Now()
+	var reports []experimentReport
+	var failed []string
+	for _, name := range names {
+		t0 := time.Now()
+		err := forkoram.RunExperiment(name, o, os.Stdout)
+		r := experimentReport{Name: name, Seconds: time.Since(t0).Seconds(), OK: err == nil}
+		if err != nil {
+			r.Error = err.Error()
+			failed = append(failed, name)
+			fmt.Fprintf(os.Stderr, "orambench: %s: %v\n", name, err)
+		}
+		reports = append(reports, r)
+	}
+	wall := time.Since(start)
+	runs, busy := forkoram.ExperimentStats()
+	speedup := 0.0
+	if wall > 0 {
+		speedup = busy.Seconds() / wall.Seconds()
+	}
+	runsPerSec := 0.0
+	if wall > 0 {
+		runsPerSec = float64(runs) / wall.Seconds()
+	}
+	fmt.Printf("done in %s: %d simulations (%.1f/s), parallel speedup %.2fx (busy %s)\n",
+		wall.Round(time.Millisecond), runs, runsPerSec, speedup, busy.Round(time.Millisecond))
+
+	if *jsonOut {
+		allocs, nsOp, err := forkoram.AccessLoopStats(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: access-loop probe: %v\n", err)
+		}
+		rep := benchReport{
+			Date:              time.Now().Format("2006-01-02"),
+			GoVersion:         runtime.Version(),
+			GOMAXPROCS:        runtime.GOMAXPROCS(0),
+			Parallel:          *parallel,
+			Experiments:       reports,
+			WallSeconds:       wall.Seconds(),
+			SimRuns:           runs,
+			RunsPerSec:        runsPerSec,
+			Speedup:           speedup,
+			AccessAllocsPerOp: allocs,
+			AccessNSPerOp:     nsOp,
+		}
+		path := fmt.Sprintf("BENCH_%s.json", rep.Date)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "orambench: %d experiment(s) failed: %v\n", len(failed), failed)
 		os.Exit(1)
 	}
-	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
 }

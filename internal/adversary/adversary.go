@@ -42,8 +42,13 @@ func NewMonitor(tr tree.Tree) *Monitor {
 	return &Monitor{tr: tr}
 }
 
-// Observe records one access.
-func (m *Monitor) Observe(o Observation) { m.obs = append(m.obs, o) }
+// Observe records one access. The node slices are copied: controllers
+// reuse their access records, and a bus monitor keeps its own trace.
+func (m *Monitor) Observe(o Observation) {
+	o.ReadNodes = append([]tree.Node(nil), o.ReadNodes...)
+	o.WriteNodes = append([]tree.Node(nil), o.WriteNodes...)
+	m.obs = append(m.obs, o)
+}
 
 // Len returns the number of recorded accesses.
 func (m *Monitor) Len() int { return len(m.obs) }

@@ -23,24 +23,21 @@ type AblationResult struct {
 func AblationDummyReplace(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
-	mk := func(name string, enable bool) (AblationResult, error) {
+	g := o.newGrid()
+	for _, enable := range []bool{true, false} {
 		cfg := o.base(sim.ForkPath, mix)
 		cfg.DummyReplaceEnabled = enable
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return AblationResult{}, err
-		}
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	mk := func(name string, res sim.Result) AblationResult {
 		return AblationResult{Name: name, LatencyNS: res.MeanORAMLatencyNS,
-			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}, nil
+			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
 	}
-	on, err := mk("replace on", true)
-	if err != nil {
-		return nil, nil, err
-	}
-	off, err := mk("replace off", false)
-	if err != nil {
-		return nil, nil, err
-	}
+	on, off := mk("replace on", rs[0]), mk("replace off", rs[1])
 	on.NormLat, off.NormLat = 1, off.LatencyNS/on.LatencyNS
 	out := []AblationResult{on, off}
 	t := ablTable("Ablation: dummy request replacing (§3.3)", out)
@@ -52,15 +49,21 @@ func AblationDummyReplace(o Options) ([]AblationResult, *Table, error) {
 func AblationScheduling(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
-	var out []AblationResult
-	var base float64
-	for _, q := range []int{64, 1} {
+	queues := []int{64, 1}
+	g := o.newGrid()
+	for _, q := range queues {
 		cfg := o.base(sim.ForkPath, mix)
 		cfg.QueueSize = q
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []AblationResult
+	var base float64
+	for i, q := range queues {
+		res := rs[i]
 		r := AblationResult{Name: fmt.Sprintf("merge Q=%d", q), LatencyNS: res.MeanORAMLatencyNS,
 			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
 		if base == 0 {
@@ -77,15 +80,21 @@ func AblationScheduling(o Options) ([]AblationResult, *Table, error) {
 func AblationAging(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
-	var out []AblationResult
-	var base float64
-	for _, mult := range []int{1, 4, 16, 64} {
+	mults := []int{1, 4, 16, 64}
+	g := o.newGrid()
+	for _, mult := range mults {
 		cfg := o.base(sim.ForkPath, mix)
 		cfg.AgeThreshold = mult * cfg.QueueSize
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []AblationResult
+	var base float64
+	for i, mult := range mults {
+		res := rs[i]
 		r := AblationResult{Name: fmt.Sprintf("age=%dxQ", mult), LatencyNS: res.MeanORAMLatencyNS,
 			Dummies: res.DummyAccesses, Total: res.TotalAccesses()}
 		if base == 0 {
@@ -105,15 +114,21 @@ func AblationAging(o Options) ([]AblationResult, *Table, error) {
 func AblationLayout(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
-	var out []AblationResult
-	var baseLat, baseEnergy float64
-	for _, flat := range []bool{false, true} {
+	layouts := []bool{false, true}
+	g := o.newGrid()
+	for _, flat := range layouts {
 		cfg := o.base(sim.ForkPath, mix)
 		cfg.FlatLayout = flat
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []AblationResult
+	var baseLat, baseEnergy float64
+	for i, flat := range layouts {
+		res := rs[i]
 		name := "subtree layout"
 		if flat {
 			name = "flat layout"
@@ -145,19 +160,25 @@ func AblationMACM1(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
 	auto := uint(sim.EstimatedOverlap(64)) + 1
-	var out []AblationResult
-	var base float64
 	// 256 KB holds ~800 buckets, so m1 beyond 9 cannot pin its first
 	// level; sweep within the feasible range.
-	for _, m1 := range []uint{1, auto - 2, auto, auto + 2} {
+	m1s := []uint{1, auto - 2, auto, auto + 2}
+	g := o.newGrid()
+	for _, m1 := range m1s {
 		cfg := o.base(sim.ForkPath, mix)
 		cfg.Cache = sim.CacheMAC
 		cfg.CacheBytes = 256 << 10
 		cfg.MACM1 = m1
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []AblationResult
+	var base float64
+	for i, m1 := range m1s {
+		res := rs[i]
 		name := fmt.Sprintf("m1=%d", m1)
 		if m1 == auto {
 			name += " (len_overlap+1)"
@@ -187,18 +208,26 @@ func AblationSuperBlock(o Options) ([]AblationResult, *Table, error) {
 		{"streaming", [4]string{"lbm", "lbm", "bwaves", "bwaves"}},
 		{"pointer-chasing", [4]string{"mcf", "mcf", "omnetpp", "omnetpp"}},
 	}
+	sizes := []int{1, 2, 4, 8}
+	g := o.newGrid()
+	for wi, w := range wls {
+		for _, s := range sizes {
+			cfg := o.base(sim.ForkPath, workload.Mix{Name: "custom", Members: w.mix})
+			cfg.SuperBlock = s
+			g.add(cfg, uint64(wi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
 	var out []AblationResult
 	t := &Table{Title: "Ablation: static super-block size (ref [18])",
 		Columns: []string{"config", "ORAM latency (ns)", "normalized", "LLC miss rate", "accesses/1k reqs"}}
-	for _, w := range wls {
+	for wi, w := range wls {
 		var base float64
-		for _, s := range []int{1, 2, 4, 8} {
-			cfg := o.base(sim.ForkPath, workload.Mix{Name: "custom", Members: w.mix})
-			cfg.SuperBlock = s
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
+		for si, s := range sizes {
+			res := rs[wi*len(sizes)+si]
 			r := AblationResult{
 				Name:      fmt.Sprintf("%s S=%d", w.name, s),
 				LatencyNS: res.MeanORAMLatencyNS,
@@ -221,25 +250,35 @@ func AblationSuperBlock(o Options) ([]AblationResult, *Table, error) {
 
 // AblationTiming sweeps the periodic issue interval (§2.2's
 // timing-channel protection): slower slots trade ORAM latency for fewer
-// wasted back-to-back idle dummies (and therefore energy).
+// wasted back-to-back idle dummies (and therefore energy). Two-stage:
+// the on-demand probe runs first to calibrate the interval sweep, then
+// the sweep points run as one grid.
 func AblationTiming(o Options) ([]AblationResult, *Table, error) {
 	o = o.withDefaults()
 	mix := o.mixes()[0]
-	probe := o.base(sim.ForkPath, mix)
-	base, err := sim.Run(probe)
+	pg := o.newGrid()
+	pg.add(o.base(sim.ForkPath, mix), 0)
+	prs, err := pg.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	base := prs[0]
+	mults := []float64{0, 1.0, 1.5, 2.0}
+	g := o.newGrid()
+	for _, mult := range mults {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.PeriodicIntervalNS = mult * base.MeanAccessDRAMNS
+		g.add(cfg, 0)
+	}
+	rs, err := g.run()
 	if err != nil {
 		return nil, nil, err
 	}
 	var out []AblationResult
 	t := &Table{Title: "Ablation: periodic issue interval (timing-channel protection)",
 		Columns: []string{"config", "exec (norm)", "ORAM latency (norm)", "dummies", "energy (norm)"}}
-	for _, mult := range []float64{0, 1.0, 1.5, 2.0} {
-		cfg := o.base(sim.ForkPath, mix)
-		cfg.PeriodicIntervalNS = mult * base.MeanAccessDRAMNS
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, mult := range mults {
+		res := rs[i]
 		name := "on-demand"
 		if mult > 0 {
 			name = fmt.Sprintf("interval %.1fx", mult)

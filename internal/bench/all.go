@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 )
@@ -66,12 +67,14 @@ func Run(name string, o Options, w io.Writer) error {
 	return t.Render(w)
 }
 
-// All runs every experiment in order.
+// All runs every experiment in order. A failing experiment does not stop
+// the later ones; every failure is joined into the returned error.
 func All(o Options, w io.Writer) error {
+	var errs []error
 	for _, name := range Experiments {
 		if err := Run(name, o, w); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

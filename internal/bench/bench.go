@@ -31,8 +31,17 @@ type Options struct {
 	RequestsPerCore uint64
 	// Mixes limits how many of Table 2's mixes run (0 = all ten).
 	Mixes int
-	// Seed seeds every run deterministically.
+	// Seed seeds every run deterministically. Each comparison group of a
+	// generator (typically one mix) derives its own seed from it via
+	// rng.SeedAt, so groups are statistically independent while the runs
+	// being compared against each other (traditional vs fork variants)
+	// replay identical workload streams.
 	Seed uint64
+	// Parallel bounds how many simulations run concurrently (0 = one per
+	// CPU). Results are bit-identical for every value: each simulation is
+	// a pure function of its config, and the harness assembles results by
+	// job index, never by completion order.
+	Parallel int
 	// PaperScale switches to the full Table 1 geometry (4 GB ORAM).
 	// Memory- and time-hungry; intended for cmd/orambench --paper.
 	PaperScale bool
@@ -58,7 +67,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// base returns a sim config for a mix under these options.
+// base returns a sim config for a mix under these options. The seed set
+// here is a placeholder: grid.add derives the real per-group seed.
 func (o Options) base(scheme sim.Scheme, mix workload.Mix) sim.Config {
 	cfg := sim.Default(scheme)
 	cfg.DataBlocks = o.DataBlocks
@@ -130,13 +140,3 @@ func (t *Table) Render(w io.Writer) error {
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
-
-// runPair runs traditional + a fork variant for one mix and returns both.
-func runPair(cfgT, cfgF sim.Config) (trad, fk sim.Result, err error) {
-	trad, err = sim.Run(cfgT)
-	if err != nil {
-		return trad, fk, err
-	}
-	fk, err = sim.Run(cfgF)
-	return trad, fk, err
-}

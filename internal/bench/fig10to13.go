@@ -29,18 +29,23 @@ func Fig10(o Options) ([]Fig10Result, *Table, error) {
 			mix = m
 		}
 	}
-	trad, err := sim.Run(o.base(sim.Traditional, mix))
+	queues := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	g := o.newGrid()
+	tradIdx := g.add(o.base(sim.Traditional, mix), 0)
+	qIdx := make([]int, len(queues))
+	for i, q := range queues {
+		cfg := o.base(sim.ForkPath, mix)
+		cfg.QueueSize = q
+		qIdx[i] = g.add(cfg, 0)
+	}
+	rs, err := g.run()
 	if err != nil {
 		return nil, nil, err
 	}
+	trad := rs[tradIdx]
 	out := []Fig10Result{{QueueSize: 0, AvgPathBuckets: trad.AvgPathBuckets, NormDRAMLat: 1}}
-	for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		cfg := o.base(sim.ForkPath, mix)
-		cfg.QueueSize = q
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, q := range queues {
+		res := rs[qIdx[i]]
 		out = append(out, Fig10Result{
 			QueueSize:      q,
 			AvgPathBuckets: res.AvgPathBuckets,
@@ -107,21 +112,31 @@ func figPerMixQueue(o Options, title string, metric func(trad, fk sim.Result) fl
 	for _, q := range figQueueSizes {
 		sums[q] = &stats.Mean{}
 	}
-	for _, mix := range o.mixes() {
-		trad, err := sim.Run(o.base(sim.Traditional, mix))
-		if err != nil {
-			return nil, nil, err
-		}
-		row := Fig11Result{Mix: mix.Name, Norm: map[int]float64{}}
-		cells := []string{mix.Name, "1.000"}
+	g := o.newGrid()
+	type mixJobs struct {
+		trad int
+		qs   []int
+	}
+	var jobs []mixJobs
+	for mi, mix := range o.mixes() {
+		mj := mixJobs{trad: g.add(o.base(sim.Traditional, mix), uint64(mi))}
 		for _, q := range figQueueSizes {
 			cfg := o.base(sim.ForkPath, mix)
 			cfg.QueueSize = q
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			v := metric(trad, res)
+			mj.qs = append(mj.qs, g.add(cfg, uint64(mi)))
+		}
+		jobs = append(jobs, mj)
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mix := range o.mixes() {
+		trad := rs[jobs[mi].trad]
+		row := Fig11Result{Mix: mix.Name, Norm: map[int]float64{}}
+		cells := []string{mix.Name, "1.000"}
+		for qi, q := range figQueueSizes {
+			v := metric(trad, rs[jobs[mi].qs[qi]])
 			row.Norm[q] = v
 			sums[q].Add(v)
 			cells = append(cells, f3(v))
@@ -182,19 +197,26 @@ func Fig13(o Options) ([]Fig13Result, *Table, error) {
 	for _, v := range variants {
 		sums[v.Name] = &stats.Mean{}
 	}
-	for _, mix := range o.mixes() {
-		row := Fig13Result{Mix: mix.Name, Norm: map[string]float64{}}
-		cells := []string{mix.Name}
-		var tradLat float64
+	g := o.newGrid()
+	for mi, mix := range o.mixes() {
 		for _, v := range variants {
 			cfg := o.base(v.Scheme, mix)
 			cfg.QueueSize = v.Queue
 			cfg.Cache = v.Cache
 			cfg.CacheBytes = v.Bytes
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
+			g.add(cfg, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mix := range o.mixes() {
+		row := Fig13Result{Mix: mix.Name, Norm: map[string]float64{}}
+		cells := []string{mix.Name}
+		var tradLat float64
+		for vi, v := range variants {
+			res := rs[mi*len(variants)+vi]
 			if v.Scheme == sim.Traditional {
 				tradLat = res.MeanORAMLatencyNS
 			}

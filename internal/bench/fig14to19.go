@@ -33,23 +33,28 @@ func Fig14(o Options) ([]Fig14Result, *Table, error) {
 	for _, v := range variants {
 		sums[v.Name] = &stats.Mean{}
 	}
-	for _, mix := range o.mixes() {
-		ins, err := sim.Run(o.base(sim.Insecure, mix))
-		if err != nil {
-			return nil, nil, err
-		}
-		row := Fig14Result{Mix: mix.Name, Slowdown: map[string]float64{}}
-		cells := []string{mix.Name}
+	g := o.newGrid()
+	stride := 1 + len(variants) // insecure baseline + every variant, per mix
+	for mi, mix := range o.mixes() {
+		g.add(o.base(sim.Insecure, mix), uint64(mi))
 		for _, v := range variants {
 			cfg := o.base(v.Scheme, mix)
 			cfg.QueueSize = v.Queue
 			cfg.Cache = v.Cache
 			cfg.CacheBytes = v.Bytes
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			s := res.ExecNS / ins.ExecNS
+			g.add(cfg, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mix := range o.mixes() {
+		ins := rs[mi*stride]
+		row := Fig14Result{Mix: mix.Name, Slowdown: map[string]float64{}}
+		cells := []string{mix.Name}
+		for vi, v := range variants {
+			s := rs[mi*stride+1+vi].ExecNS / ins.ExecNS
 			row.Slowdown[v.Name] = s
 			sums[v.Name].Add(s)
 			cells = append(cells, f2(s))
@@ -88,20 +93,26 @@ func Fig15(o Options) ([]Fig15Result, *Table, error) {
 	for _, v := range variants {
 		sums[v.Name] = &stats.Mean{}
 	}
-	for _, mix := range o.mixes() {
-		row := Fig15Result{Mix: mix.Name, Norm: map[string]float64{}}
-		cells := []string{mix.Name}
-		var base float64
+	g := o.newGrid()
+	for mi, mix := range o.mixes() {
 		for _, v := range variants {
 			cfg := o.base(v.Scheme, mix)
 			cfg.QueueSize = v.Queue
 			cfg.Cache = v.Cache
 			cfg.CacheBytes = v.Bytes
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			e := res.Energy.TotalMJ()
+			g.add(cfg, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mix := range o.mixes() {
+		row := Fig15Result{Mix: mix.Name, Norm: map[string]float64{}}
+		cells := []string{mix.Name}
+		var base float64
+		for vi, v := range variants {
+			e := rs[mi*len(variants)+vi].Energy.TotalMJ()
 			if v.Scheme == sim.Traditional {
 				base = e
 			}
@@ -137,19 +148,29 @@ func Fig16(o Options) ([]Fig16Result, *Table, error) {
 	t := &Table{Title: "Figure 16: normalized ORAM latency, in-order vs out-of-order",
 		Columns: []string{"mix", "inorder fork/trad", "ooo fork/trad", "inorder dummy%", "ooo dummy%"}}
 	var out []Fig16Result
-	for _, mix := range o.mixes() {
-		r := Fig16Result{Mix: mix.Name}
-		for _, model := range []cpu.Model{cpu.InOrder, cpu.OutOfOrder} {
+	models := []cpu.Model{cpu.InOrder, cpu.OutOfOrder}
+	g := o.newGrid()
+	for mi, mix := range o.mixes() {
+		for _, model := range models {
 			cfgT := o.base(sim.Traditional, mix)
 			cfgT.CoreModel = model
+			g.add(cfgT, uint64(mi))
 			cfgF := o.base(sim.ForkPath, mix)
 			cfgF.CoreModel = model
 			cfgF.Cache = sim.CacheMAC
 			cfgF.CacheBytes = 1 << 20
-			trad, fk, err := runPair(cfgT, cfgF)
-			if err != nil {
-				return nil, nil, err
-			}
+			g.add(cfgF, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, mix := range o.mixes() {
+		r := Fig16Result{Mix: mix.Name}
+		for di, model := range models {
+			trad := rs[mi*2*len(models)+2*di]
+			fk := rs[mi*2*len(models)+2*di+1]
 			norm := fk.MeanORAMLatencyNS / trad.MeanORAMLatencyNS
 			dummy := float64(fk.DummyAccesses) / float64(fk.TotalAccesses())
 			if model == cpu.InOrder {
@@ -178,9 +199,11 @@ func Fig17a(o Options) ([]Fig17aResult, *Table, error) {
 	t := &Table{Title: "Figure 17(a): normalized ORAM latency vs thread count (geomean)",
 		Columns: []string{"threads", "fork+1M MAC / traditional"}}
 	var out []Fig17aResult
-	for _, threads := range []int{1, 2, 4, 8} {
-		var norms []float64
-		for _, mix := range o.mixes() {
+	threadCounts := []int{1, 2, 4, 8}
+	mixes := o.mixes()
+	g := o.newGrid()
+	for _, threads := range threadCounts {
+		for mi, mix := range mixes {
 			members := make([]string, threads)
 			for i := 0; i < threads; i++ {
 				members[i] = mix.Members[i%4]
@@ -188,23 +211,32 @@ func Fig17a(o Options) ([]Fig17aResult, *Table, error) {
 			cfgT := o.base(sim.Traditional, mix)
 			cfgT.Cores = threads
 			cfgT.Workloads = members
+			g.add(cfgT, uint64(mi))
 			cfgF := o.base(sim.ForkPath, mix)
 			cfgF.Cores = threads
 			cfgF.Workloads = members
 			cfgF.Cache = sim.CacheMAC
 			cfgF.CacheBytes = 1 << 20
-			trad, fk, err := runPair(cfgT, cfgF)
-			if err != nil {
-				return nil, nil, err
-			}
+			g.add(cfgF, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for ti, threads := range threadCounts {
+		var norms []float64
+		for mi := range mixes {
+			trad := rs[(ti*len(mixes)+mi)*2]
+			fk := rs[(ti*len(mixes)+mi)*2+1]
 			norms = append(norms, fk.MeanORAMLatencyNS/trad.MeanORAMLatencyNS)
 		}
-		g, err := stats.Geomean(norms)
+		gm, err := stats.Geomean(norms)
 		if err != nil {
 			return nil, nil, err
 		}
-		out = append(out, Fig17aResult{Threads: threads, Norm: g})
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", threads), f3(g)})
+		out = append(out, Fig17aResult{Threads: threads, Norm: gm})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", threads), f3(gm)})
 	}
 	return out, t, nil
 }
@@ -225,30 +257,40 @@ func Fig17b(o Options) ([]Fig17bResult, *Table, error) {
 	t := &Table{Title: "Figure 17(b): normalized ORAM latency vs ORAM size (geomean)",
 		Columns: []string{"data blocks", "trad path len", "fork+1M MAC / traditional"}}
 	sizes := []uint64{o.DataBlocks >> 2, o.DataBlocks, o.DataBlocks << 2, o.DataBlocks << 3}
-	var out []Fig17bResult
+	mixes := o.mixes()[:min(3, o.Mixes)]
+	g := o.newGrid()
 	for _, size := range sizes {
-		var norms []float64
-		var pathLen float64
-		for _, mix := range o.mixes()[:min(3, o.Mixes)] {
+		for mi, mix := range mixes {
 			oo := o
 			oo.DataBlocks = size
 			cfgT := oo.base(sim.Traditional, mix)
+			g.add(cfgT, uint64(mi))
 			cfgF := oo.base(sim.ForkPath, mix)
 			cfgF.Cache = sim.CacheMAC
 			cfgF.CacheBytes = 1 << 20
-			trad, fk, err := runPair(cfgT, cfgF)
-			if err != nil {
-				return nil, nil, err
-			}
+			g.add(cfgF, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Fig17bResult
+	for si, size := range sizes {
+		var norms []float64
+		var pathLen float64
+		for mi := range mixes {
+			trad := rs[(si*len(mixes)+mi)*2]
+			fk := rs[(si*len(mixes)+mi)*2+1]
 			pathLen = trad.AvgPathBuckets
 			norms = append(norms, fk.MeanORAMLatencyNS/trad.MeanORAMLatencyNS)
 		}
-		g, err := stats.Geomean(norms)
+		gm, err := stats.Geomean(norms)
 		if err != nil {
 			return nil, nil, err
 		}
-		out = append(out, Fig17bResult{DataBlocks: size, PathLen: pathLen, Norm: g})
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", size), f2(pathLen), f3(g)})
+		out = append(out, Fig17bResult{DataBlocks: size, PathLen: pathLen, Norm: gm})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", size), f2(pathLen), f3(gm)})
 	}
 	return out, t, nil
 }
@@ -265,28 +307,39 @@ func Fig18(o Options) ([]Fig18Result, *Table, error) {
 	o = o.withDefaults()
 	t := &Table{Title: "Figure 18: speedup of ORAM latency vs DRAM channels (geomean)",
 		Columns: []string{"channels", "speedup (trad/fork)"}}
-	var out []Fig18Result
-	for _, ch := range []int{1, 2, 4} {
-		var ratios []float64
-		for _, mix := range o.mixes()[:min(4, o.Mixes)] {
+	channels := []int{1, 2, 4}
+	mixes := o.mixes()[:min(4, o.Mixes)]
+	g := o.newGrid()
+	for _, ch := range channels {
+		for mi, mix := range mixes {
 			cfgT := o.base(sim.Traditional, mix)
 			cfgT.Channels = ch
+			g.add(cfgT, uint64(mi))
 			cfgF := o.base(sim.ForkPath, mix)
 			cfgF.Channels = ch
 			cfgF.Cache = sim.CacheMAC
 			cfgF.CacheBytes = 1 << 20
-			trad, fk, err := runPair(cfgT, cfgF)
-			if err != nil {
-				return nil, nil, err
-			}
+			g.add(cfgF, uint64(mi))
+		}
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Fig18Result
+	for ci, ch := range channels {
+		var ratios []float64
+		for mi := range mixes {
+			trad := rs[(ci*len(mixes)+mi)*2]
+			fk := rs[(ci*len(mixes)+mi)*2+1]
 			ratios = append(ratios, trad.MeanORAMLatencyNS/fk.MeanORAMLatencyNS)
 		}
-		g, err := stats.Geomean(ratios)
+		gm, err := stats.Geomean(ratios)
 		if err != nil {
 			return nil, nil, err
 		}
-		out = append(out, Fig18Result{Channels: ch, Speedup: g})
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", ch), f2(g)})
+		out = append(out, Fig18Result{Channels: ch, Speedup: gm})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", ch), f2(gm)})
 	}
 	return out, t, nil
 }
@@ -303,21 +356,28 @@ func Fig19(o Options) ([]Fig19Result, *Table, error) {
 	o = o.withDefaults()
 	t := &Table{Title: "Figure 19: normalized ORAM latency, PARSEC-like 4-thread workloads",
 		Columns: []string{"workload", "fork+1M MAC / traditional"}}
-	var out []Fig19Result
-	for _, name := range workload.ParsecNames() {
+	names := workload.ParsecNames()
+	g := o.newGrid()
+	for wi, name := range names {
 		mk := func(scheme sim.Scheme) sim.Config {
 			cfg := o.base(scheme, workload.Mix{Members: [4]string{name, name, name, name}})
 			cfg.Multithreaded = true
 			cfg.Workloads = []string{name}
 			return cfg
 		}
+		g.add(mk(sim.Traditional), uint64(wi))
 		cfgF := mk(sim.ForkPath)
 		cfgF.Cache = sim.CacheMAC
 		cfgF.CacheBytes = 1 << 20
-		trad, fk, err := runPair(mk(sim.Traditional), cfgF)
-		if err != nil {
-			return nil, nil, err
-		}
+		g.add(cfgF, uint64(wi))
+	}
+	rs, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Fig19Result
+	for wi, name := range names {
+		trad, fk := rs[2*wi], rs[2*wi+1]
 		norm := fk.MeanORAMLatencyNS / trad.MeanORAMLatencyNS
 		out = append(out, Fig19Result{Workload: name, Norm: norm})
 		t.Rows = append(t.Rows, []string{name, f3(norm)})

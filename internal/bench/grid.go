@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"forkoram/internal/par"
+	"forkoram/internal/rng"
+	"forkoram/internal/sim"
+)
+
+// Simulation activity counters, accumulated across every generator run in
+// the process. Atomic because grid jobs execute on worker goroutines.
+var (
+	simRuns   atomic.Uint64
+	simBusyNS atomic.Int64
+)
+
+// ResetStats clears the cumulative simulation counters.
+func ResetStats() {
+	simRuns.Store(0)
+	simBusyNS.Store(0)
+}
+
+// Stats returns how many simulations have run and their aggregate busy
+// (single-threaded CPU) time. Busy time divided by wall time is the
+// effective parallel speedup of the harness.
+func Stats() (runs uint64, busy time.Duration) {
+	return simRuns.Load(), time.Duration(simBusyNS.Load())
+}
+
+// grid is the job list of one experiment generator: every simulation the
+// experiment needs, registered up front, then executed together by run
+// with bounded parallelism. Generators address results by the index add
+// returned, so assembly is independent of completion order, and parallel
+// output is bit-identical to sequential.
+type grid struct {
+	o    Options
+	cfgs []sim.Config
+}
+
+// newGrid starts an empty job list under these options.
+func (o Options) newGrid() *grid { return &grid{o: o} }
+
+// add registers one simulation belonging to comparison group `group` and
+// returns its job index. The config's seed is derived from (Options.Seed,
+// group): every job of one group — typically the traditional baseline and
+// the fork variants of one mix — replays the identical workload stream,
+// so their ratios compare like against like, while distinct groups get
+// well-separated streams.
+func (g *grid) add(cfg sim.Config, group uint64) int {
+	cfg.Seed = rng.SeedAt(g.o.Seed, group)
+	g.cfgs = append(g.cfgs, cfg)
+	return len(g.cfgs) - 1
+}
+
+// run executes every registered job on up to Options.Parallel workers
+// (0 = one per CPU) and returns results in registration order. Safe
+// because sim.Run builds all simulation state from its config and shares
+// nothing; on failure the lowest-indexed job's error is returned.
+func (g *grid) run() ([]sim.Result, error) {
+	return par.Map(g.o.Parallel, g.cfgs, func(_ int, cfg sim.Config) (sim.Result, error) {
+		t0 := time.Now()
+		res, err := sim.Run(cfg)
+		simBusyNS.Add(int64(time.Since(t0)))
+		simRuns.Add(1)
+		return res, err
+	})
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelDeterminism checks the harness's core guarantee: a
+// generator's rendered output is bit-identical whether its jobs run
+// sequentially or on four workers. Fig13 exercises a full (mix ×
+// variant) grid including the traditional baseline rows.
+func TestParallelDeterminism(t *testing.T) {
+	o := Options{DataBlocks: 1 << 18, RequestsPerCore: 400, Mixes: 2, Seed: 7}
+
+	render := func(parallel int) string {
+		oo := o
+		oo.Parallel = parallel
+		_, tbl, err := Fig13(oo)
+		if err != nil {
+			t.Fatalf("Fig13 (parallel=%d): %v", parallel, err)
+		}
+		var b bytes.Buffer
+		if err := tbl.Render(&b); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return b.String()
+	}
+
+	seq := render(1)
+	par4 := render(4)
+	if seq != par4 {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel=4 ---\n%s", seq, par4)
+	}
+}
+
+// TestParallelStashStudy does the same for the one generator that does
+// not go through sim.Run.
+func TestParallelStashStudy(t *testing.T) {
+	o := Options{RequestsPerCore: 100, Seed: 7}
+
+	run := func(parallel int) []StashStudyResult {
+		oo := o
+		oo.Parallel = parallel
+		rs, _, err := StashStudy(oo)
+		if err != nil {
+			t.Fatalf("StashStudy (parallel=%d): %v", parallel, err)
+		}
+		return rs
+	}
+
+	seq := run(1)
+	par4 := run(4)
+	if len(seq) != len(par4) {
+		t.Fatalf("result count differs: %d vs %d", len(seq), len(par4))
+	}
+	for i := range seq {
+		if seq[i] != par4[i] {
+			t.Errorf("point %d differs: sequential %+v, parallel %+v", i, seq[i], par4[i])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"forkoram/internal/block"
+	"forkoram/internal/fork"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/posmap"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// AccessLoopStats measures the steady-state cost of the fork-engine ORAM
+// access loop — the same loop internal/fork's BenchmarkAccessAllocs
+// times — without the testing framework, so cmd/orambench can embed the
+// numbers in its perf-trajectory JSON. It returns heap allocations and
+// wall nanoseconds per engine step, averaged over iters steps after a
+// warmup that fills the tree to 50% utilization.
+func AccessLoopStats(iters int) (allocsPerOp, nsPerOp float64, err error) {
+	const leafLevel = 11
+	tr := tree.MustNew(leafLevel)
+	store, err := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 64})
+	if err != nil {
+		return 0, 0, err
+	}
+	ctl, err := pathoram.NewController(pathoram.Config{Tree: tr, StashCapacity: 200}, store)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng, err := fork.NewEngine(fork.Config{
+		QueueSize: 64, AgeThreshold: 1024, MergeEnabled: true, DummyReplaceEnabled: true,
+	}, ctl, rng.New(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	pos := posmap.New(tr, rng.New(2))
+	r := rng.New(3)
+	blocks := uint64(4*tr.Nodes()) / 2 // 50% utilization
+	id := uint64(0)
+	push := func(addr uint64) {
+		old, _, next := pos.Remap(addr)
+		id++
+		a, nl := addr, next
+		it := &fork.Item{ID: id, Addr: a, OldLabel: old, NewLabel: nl}
+		it.Serve = func() error {
+			_, err := ctl.FetchBlock(pathoram.OpRead, a, nl, nil)
+			return err
+		}
+		eng.Enqueue(it)
+	}
+	var warm uint64
+	for warm < blocks {
+		for k := 0; k < 2 && eng.CanEnqueue() && warm < blocks; k++ {
+			push(warm)
+			warm++
+		}
+		if _, err := eng.Run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	for eng.RealQueued() > 0 {
+		if _, err := eng.Run(); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	if iters <= 0 {
+		iters = 2000
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		for k := 0; k < 2 && eng.CanEnqueue(); k++ {
+			push(r.Uint64n(blocks))
+		}
+		if _, err := eng.Run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	return allocsPerOp, nsPerOp, nil
+}

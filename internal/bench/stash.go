@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"forkoram/internal/block"
 	"forkoram/internal/fork"
+	"forkoram/internal/par"
 	"forkoram/internal/pathoram"
 	"forkoram/internal/posmap"
 	"forkoram/internal/rng"
@@ -25,94 +27,112 @@ type StashStudyResult struct {
 // utilization, Z >= 4 and C >= 200 the stash-overflow probability is
 // negligible; smaller Z or higher utilization degrade it. Run under the
 // Fork Path engine at maximal load (the paper argues in §3.6 that merging
-// does not change the occupancy distribution).
+// does not change the occupancy distribution). The nine (Z, utilization)
+// points are independent fork-engine instances, so they run on the
+// Options.Parallel worker pool like the sim-based generators.
 func StashStudy(o Options) ([]StashStudyResult, *Table, error) {
 	o = o.withDefaults()
 	const leafLevel = 11 // 2^11 leaves
 	const capacityC = 200
 	accesses := int(o.RequestsPerCore) * 8
-	var out []StashStudyResult
 	t := &Table{
 		Title:   "Stash study (§2.3): occupancy vs Z and tree utilization, C = 200",
 		Columns: []string{"Z", "utilization", "max occupancy", "mean occupancy", "overflow rate"},
 		Notes:   fmt.Sprintf("%d fork-engine accesses per point, 2^%d-leaf tree", accesses, leafLevel),
 	}
+	type point struct {
+		z    int
+		util float64
+	}
+	var points []point
 	for _, z := range []int{3, 4, 5} {
 		for _, util := range []float64{0.50, 0.75, 0.90} {
-			tr := tree.MustNew(leafLevel)
-			totalSlots := float64(z) * float64(tr.Nodes())
-			blocks := uint64(util * totalSlots)
-			store, err := storage.NewMeta(tr, block.Geometry{Z: z, PayloadSize: 64})
-			if err != nil {
-				return nil, nil, err
-			}
-			ctl, err := pathoram.NewController(pathoram.Config{Tree: tr, StashCapacity: capacityC}, store)
-			if err != nil {
-				return nil, nil, err
-			}
-			eng, err := fork.NewEngine(fork.Config{
-				QueueSize: 64, AgeThreshold: 1024, MergeEnabled: true, DummyReplaceEnabled: true,
-			}, ctl, rng.New(o.Seed))
-			if err != nil {
-				return nil, nil, err
-			}
-			pos := posmap.New(tr, rng.New(o.Seed+1))
-			r := rng.New(o.Seed + 2)
-			id := uint64(0)
-			push := func(addr uint64) {
-				old, _, next := pos.Remap(addr)
-				id++
-				a, nl := addr, next
-				it := &fork.Item{ID: id, Addr: a, OldLabel: old, NewLabel: nl}
-				it.Serve = func() error {
-					_, err := ctl.FetchBlock(pathoram.OpRead, a, nl, nil)
-					return err
-				}
-				eng.Enqueue(it)
-			}
-			// Warmup: materialize every block so the tree actually holds
-			// `util` of its slots before measuring.
-			var warm uint64
-			for warm < blocks {
-				for k := 0; k < 2 && eng.CanEnqueue() && warm < blocks; k++ {
-					push(warm)
-					warm++
-				}
-				if _, err := eng.Run(); err != nil {
-					return nil, nil, err
-				}
-			}
-			for eng.RealQueued() > 0 {
-				if _, err := eng.Run(); err != nil {
-					return nil, nil, err
-				}
-			}
-			ctl.Stash().ResetStats()
-			maxOcc := 0
-			for i := 0; i < accesses; i++ {
-				for k := 0; k < 2 && eng.CanEnqueue(); k++ {
-					push(r.Uint64n(blocks))
-				}
-				if _, err := eng.Run(); err != nil {
-					return nil, nil, err
-				}
-				if l := ctl.Stash().Len(); l > maxOcc {
-					maxOcc = l
-				}
-			}
-			st := ctl.Stash().Stats()
-			res := StashStudyResult{
-				Z: z, Utilization: util,
-				MaxOccupancy: maxOcc,
-				MeanOcc:      st.MeanOccupancy,
-				OverflowRate: st.OverflowRate,
-			}
-			out = append(out, res)
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", z), fmt.Sprintf("%.0f%%", util*100),
-				fmt.Sprintf("%d", maxOcc), f2(st.MeanOccupancy), f3(st.OverflowRate),
-			})
+			points = append(points, point{z, util})
 		}
+	}
+	out, err := par.Map(o.Parallel, points, func(_ int, p point) (StashStudyResult, error) {
+		t0 := time.Now()
+		defer func() {
+			simBusyNS.Add(int64(time.Since(t0)))
+			simRuns.Add(1)
+		}()
+		tr := tree.MustNew(leafLevel)
+		totalSlots := float64(p.z) * float64(tr.Nodes())
+		blocks := uint64(p.util * totalSlots)
+		store, err := storage.NewMeta(tr, block.Geometry{Z: p.z, PayloadSize: 64})
+		if err != nil {
+			return StashStudyResult{}, err
+		}
+		ctl, err := pathoram.NewController(pathoram.Config{Tree: tr, StashCapacity: capacityC}, store)
+		if err != nil {
+			return StashStudyResult{}, err
+		}
+		eng, err := fork.NewEngine(fork.Config{
+			QueueSize: 64, AgeThreshold: 1024, MergeEnabled: true, DummyReplaceEnabled: true,
+		}, ctl, rng.New(o.Seed))
+		if err != nil {
+			return StashStudyResult{}, err
+		}
+		pos := posmap.New(tr, rng.New(o.Seed+1))
+		r := rng.New(o.Seed + 2)
+		id := uint64(0)
+		push := func(addr uint64) {
+			old, _, next := pos.Remap(addr)
+			id++
+			a, nl := addr, next
+			it := &fork.Item{ID: id, Addr: a, OldLabel: old, NewLabel: nl}
+			it.Serve = func() error {
+				_, err := ctl.FetchBlock(pathoram.OpRead, a, nl, nil)
+				return err
+			}
+			eng.Enqueue(it)
+		}
+		// Warmup: materialize every block so the tree actually holds
+		// `util` of its slots before measuring.
+		var warm uint64
+		for warm < blocks {
+			for k := 0; k < 2 && eng.CanEnqueue() && warm < blocks; k++ {
+				push(warm)
+				warm++
+			}
+			if _, err := eng.Run(); err != nil {
+				return StashStudyResult{}, err
+			}
+		}
+		for eng.RealQueued() > 0 {
+			if _, err := eng.Run(); err != nil {
+				return StashStudyResult{}, err
+			}
+		}
+		ctl.Stash().ResetStats()
+		maxOcc := 0
+		for i := 0; i < accesses; i++ {
+			for k := 0; k < 2 && eng.CanEnqueue(); k++ {
+				push(r.Uint64n(blocks))
+			}
+			if _, err := eng.Run(); err != nil {
+				return StashStudyResult{}, err
+			}
+			if l := ctl.Stash().Len(); l > maxOcc {
+				maxOcc = l
+			}
+		}
+		st := ctl.Stash().Stats()
+		return StashStudyResult{
+			Z: p.z, Utilization: p.util,
+			MaxOccupancy: maxOcc,
+			MeanOcc:      st.MeanOccupancy,
+			OverflowRate: st.OverflowRate,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, res := range out {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.Z), fmt.Sprintf("%.0f%%", res.Utilization*100),
+			fmt.Sprintf("%d", res.MaxOccupancy), f2(res.MeanOcc), f3(res.OverflowRate),
+		})
 	}
 	return out, t, nil
 }

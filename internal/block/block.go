@@ -14,6 +14,34 @@ import (
 	"fmt"
 )
 
+// zeroPayload backs ZeroPayload: one fixed, never-mutated buffer shared by
+// every dummy payload up to zeroPayloadSize bytes. It is deliberately not
+// growable — a stable backing array is what lets holders detect aliasing
+// (pathoram's copy-on-write) with a plain pointer comparison.
+const zeroPayloadSize = 64 << 10
+
+var zeroPayload [zeroPayloadSize]byte
+
+// ZeroPayload returns an all-zero payload of the given size, shared and
+// READ-ONLY: callers must never write through it. Dummy payloads are
+// write-once-nothing by construction, so sharing one zero buffer removes a
+// per-dummy allocation from every hot path that materializes dummies.
+// Sizes beyond 64 KiB fall back to a private allocation.
+func ZeroPayload(size int) []byte {
+	if size <= zeroPayloadSize {
+		return zeroPayload[:size:size]
+	}
+	return make([]byte, size)
+}
+
+// AliasesZero reports whether p points into the shared zero buffer, i.e.
+// was produced by ZeroPayload (for sizes within the shared range). Holders
+// that need to mutate such a payload must replace it with a private copy
+// first.
+func AliasesZero(p []byte) bool {
+	return len(p) > 0 && &p[0] == &zeroPayload[0]
+}
+
 // DummyAddr is the reserved program address marking a dummy block. Real
 // program addresses must be below DummyAddr.
 const DummyAddr = ^uint64(0)
@@ -34,8 +62,17 @@ type Block struct {
 func (b Block) IsDummy() bool { return b.Addr == DummyAddr }
 
 // Dummy returns a dummy block with a zeroed payload of the given size.
+// The payload is the shared ZeroPayload buffer: read-only by contract.
 func Dummy(size int) Block {
-	return Block{Addr: DummyAddr, Data: make([]byte, size)}
+	return Block{Addr: DummyAddr, Data: ZeroPayload(size)}
+}
+
+// NewDummyInto resets b in place to a dummy block with a shared zero
+// payload of the given size, without allocating.
+func NewDummyInto(b *Block, size int) {
+	b.Addr = DummyAddr
+	b.Label = 0
+	b.Data = ZeroPayload(size)
 }
 
 // EncodedBlockSize returns the wire size of one block with the given

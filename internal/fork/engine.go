@@ -111,6 +111,14 @@ type Engine struct {
 	prevLabel tree.Label
 	havePrev  bool
 
+	// acc is the reusable Access handed out by Begin: one access is in
+	// flight at a time, so the record (and its node slices) is recycled.
+	// It is valid until the next Begin.
+	acc Access
+	// free recycles label-queue entries: the queue holds a constant Q
+	// entries plus one in flight, so after warmup no entry is allocated.
+	free []*entry
+
 	seq uint64
 
 	hasCurrent    bool
@@ -140,13 +148,33 @@ func (e *Engine) randomLabel() tree.Label {
 	return tree.Label(e.rnd.Uint64n(e.tr.Leaves()))
 }
 
+// newEntry takes an entry off the freelist (or allocates one) and
+// initializes it with the next sequence number.
+func (e *Engine) newEntry(label tree.Label, item *Item) *entry {
+	e.seq++
+	var en *entry
+	if n := len(e.free); n > 0 {
+		en = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		en = new(entry)
+	}
+	*en = entry{label: label, item: item, seq: e.seq}
+	return en
+}
+
+// release returns a consumed entry to the freelist.
+func (e *Engine) release(en *entry) {
+	en.item = nil
+	e.free = append(e.free, en)
+}
+
 // fill pads the queue with dummy entries up to Q, keeping its externally
 // visible size constant so queue occupancy never reflects LLC intensity
 // (§3.4, Figure 7).
 func (e *Engine) fill() {
 	for len(e.queue) < e.cfg.QueueSize {
-		e.seq++
-		e.queue = append(e.queue, &entry{label: e.randomLabel(), seq: e.seq})
+		e.queue = append(e.queue, e.newEntry(e.randomLabel(), nil))
 	}
 }
 
@@ -232,24 +260,26 @@ func (e *Engine) Enqueue(it *Item) bool {
 			}
 			// Real pending: swap only if the incoming request overlaps the
 			// current path strictly more, and a dummy slot exists for the
-			// displaced pending.
+			// displaced pending. The displaced request re-enters the queue
+			// in the discarded dummy's slot (reused in place) with a fresh
+			// sequence number.
 			if e.tr.Overlap(e.current.Label, it.OldLabel) > e.tr.Overlap(e.current.Label, e.pending.label) {
 				if di := e.firstDummy(); di >= 0 {
-					displaced := *e.pending
+					d := e.queue[di]
+					e.seq++
+					d.label, d.item, d.age, d.seq = e.pending.label, e.pending.item, e.pending.age, e.seq
 					e.pending.label = it.OldLabel
 					e.pending.item = it
 					e.pending.age = 0
-					e.seq++
-					displaced.seq = e.seq
-					e.queue[di] = &displaced
 					return true
 				}
 			}
 		}
 	}
 	if di := e.firstDummy(); di >= 0 {
+		d := e.queue[di]
 		e.seq++
-		e.queue[di] = &entry{label: it.OldLabel, item: it, seq: e.seq}
+		d.label, d.item, d.age, d.seq = it.OldLabel, it, 0, e.seq
 		return true
 	}
 	return false
@@ -331,8 +361,7 @@ func (e *Engine) pickPending(cur tree.Label) *entry {
 	if best < 0 {
 		// Every entry is order-blocked (only possible when the queue is
 		// saturated with requests to one address); fall back to a dummy.
-		e.seq++
-		return &entry{label: e.randomLabel(), seq: e.seq}
+		return e.newEntry(e.randomLabel(), nil)
 	}
 	chosen := e.queue[best]
 	e.queue = append(e.queue[:best], e.queue[best+1:]...)
@@ -352,6 +381,11 @@ func (e *Engine) pickPending(cur tree.Label) *entry {
 // exists, one is picked directly), its non-overlapped path segment is read
 // into the stash, the real request (if any) is served, and a new pending
 // is scheduled for merging with this access's write phase.
+//
+// The returned Access and its node slices are valid until the next Begin:
+// only one access is in flight at a time, so the engine recycles one
+// record. Callers that keep node lists across accesses (e.g. an adversary
+// monitor) must copy them.
 func (e *Engine) Begin() (*Access, error) {
 	if e.hasCurrent && !e.current.finished {
 		return nil, fmt.Errorf("fork: Begin while an access is in flight")
@@ -362,8 +396,7 @@ func (e *Engine) Begin() (*Access, error) {
 		// Background eviction: run a drain dummy now; the scheduled
 		// pending (if any) keeps its turn for the following access, and
 		// this access's write phase still merges against it.
-		e.seq++
-		cur = &entry{label: e.randomLabel(), seq: e.seq}
+		cur = e.newEntry(e.randomLabel(), nil)
 		e.bgEvictions++
 	case e.pending != nil:
 		cur = e.pending
@@ -373,7 +406,15 @@ func (e *Engine) Begin() (*Access, error) {
 	}
 	e.pendingRevealed = false
 
-	acc := &Access{Label: cur.label, Item: cur.item, writeLevel: int(e.tr.LeafLevel())}
+	// Recycle the single in-flight Access record and its node slices; the
+	// previous record is invalid from here on (Begin's documented contract).
+	acc := &e.acc
+	*acc = Access{
+		Label: cur.label, Item: cur.item,
+		ReadNodes:  acc.ReadNodes[:0],
+		WriteNodes: acc.WriteNodes[:0],
+		writeLevel: int(e.tr.LeafLevel()),
+	}
 	e.current = acc
 	e.hasCurrent = true
 	if cur.real() {
@@ -389,7 +430,7 @@ func (e *Engine) Begin() (*Access, error) {
 	}
 	var err error
 	if readFrom <= e.tr.LeafLevel() {
-		acc.ReadNodes, err = e.ctl.ReadRange(cur.label, readFrom, nil)
+		acc.ReadNodes, err = e.ctl.ReadRange(cur.label, readFrom, acc.ReadNodes)
 		if err != nil {
 			return nil, err
 		}
@@ -406,6 +447,8 @@ func (e *Engine) Begin() (*Access, error) {
 	if e.pending == nil {
 		e.pending = e.pickPending(cur.label)
 	}
+	// cur's fields now live in acc; the queue slot cycles back for reuse.
+	e.release(cur)
 	return acc, nil
 }
 

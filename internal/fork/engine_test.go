@@ -147,7 +147,12 @@ func TestForkShapeInvariant(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		accs = append(accs, a)
+		// The engine recycles its Access record: snapshot it.
+		accs = append(accs, &Access{
+			Label: a.Label, Item: a.Item,
+			ReadNodes:  append([]tree.Node(nil), a.ReadNodes...),
+			WriteNodes: append([]tree.Node(nil), a.WriteNodes...),
+		})
 	}
 	for i, a := range accs {
 		readFrom := uint(0)

@@ -1,0 +1,115 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must default to at least 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+}
+
+// TestParallelMapOrder checks that results come back in input order for
+// every worker count, including counts far above the job count.
+func TestParallelMapOrder(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i * 3
+	}
+	for _, workers := range []int{1, 2, 4, 16, 200} {
+		out, err := Map(workers, in, func(i, v int) (int, error) {
+			return v + i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*4 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*4)
+			}
+		}
+	}
+}
+
+// TestParallelMapFirstError checks that the lowest-indexed error wins
+// deterministically no matter which worker hits its failure first.
+func TestParallelMapFirstError(t *testing.T) {
+	in := make([]int, 64)
+	for _, workers := range []int{1, 4, 32} {
+		_, err := Map(workers, in, func(i, _ int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: got %v, want the lowest-indexed failure", workers, err)
+		}
+	}
+}
+
+// TestParallelForEachStops checks that a failure prevents jobs that have
+// not started yet from running (with one worker, nothing after the
+// failure may execute).
+func TestParallelForEachStops(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("ran %d jobs sequentially after a failure at 5", ran.Load())
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	out, err := Map(4, nil, func(i, v int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: out=%v err=%v", out, err)
+	}
+}
+
+// TestParallelMapConcurrency checks that more than one job really is in
+// flight at once when workers > 1.
+func TestParallelMapConcurrency(t *testing.T) {
+	const workers = 4
+	gate := make(chan struct{})
+	var peak atomic.Int64
+	var cur atomic.Int64
+	in := make([]int, workers)
+	_, err := Map(workers, in, func(i, _ int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		if n == workers { // last one in opens the gate
+			close(gate)
+		}
+		<-gate
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != workers {
+		t.Fatalf("peak concurrency %d, want %d", peak.Load(), workers)
+	}
+}

@@ -1,0 +1,41 @@
+package pathoram
+
+import (
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// BenchmarkAccessAllocs measures steady-state allocations per baseline
+// Path ORAM access over a metadata backend (the timing-simulation
+// configuration). Companion to the fork-engine benchmark of the same name.
+func BenchmarkAccessAllocs(b *testing.B) {
+	const leafLevel = 11
+	tr := tree.MustNew(leafLevel)
+	store, err := storage.NewMeta(tr, block.Geometry{Z: 4, PayloadSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(Config{Tree: tr, StashCapacity: 200}, store, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	blocks := uint64(4*tr.Nodes()) / 2 // 50% utilization
+	for a := uint64(0); a < blocks; a++ {
+		if _, _, err := o.Access(OpRead, a, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Access(OpRead, r.Uint64n(blocks), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

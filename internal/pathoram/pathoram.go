@@ -65,6 +65,8 @@ type Controller struct {
 	track bool
 	geo   block.Geometry
 	err   error
+
+	evictBuf []block.Block // scratch for path refills; reused every bucket write
 }
 
 // NewController creates a controller. The bucket capacity Z comes from the
@@ -132,7 +134,8 @@ func (c *Controller) WriteRange(label tree.Label, fromLevel uint, dst []tree.Nod
 	}
 	for i := int(c.tr.LeafLevel()); i >= int(fromLevel); i-- {
 		n := c.tr.NodeAt(label, uint(i))
-		bk := block.Bucket{Blocks: c.stash.EvictFor(n, c.z)}
+		c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)
+		bk := block.Bucket{Blocks: c.evictBuf}
 		if err := c.store.WriteBucket(n, &bk); err != nil {
 			c.err = err
 			return dst, err
@@ -151,7 +154,8 @@ func (c *Controller) WriteLevel(label tree.Label, level uint) (tree.Node, error)
 		return 0, c.err
 	}
 	n := c.tr.NodeAt(label, level)
-	bk := block.Bucket{Blocks: c.stash.EvictFor(n, c.z)}
+	c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)
+	bk := block.Bucket{Blocks: c.evictBuf}
 	if err := c.store.WriteBucket(n, &bk); err != nil {
 		c.err = err
 		return 0, err
@@ -174,16 +178,20 @@ func (c *Controller) FetchBlock(op Op, addr uint64, newLabel tree.Label, data []
 	if !ok {
 		// First-ever touch: the block does not exist in the tree yet.
 		// Materialize a zero block, as real controllers do for
-		// never-written memory.
+		// never-written memory. The payload is the shared read-only zero
+		// buffer; any mutation below copies it out first.
 		b = block.Block{Addr: addr}
 		if c.track {
-			b.Data = make([]byte, c.geo.PayloadSize)
+			b.Data = block.ZeroPayload(c.geo.PayloadSize)
 		}
 	}
 	b.Label = newLabel
 	if op == OpWrite && c.track {
 		if len(data) != c.geo.PayloadSize {
 			return nil, fmt.Errorf("pathoram: write payload %d bytes, want %d", len(data), c.geo.PayloadSize)
+		}
+		if block.AliasesZero(b.Data) {
+			b.Data = make([]byte, c.geo.PayloadSize)
 		}
 		copy(b.Data, data)
 	}
@@ -236,7 +244,8 @@ func (o *ORAM) PositionMap() *posmap.Map { return o.pos }
 // Access performs one ORAM request. For OpWrite, data must be a full
 // payload (ignored when data tracking is off). The returned payload is the
 // block contents after the operation. The returned Access record is what
-// the adversary observes.
+// the adversary observes; its node slices are reused by the next access,
+// so callers that keep them must copy.
 func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, Access, error) {
 	// Step 1: stash hit returns immediately with no memory access; the
 	// block is still remapped so its label stays fresh.
@@ -258,7 +267,7 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, Access, error) {
 	if err != nil {
 		return nil, Access{}, err
 	}
-	acc.ReadNodes = append([]tree.Node(nil), o.readBuf...)
+	acc.ReadNodes = o.readBuf
 	// Step 4: fetch, mutate, relabel.
 	out, err := o.ctl.FetchBlock(op, addr, newLabel, data)
 	if err != nil {
@@ -269,7 +278,7 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, Access, error) {
 	if err != nil {
 		return nil, Access{}, err
 	}
-	acc.WriteNodes = append([]tree.Node(nil), o.writeBuf...)
+	acc.WriteNodes = o.writeBuf
 	o.ctl.EndAccess()
 	return out, acc, nil
 }
@@ -285,12 +294,12 @@ func (o *ORAM) DummyAccess() (Access, error) {
 	if err != nil {
 		return Access{}, err
 	}
-	acc.ReadNodes = append([]tree.Node(nil), o.readBuf...)
+	acc.ReadNodes = o.readBuf
 	o.writeBuf, err = o.ctl.WriteRange(label, 0, o.writeBuf[:0])
 	if err != nil {
 		return Access{}, err
 	}
-	acc.WriteNodes = append([]tree.Node(nil), o.writeBuf...)
+	acc.WriteNodes = o.writeBuf
 	o.ctl.EndAccess()
 	return acc, nil
 }

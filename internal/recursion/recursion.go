@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"forkoram/internal/block"
 	"forkoram/internal/pathoram"
 	"forkoram/internal/rng"
 	"forkoram/internal/storage"
@@ -433,6 +434,11 @@ func (h *Hierarchy) updatePosMapPayload(req Request) error {
 	b, ok := h.ctl.Stash().Get(req.Addr)
 	if !ok {
 		return fmt.Errorf("recursion: position-map block %d vanished from stash", req.Addr)
+	}
+	// First-touch blocks carry the shared read-only zero payload; entries
+	// are written in place below, so materialize a private copy first.
+	if block.AliasesZero(b.Data) {
+		b.Data = make([]byte, len(b.Data))
 	}
 	lvl := h.levels[req.Depth-1]
 	// With super blocks, the whole group of a depth-0 child shares one

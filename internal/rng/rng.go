@@ -127,3 +127,15 @@ func (r *Source) Perm(n int) []int {
 func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
+
+// SeedAt returns the i-th output of the splitmix64 stream seeded by seed:
+// a well-separated derived seed that depends only on (seed, i), never on
+// evaluation order. The experiment harness uses it to give every
+// independent job of a parallel grid its own seed while keeping parallel
+// and sequential execution bit-identical.
+func SeedAt(seed, i uint64) uint64 {
+	z := seed + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -128,7 +128,8 @@ func (m *machine) runTraditional() error {
 
 		start := m.now
 		m.tracer.Begin()
-		if _, err := ctl.ReadRange(it.OldLabel, 0, nil); err != nil {
+		var err error
+		if m.pathBuf, err = ctl.ReadRange(it.OldLabel, 0, m.pathBuf[:0]); err != nil {
 			return err
 		}
 		trace := m.tracer.End()
@@ -143,7 +144,7 @@ func (m *machine) runTraditional() error {
 		}
 
 		m.tracer.Begin()
-		if _, err := ctl.WriteRange(it.OldLabel, 0, nil); err != nil {
+		if m.pathBuf, err = ctl.WriteRange(it.OldLabel, 0, m.pathBuf[:0]); err != nil {
 			return err
 		}
 		wtrace := m.tracer.End()

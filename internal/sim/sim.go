@@ -23,6 +23,7 @@ import (
 	"forkoram/internal/stash"
 	"forkoram/internal/stats"
 	"forkoram/internal/storage"
+	"forkoram/internal/tree"
 	"forkoram/internal/workload"
 )
 
@@ -256,6 +257,8 @@ type machine struct {
 	fifo       []*fork.Item        // traditional-mode label queue
 	nextID     uint64
 	now        float64
+
+	pathBuf []tree.Node // scratch for traditional-mode path node lists
 
 	slot      float64 // next periodic issue slot
 	latency   stats.Mean

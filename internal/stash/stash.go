@@ -13,6 +13,7 @@ package stash
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"forkoram/internal/block"
@@ -24,6 +25,8 @@ type Stash struct {
 	tr       tree.Tree
 	capacity int // soft capacity C; 0 disables overflow accounting
 	blocks   map[uint64]block.Block
+
+	addrScratch []uint64 // reused by EvictAppend
 
 	maxOccupancy  int
 	overflowCount uint64
@@ -87,29 +90,38 @@ func (s *Stash) Len() int { return len(s.blocks) }
 // simulation deterministic regardless of map iteration order; any choice
 // preserves the invariant.
 func (s *Stash) EvictFor(n tree.Node, max int) []block.Block {
+	return s.EvictAppend(nil, n, max)
+}
+
+// EvictAppend is EvictFor with a caller-provided destination: evicted
+// blocks are appended to dst (typically a reused scratch slice reset with
+// dst[:0]) and the extended slice is returned. It allocates nothing when
+// dst has capacity; the address scratch used for deterministic ordering is
+// reused across calls.
+func (s *Stash) EvictAppend(dst []block.Block, n tree.Node, max int) []block.Block {
 	if max <= 0 {
-		return nil
+		return dst
 	}
 	level := s.tr.Level(n)
-	var addrs []uint64
+	addrs := s.addrScratch[:0]
 	for addr, b := range s.blocks {
 		if s.tr.NodeAt(b.Label, level) == n {
 			addrs = append(addrs, addr)
 		}
 	}
+	s.addrScratch = addrs
 	if len(addrs) == 0 {
-		return nil
+		return dst
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	if len(addrs) > max {
 		addrs = addrs[:max]
 	}
-	out := make([]block.Block, 0, len(addrs))
 	for _, addr := range addrs {
-		out = append(out, s.blocks[addr])
+		dst = append(dst, s.blocks[addr])
 		delete(s.blocks, addr)
 	}
-	return out
+	return dst
 }
 
 // EndAccess records occupancy statistics at the end of one ORAM access

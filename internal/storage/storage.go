@@ -25,11 +25,22 @@ import (
 // Backend is the plaintext-level view of untrusted memory used by ORAM
 // controllers: whole-bucket reads and writes addressed by tree node.
 // Implementations count accesses for the experiment harness.
+//
+// Buffer-reuse contract (what lets controllers run allocation-free):
+//   - ReadBucket results are valid only until the next ReadBucket on the
+//     same backend; implementations may return views into reused scratch.
+//     Callers that need the blocks longer must copy them out (the stash
+//     does, by storing block values in its map).
+//   - WriteBucket must not retain b.Blocks after it returns; the caller
+//     owns the slice and will reuse it. Decorators that cache buckets
+//     (internal/mac) copy the slice for exactly this reason.
 type Backend interface {
 	// ReadBucket returns the current contents of bucket n (real blocks
-	// only; dummies are implicit).
+	// only; dummies are implicit). The result is valid until the next
+	// ReadBucket call.
 	ReadBucket(n tree.Node) (block.Bucket, error)
-	// WriteBucket replaces the contents of bucket n.
+	// WriteBucket replaces the contents of bucket n. It must not retain
+	// b.Blocks.
 	WriteBucket(n tree.Node, b *block.Bucket) error
 	// Geometry returns the bucket shape.
 	Geometry() block.Geometry
@@ -52,6 +63,8 @@ type Mem struct {
 	eng  *crypt.Engine
 	data map[tree.Node][]byte
 	cnt  Counters
+
+	ptBuf []byte // plaintext staging buffer, reused by every read and write
 }
 
 // NewMem creates a Mem backend for the given tree and bucket geometry,
@@ -77,11 +90,19 @@ func (m *Mem) ReadBucket(n tree.Node) (block.Bucket, error) {
 	if !ok {
 		return block.Bucket{}, nil // never-written bucket: all dummies
 	}
-	pt := make([]byte, m.geo.BucketSize())
+	pt := m.pt()
 	if err := m.eng.Open(pt, ct); err != nil {
 		return block.Bucket{}, err
 	}
 	return m.geo.DecodeBucket(pt)
+}
+
+// pt returns the reusable plaintext staging buffer, sized to one bucket.
+func (m *Mem) pt() []byte {
+	if cap(m.ptBuf) < m.geo.BucketSize() {
+		m.ptBuf = make([]byte, m.geo.BucketSize())
+	}
+	return m.ptBuf[:m.geo.BucketSize()]
 }
 
 // WriteBucket implements Backend.
@@ -90,11 +111,20 @@ func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
 		return fmt.Errorf("storage: node %d out of range", n)
 	}
 	m.cnt.BucketWrites++
-	pt := make([]byte, m.geo.BucketSize())
+	pt := m.pt()
 	if err := m.geo.EncodeBucket(pt, b); err != nil {
 		return err
 	}
-	ct := make([]byte, crypt.SealedSize(len(pt)))
+	// Re-seal into the bucket's existing ciphertext slot when possible:
+	// after the tree's first full traversal, writes stop allocating. Safe
+	// because every reader (Integrity's hasher, the security tests) copies
+	// or consumes ciphertexts before the next write.
+	need := crypt.SealedSize(len(pt))
+	ct := m.data[n]
+	if cap(ct) < need {
+		ct = make([]byte, need)
+	}
+	ct = ct[:need]
 	if err := m.eng.Seal(ct, pt); err != nil {
 		return err
 	}
@@ -121,6 +151,8 @@ type Meta struct {
 	geo  block.Geometry
 	data map[tree.Node][]metaBlock
 	cnt  Counters
+
+	readBuf []block.Block // backs ReadBucket results (valid until next read)
 }
 
 type metaBlock struct {
@@ -143,11 +175,17 @@ func (m *Meta) ReadBucket(n tree.Node) (block.Bucket, error) {
 	}
 	m.cnt.BucketReads++
 	blocks := m.data[n]
-	var b block.Bucket
-	for _, mb := range blocks {
-		b.Blocks = append(b.Blocks, block.Block{Addr: mb.addr, Label: mb.label})
+	if len(blocks) == 0 {
+		return block.Bucket{}, nil
 	}
-	return b, nil
+	// Per the Backend contract the result is only valid until the next
+	// read, so one reused buffer backs every bucket handed out.
+	buf := m.readBuf[:0]
+	for _, mb := range blocks {
+		buf = append(buf, block.Block{Addr: mb.addr, Label: mb.label})
+	}
+	m.readBuf = buf
+	return block.Bucket{Blocks: buf}, nil
 }
 
 // WriteBucket implements Backend.
@@ -163,7 +201,13 @@ func (m *Meta) WriteBucket(n tree.Node, b *block.Bucket) error {
 		delete(m.data, n) // keep the lazy map sparse
 		return nil
 	}
-	mbs := make([]metaBlock, len(b.Blocks))
+	// Rewrite into the bucket's existing slot when capacity allows: in
+	// steady state path refills stop allocating entirely.
+	mbs := m.data[n]
+	if cap(mbs) < len(b.Blocks) {
+		mbs = make([]metaBlock, len(b.Blocks))
+	}
+	mbs = mbs[:len(b.Blocks)]
 	for i, blk := range b.Blocks {
 		mbs[i] = metaBlock{addr: blk.Addr, label: blk.Label}
 	}

@@ -26,18 +26,19 @@ type Tracer struct {
 // NewTracer wraps inner.
 func NewTracer(inner Backend) *Tracer { return &Tracer{inner: inner} }
 
-// Begin clears the trace window and starts recording.
+// Begin clears the trace window and starts recording. It invalidates the
+// Trace returned by the previous End: the node slices are reused.
 func (t *Tracer) Begin() {
-	t.cur = Trace{}
+	t.cur.Reads = t.cur.Reads[:0]
+	t.cur.Writes = t.cur.Writes[:0]
 	t.on = true
 }
 
-// End stops recording and returns the accumulated trace.
+// End stops recording and returns the accumulated trace. The returned
+// slices are valid until the next Begin.
 func (t *Tracer) End() Trace {
 	t.on = false
-	out := t.cur
-	t.cur = Trace{}
-	return out
+	return t.cur
 }
 
 // ReadBucket implements Backend.

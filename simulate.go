@@ -3,6 +3,7 @@ package forkoram
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"forkoram/internal/bench"
 	"forkoram/internal/rng"
@@ -55,9 +56,26 @@ func RunExperiment(name string, o ExperimentOptions, w io.Writer) error {
 	return bench.Run(name, o, w)
 }
 
-// RunAllExperiments regenerates every figure and ablation in order.
+// RunAllExperiments regenerates every figure and ablation in order. A
+// failing experiment does not stop the later ones; all failures are
+// joined into the returned error.
 func RunAllExperiments(o ExperimentOptions, w io.Writer) error {
 	return bench.All(o, w)
+}
+
+// ExperimentStats reports how many simulations the harness has run in
+// this process and their aggregate busy (single-threaded CPU) time.
+// Busy time divided by wall time is the effective parallel speedup.
+func ExperimentStats() (runs uint64, busy time.Duration) { return bench.Stats() }
+
+// ResetExperimentStats clears the cumulative simulation counters.
+func ResetExperimentStats() { bench.ResetStats() }
+
+// AccessLoopStats measures the steady-state fork-engine ORAM access
+// loop: heap allocations and wall nanoseconds per engine step, averaged
+// over iters steps (iters <= 0 picks a default).
+func AccessLoopStats(iters int) (allocsPerOp, nsPerOp float64, err error) {
+	return bench.AccessLoopStats(iters)
 }
 
 // Benchmarks returns the synthetic benchmark names of a group: "LG" (low
