@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench json
+.PHONY: build test race bench json chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,15 @@ bench:
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:
 	$(GO) run ./cmd/orambench -mixes 2 -requests 800 -json
+
+# Deterministic fault-injection campaign: 1000 transient schedules plus
+# 1000 corruption schedules, fixed seeds so failures replay exactly.
+# Exits non-zero on any silent corruption / untyped error.
+chaos:
+	$(GO) run ./cmd/forksim -faults -seed 1 -fault-schedules 1000
+	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 1000 -fault-rate 0.006
+
+# Coverage-guided fuzzing of the Device against a map oracle, with and
+# without fault injection (see FuzzDeviceOps in fuzz_test.go).
+fuzz:
+	$(GO) test -fuzz FuzzDeviceOps -fuzztime 60s .

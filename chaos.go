@@ -1,0 +1,468 @@
+package forkoram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"forkoram/internal/faults"
+	"forkoram/internal/pathoram"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// ChaosConfig parameterizes RunChaos: a randomized-but-deterministic
+// crash-and-corruption campaign against the Device. Every schedule is a
+// pure function of (Seed, schedule index), so a failing run replays
+// exactly from its seed.
+type ChaosConfig struct {
+	// Seed derives every schedule's workload, device and fault seeds.
+	Seed uint64
+	// Schedules is the number of independent fault schedules (default 100).
+	Schedules int
+	// Ops is the number of device operations per schedule (default 400).
+	Ops int
+	// Blocks / BlockSize size each schedule's device (defaults 96 / 32).
+	Blocks    uint64
+	BlockSize int
+	// Corruption includes the medium-corrupting fault kinds (bit flips,
+	// torn writes, stale replays). These schedules always run with
+	// Integrity enabled — without the Merkle layer, payload corruption is
+	// silent by design, which is the documented gap, not a finding.
+	// When false, only transient faults (retryable, medium-preserving)
+	// are injected and Integrity alternates per schedule.
+	Corruption bool
+	// FaultRate is the total fault probability per bucket operation,
+	// spread uniformly over the enabled kinds (default 0.004).
+	FaultRate float64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Schedules == 0 {
+		c.Schedules = 100
+	}
+	if c.Ops == 0 {
+		c.Ops = 400
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 96
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 32
+	}
+	if c.FaultRate == 0 {
+		c.FaultRate = 0.004
+	}
+	return c
+}
+
+// ChaosReport aggregates a RunChaos campaign.
+type ChaosReport struct {
+	Schedules int
+	Ops       uint64 // device operations attempted
+	Injected  faults.Counts
+	Retries   pathoram.RetryStats
+
+	TypedErrors     uint64 // operations failing with a typed error
+	Poisonings      uint64 // devices poisoned (each one then restored)
+	Restores        uint64 // successful checkpoint restores
+	RestoreRejected uint64 // restores rejected over a diverged medium (integrity)
+
+	// SilentCorruptions counts reads that returned wrong data without any
+	// error — the one thing the fault-tolerance layer must never allow.
+	SilentCorruptions uint64
+	// Violations holds descriptions of failures (silent corruptions,
+	// untyped errors, missed poisonings, ...), capped at 20.
+	Violations []string
+}
+
+// Ok reports whether the campaign finished with no violations.
+func (r *ChaosReport) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *ChaosReport) violate(format string, args ...any) {
+	if len(r.Violations) < 20 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// String renders the report for the CLI.
+func (r *ChaosReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos: %d schedules, %d ops\n", r.Schedules, r.Ops)
+	fmt.Fprintf(&b, "  injected: %d faults (%d transient-read, %d transient-write, %d dropped, %d torn, %d bit-flip, %d stale-replay)\n",
+		r.Injected.Total(), r.Injected.TransientReads, r.Injected.TransientWrites,
+		r.Injected.DroppedWrites, r.Injected.TornWrites, r.Injected.BitFlips, r.Injected.StaleReplays)
+	fmt.Fprintf(&b, "  retries: %d issued, %d accesses recovered, %d exhausted\n",
+		r.Retries.Retried, r.Retries.Recovered, r.Retries.Exhausted)
+	fmt.Fprintf(&b, "  failures: %d typed errors, %d poisonings, %d restores (%d rejected over diverged medium)\n",
+		r.TypedErrors, r.Poisonings, r.Restores, r.RestoreRejected)
+	fmt.Fprintf(&b, "  silent corruptions: %d\n", r.SilentCorruptions)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	if r.Ok() {
+		fmt.Fprintf(&b, "  ok: no silent corruption, every failure typed and recovered\n")
+	}
+	return b.String()
+}
+
+// typedFailure reports whether err belongs to the documented failure
+// taxonomy: transient storage failure, detected corruption, or the
+// poisoned-device marker. Anything else escaping a Device operation
+// under fault injection is a harness violation.
+func typedFailure(err error) bool {
+	return errors.Is(err, storage.ErrTransient) ||
+		errors.Is(err, storage.ErrCorrupt) ||
+		errors.Is(err, ErrPoisoned)
+}
+
+// RunChaos runs the fault-injection campaign: for each schedule it
+// builds a device (alternating Baseline and Fork variants) over a
+// deterministic fault injector, drives a random workload against it and
+// a plain map oracle, takes periodic quiescent checkpoints
+// (Snapshot + medium backup + oracle copy + Scrub), and on every failure
+// verifies the taxonomy end to end:
+//
+//   - the failed operation returned a typed error,
+//   - the device poisoned itself and refuses further operations,
+//   - with Integrity, restoring over the diverged medium is rejected
+//     (root mismatch), and
+//   - restoring the checkpoint (client snapshot + medium backup)
+//     resumes with every subsequent read matching the rolled-back
+//     oracle.
+//
+// A read that returns wrong bytes with a nil error — silent corruption —
+// is the failure mode the campaign exists to rule out.
+func RunChaos(cfg ChaosConfig) ChaosReport {
+	cfg = cfg.withDefaults()
+	rep := ChaosReport{Schedules: cfg.Schedules}
+	for i := 0; i < cfg.Schedules; i++ {
+		runSchedule(&rep, cfg, uint64(i))
+	}
+	return rep
+}
+
+// chaosState is one schedule's live state: the device under test, the
+// oracle, and the last committed checkpoint.
+type chaosState struct {
+	rep *ChaosReport
+	cfg ChaosConfig
+	idx uint64 // schedule index
+
+	d      *Device
+	oracle map[uint64][]byte
+
+	ckSnap   *Snapshot
+	ckMedium map[tree.Node][]byte
+	ckOracle map[uint64][]byte
+
+	restores int
+	dead     bool // schedule abandoned (restore budget or harness bug)
+}
+
+// runSchedule drives one fault schedule end to end.
+func runSchedule(rep *ChaosReport, cfg ChaosConfig, idx uint64) {
+	seed := rng.SeedAt(cfg.Seed, idx)
+	variant := Baseline
+	if idx%2 == 1 {
+		variant = Fork
+	}
+	integrity := cfg.Corruption || idx%4 < 2
+
+	fc := faults.Config{Seed: rng.SeedAt(seed, 1)}
+	if cfg.Corruption {
+		p := cfg.FaultRate / 6
+		fc.PTransientRead, fc.PTransientWrite, fc.PDroppedWrite = p, p, p
+		fc.PTornWrite, fc.PBitFlip, fc.PStaleReplay = p, p, p
+	} else {
+		p := cfg.FaultRate / 3
+		fc.PTransientRead, fc.PTransientWrite, fc.PDroppedWrite = p, p, p
+	}
+
+	// A third of the schedules run with retries disabled, so even plain
+	// transient faults exercise the poison-and-restore path (the stride
+	// is coprime to the integrity/variant strides, so every combination
+	// of variant × integrity × retries occurs).
+	retries := 0
+	if idx%3 == 0 {
+		retries = -1
+	}
+	d, err := NewDevice(DeviceConfig{
+		Blocks:    cfg.Blocks,
+		BlockSize: cfg.BlockSize,
+		QueueSize: 4,
+		Seed:      rng.SeedAt(seed, 2),
+		Variant:   variant,
+		Integrity: integrity,
+		Retries:   retries,
+		Faults:    &fc,
+	})
+	if err != nil {
+		rep.violate("schedule %d: NewDevice: %v", idx, err)
+		return
+	}
+	st := &chaosState{rep: rep, cfg: cfg, idx: idx, d: d, oracle: make(map[uint64][]byte)}
+	if !st.checkpoint() {
+		return
+	}
+
+	wl := rng.New(rng.SeedAt(seed, 3))
+	interval := cfg.Ops / 4
+	if interval == 0 {
+		interval = 1
+	}
+	var opCounter uint64
+	for op := 0; op < cfg.Ops && !st.dead; op++ {
+		rep.Ops++
+		addr := wl.Uint64n(cfg.Blocks)
+		if wl.Float64() < 0.5 {
+			opCounter++
+			data := chaosPayload(cfg.BlockSize, seed, opCounter)
+			if err := st.d.Write(addr, data); err != nil {
+				st.recover(err, fmt.Sprintf("write %d", addr))
+				continue
+			}
+			st.oracle[addr] = data
+		} else {
+			got, err := st.d.Read(addr)
+			if err != nil {
+				st.recover(err, fmt.Sprintf("read %d", addr))
+				continue
+			}
+			st.compare(addr, got)
+		}
+		if (op+1)%interval == 0 {
+			st.checkpoint()
+		}
+	}
+	if st.dead {
+		return
+	}
+	// Final audit: every address read back against the oracle, then a
+	// quiescent snapshot and a full scrub (Merkle walk + structural checks
+	// + Path ORAM invariant).
+	for addr := uint64(0); addr < cfg.Blocks && !st.dead; addr++ {
+		rep.Ops++
+		got, err := st.d.Read(addr)
+		if err != nil {
+			st.recover(err, fmt.Sprintf("final read %d", addr))
+			continue
+		}
+		st.compare(addr, got)
+	}
+	if st.dead {
+		return
+	}
+	if _, err := st.d.Snapshot(); err != nil {
+		if st.recover(err, "final snapshot") {
+			return
+		}
+	}
+	if err := st.d.Scrub(); err != nil {
+		rep.violate("schedule %d: final scrub after clean run: %v", idx, err)
+	}
+	st.retire(st.d)
+}
+
+// chaosPayload builds a deterministic payload for one write, unique per
+// (seed, counter) in its leading bytes regardless of block size.
+func chaosPayload(size int, seed, counter uint64) []byte {
+	var tag [16]byte
+	binary.LittleEndian.PutUint64(tag[:8], counter)
+	binary.LittleEndian.PutUint64(tag[8:], seed)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = tag[i%16] ^ byte(i/16)
+	}
+	return data
+}
+
+// compare checks a successful read against the oracle; a mismatch is a
+// silent corruption.
+func (s *chaosState) compare(addr uint64, got []byte) {
+	want, ok := s.oracle[addr]
+	if !ok {
+		want = make([]byte, s.cfg.BlockSize) // never written: zero block
+	}
+	if !bytes.Equal(got, want) {
+		s.rep.SilentCorruptions++
+		s.rep.violate("schedule %d: silent corruption at addr %d (read succeeded with wrong data)", s.idx, addr)
+	}
+}
+
+// retire accumulates a device's fault and retry counters into the report
+// before the device is abandoned (or the schedule ends).
+func (s *chaosState) retire(d *Device) {
+	if c, ok := d.FaultCounts(); ok {
+		s.rep.Injected.TransientReads += c.TransientReads
+		s.rep.Injected.TransientWrites += c.TransientWrites
+		s.rep.Injected.DroppedWrites += c.DroppedWrites
+		s.rep.Injected.TornWrites += c.TornWrites
+		s.rep.Injected.BitFlips += c.BitFlips
+		s.rep.Injected.StaleReplays += c.StaleReplays
+	}
+	rs := d.RetryStats()
+	s.rep.Retries.Retried += rs.Retried
+	s.rep.Retries.Recovered += rs.Recovered
+	s.rep.Retries.Exhausted += rs.Exhausted
+}
+
+// checkpoint takes a quiescent snapshot + medium backup + oracle copy,
+// and audits the device with Scrub. A failure during checkpointing is
+// handled like any crash (recover to the previous checkpoint). Reports
+// whether the schedule is still alive.
+func (s *chaosState) checkpoint() bool {
+	snap, err := s.d.Snapshot()
+	if err != nil {
+		return !s.recover(err, "snapshot")
+	}
+	if err := s.d.Scrub(); err != nil {
+		// Latent corruption surfaced by the audit: the medium is bad even
+		// though no operation failed yet. Roll back to the last good
+		// checkpoint rather than committing a corrupt one.
+		if !typedFailure(err) {
+			s.rep.violate("schedule %d: scrub failed with untyped error: %v", s.idx, err)
+		}
+		if s.ckSnap == nil {
+			s.rep.violate("schedule %d: first checkpoint already corrupt: %v", s.idx, err)
+			s.abandon()
+			return false
+		}
+		return !s.restore()
+	}
+	s.ckSnap = snap
+	s.ckMedium = cloneMedium(s.d)
+	s.ckOracle = make(map[uint64][]byte, len(s.oracle))
+	for a, v := range s.oracle {
+		s.ckOracle[a] = v
+	}
+	return true
+}
+
+// recover handles a failed device operation: asserts the error taxonomy
+// (typed error, device poisoned, poisoned short-circuit, rejected
+// restore over a diverged medium) and rolls back to the last checkpoint.
+// It returns true if the schedule was abandoned.
+func (s *chaosState) recover(err error, what string) bool {
+	if !typedFailure(err) {
+		s.rep.violate("schedule %d: %s failed with untyped error: %v", s.idx, what, err)
+	} else {
+		s.rep.TypedErrors++
+	}
+	if s.d.Poisoned() == nil {
+		s.rep.violate("schedule %d: %s failed (%v) but device is not poisoned", s.idx, what, err)
+	} else {
+		s.rep.Poisonings++
+		// A poisoned device must refuse everything with ErrPoisoned.
+		if _, rerr := s.d.Read(0); !errors.Is(rerr, ErrPoisoned) {
+			s.rep.violate("schedule %d: poisoned device served a read (err=%v)", s.idx, rerr)
+		}
+	}
+	return s.restore()
+}
+
+// restore rolls the schedule back to its last checkpoint. With Integrity
+// enabled it first attempts a client-only restore over the surviving
+// (possibly diverged) medium and requires the typed rejection unless the
+// medium genuinely matches the snapshot; then it restores the medium
+// backup and resumes. Returns true if the schedule was abandoned.
+func (s *chaosState) restore() bool {
+	s.retire(s.d)
+	s.restores++
+	if s.restores > 25 {
+		// Pathological schedule (fault rate too high to make progress);
+		// not a correctness violation, just stop here.
+		s.abandon()
+		return true
+	}
+	// Each restore gets a derived fault seed: replaying the exact same
+	// fault schedule from the same checkpoint would deterministically
+	// crash the same way forever.
+	fc := *s.ckSnap.cfg.Faults
+	fc.Seed = rng.SeedAt(fc.Seed, 1000+uint64(s.restores))
+	s.ckSnap.cfg.Faults = &fc
+
+	if s.ckSnap.cfg.Integrity {
+		nd, err := RestoreDevice(s.ckSnap)
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				s.rep.violate("schedule %d: restore over diverged medium rejected with untyped error: %v", s.idx, err)
+			}
+			s.rep.RestoreRejected++
+		} else if !mediumEquals(nd, s.ckMedium) {
+			// The root check passed but the medium differs from the
+			// checkpoint backup: the Merkle layer accepted diverged
+			// storage — exactly what it must never do.
+			s.rep.violate("schedule %d: restore accepted a diverged medium", s.idx)
+		} else {
+			// Medium genuinely unchanged since the checkpoint: the
+			// client-only restore is a legitimate resume.
+			s.d = nd
+			s.oracle = rollbackOracle(s.ckOracle)
+			s.rep.Restores++
+			return false
+		}
+	}
+	// Full restore: put the medium back to the checkpoint backup, then
+	// restore the client snapshot over it.
+	restoreMedium(s.ckSnap.medium, s.ckSnap.tr, s.ckMedium)
+	nd, err := RestoreDevice(s.ckSnap)
+	if err != nil {
+		s.rep.violate("schedule %d: restore over backed-up medium failed: %v", s.idx, err)
+		s.abandon()
+		return true
+	}
+	s.d = nd
+	s.oracle = rollbackOracle(s.ckOracle)
+	s.rep.Restores++
+	return false
+}
+
+func (s *chaosState) abandon() {
+	s.dead = true
+}
+
+func rollbackOracle(ck map[uint64][]byte) map[uint64][]byte {
+	o := make(map[uint64][]byte, len(ck))
+	for a, v := range ck {
+		o[a] = v
+	}
+	return o
+}
+
+// cloneMedium copies every stored ciphertext of the device's medium —
+// the chaos harness's stand-in for a full storage backup.
+func cloneMedium(d *Device) map[tree.Node][]byte {
+	m := make(map[tree.Node][]byte)
+	for n := uint64(0); n < d.tr.Nodes(); n++ {
+		if ct := d.store.Ciphertext(n); ct != nil {
+			m[n] = append([]byte(nil), ct...)
+		}
+	}
+	return m
+}
+
+// restoreMedium rewrites the medium to exactly the backed-up state.
+func restoreMedium(mem *storage.Mem, tr tree.Tree, backup map[tree.Node][]byte) {
+	for n := uint64(0); n < tr.Nodes(); n++ {
+		if ct, ok := backup[n]; ok {
+			mem.SetCiphertext(n, ct)
+		} else {
+			mem.SetCiphertext(n, nil)
+		}
+	}
+}
+
+// mediumEquals reports whether the device's medium matches a backup.
+func mediumEquals(d *Device, backup map[tree.Node][]byte) bool {
+	for n := uint64(0); n < d.tr.Nodes(); n++ {
+		ct := d.store.Ciphertext(n)
+		bk, ok := backup[n]
+		if (ct == nil) != !ok || !bytes.Equal(ct, bk) {
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,13 @@
 //	forksim -scheme traditional -workloads mcf,lbm,bwaves,libquantum
 //	forksim -scheme forkpath -cache mac -cache-bytes 1048576 -queue 64
 //	forksim -scheme insecure -mix Mix1 -requests 5000
+//
+// With -faults, forksim instead runs a deterministic chaos campaign
+// against the fault-tolerant Device (transient faults, crash/restore,
+// optionally medium corruption) and exits non-zero on any violation:
+//
+//	forksim -faults -seed 1 -fault-schedules 1000
+//	forksim -faults -fault-corruption -fault-rate 0.006
 package main
 
 import (
@@ -39,8 +46,25 @@ func main() {
 		bgEvict    = flag.Int("bg-evict", 0, "background-eviction stash threshold (0 = off)")
 		periodic   = flag.Float64("periodic-ns", 0, "fixed issue interval in ns (0 = on-demand)")
 		seed       = flag.Uint64("seed", 1, "random seed")
+
+		chaos           = flag.Bool("faults", false, "run the fault-injection chaos campaign instead of a simulation")
+		chaosSchedules  = flag.Int("fault-schedules", 1000, "chaos: independent fault schedules")
+		chaosOps        = flag.Int("fault-ops", 400, "chaos: device operations per schedule")
+		chaosRate       = flag.Float64("fault-rate", 0.004, "chaos: total fault probability per bucket operation")
+		chaosCorruption = flag.Bool("fault-corruption", false, "chaos: include medium-corrupting faults (bit flips, torn writes, stale replays)")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(forkoram.ChaosConfig{
+			Seed:       *seed,
+			Schedules:  *chaosSchedules,
+			Ops:        *chaosOps,
+			FaultRate:  *chaosRate,
+			Corruption: *chaosCorruption,
+		})
+		return
+	}
 
 	var sch forkoram.Scheme
 	switch *scheme {
@@ -138,6 +162,14 @@ func printResult(cfg forkoram.SimConfig, r forkoram.SimResult) {
 		r.Energy.TotalMJ(), r.Energy.DRAMDynamicMJ, r.Energy.DRAMBackgroundMJ, r.Energy.ControllerMJ)
 	if r.Truncated {
 		fmt.Println("WARNING: run truncated by the access safety cap")
+	}
+}
+
+func runChaos(cfg forkoram.ChaosConfig) {
+	rep := forkoram.RunChaos(cfg)
+	fmt.Print(rep.String())
+	if !rep.Ok() {
+		os.Exit(1)
 	}
 }
 

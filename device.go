@@ -1,9 +1,11 @@
 package forkoram
 
 import (
+	"errors"
 	"fmt"
 
 	"forkoram/internal/block"
+	"forkoram/internal/faults"
 	"forkoram/internal/fork"
 	"forkoram/internal/pathoram"
 	"forkoram/internal/posmap"
@@ -13,6 +15,44 @@ import (
 	"forkoram/internal/storage"
 	"forkoram/internal/tree"
 )
+
+// ErrPoisoned marks a Device that suffered an unrecovered failure:
+// a storage error survived the retry budget, or an access died midway
+// (position map remapped, request never served). Rather than continue
+// from half-applied state — which could silently violate read-your-writes
+// or the Path ORAM invariant — the device fail-stops: every subsequent
+// operation returns an error wrapping ErrPoisoned (and the original
+// cause). Recover by restoring a Snapshot taken before the failure.
+var ErrPoisoned = errors.New("forkoram: device poisoned by unrecovered failure")
+
+// ErrTransient and ErrCorrupt re-export the storage error taxonomy so
+// consumers outside this module can classify device failures with
+// errors.Is: transient faults may succeed on retry (the device already
+// retried within its budget before surfacing one), corruption means the
+// medium or its integrity check is wrong. See DESIGN.md §8.
+var (
+	ErrTransient = storage.ErrTransient
+	ErrCorrupt   = storage.ErrCorrupt
+)
+
+// PoisonedError is the error returned by operations on a poisoned
+// Device. It wraps both ErrPoisoned and the original failure, so
+// errors.Is(err, ErrPoisoned) and cause inspection both work.
+type PoisonedError struct {
+	// Cause is the failure that poisoned the device.
+	Cause error
+}
+
+// Error implements error.
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("forkoram: device poisoned (cause: %v)", e.Cause)
+}
+
+// Is reports ErrPoisoned.
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
+
+// Unwrap exposes the original failure for errors.Is/As dispatch.
+func (e *PoisonedError) Unwrap() error { return e.Cause }
 
 // Variant selects the controller algorithm of a Device.
 type Variant int
@@ -59,11 +99,33 @@ type DeviceConfig struct {
 	// with it): every bucket read is verified against an on-chip root,
 	// detecting tampering and replay of stale ciphertexts.
 	Integrity bool
+	// Retries bounds the controller's oblivious retry budget for
+	// transient storage failures (storage.ErrTransient): up to Retries
+	// additional attempts of the same bucket access before the device
+	// fail-stops (poisons). 0 means pathoram.DefaultRetries; negative
+	// disables retrying. Retries repeat an already-revealed bucket
+	// access and are triggered by public storage behaviour, so they do
+	// not change the adversary-visible access sequence.
+	Retries int
+	// Faults, when non-nil, interposes a deterministic fault injector
+	// (internal/faults) between the controller and storage: transient
+	// errors, dropped/torn writes, ciphertext bit-flips and stale-bucket
+	// replays on the configured schedule. Testing and chaos hook; leave
+	// nil in production. Corruption faults are reliably detected only
+	// with Integrity enabled (payload-only corruption is invisible to
+	// the plaintext plausibility checks).
+	Faults *faults.Config
 	// Observer, when set, receives the bus-visible trace of every ORAM
 	// tree traversal — exactly what an adversary probing the memory bus
 	// sees (revealed leaf label plus bucket read/write sequences), and
 	// additionally the dummy flag (NOT adversary-visible; provided for
 	// analysis). Used by security tests and examples/adversary.
+	//
+	// Accesses served entirely from the stash (Step-1 shortcut) generate
+	// no memory traffic and are therefore NOT reported: the Observer
+	// sees exactly what the bus sees, and a stash hit is invisible on
+	// the bus by construction. DeviceStats.RealAccesses counts only
+	// tree traversals for the same reason.
 	Observer func(label uint64, dummy bool, readBuckets, writeBuckets []uint64)
 }
 
@@ -129,14 +191,16 @@ type Device struct {
 	tr       tree.Tree
 	store    *storage.Mem
 	verifier *storage.Integrity
+	inj      *faults.Injector
 	ctl      *pathoram.Controller
 	pos      *posmap.Map
 	eng      *fork.Engine // Fork variant only
 	base     *pathoram.ORAM
 
-	nextID uint64
-	reads  uint64
-	writes uint64
+	nextID   uint64
+	reads    uint64
+	writes   uint64
+	poisoned *PoisonedError
 }
 
 // NewDevice creates an oblivious block store holding cfg.Blocks blocks of
@@ -161,15 +225,33 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	var backend storage.Backend = store
 	var verifier *storage.Integrity
 	if cfg.Integrity {
 		verifier = storage.NewIntegrity(store, tr)
+	}
+	return assembleDevice(cfg, tr, store, verifier, rng.New(cfg.Seed))
+}
+
+// assembleDevice wires the controller stack over an existing medium and
+// (optional) integrity layer — shared by NewDevice and RestoreDevice.
+func assembleDevice(cfg DeviceConfig, tr tree.Tree, store *storage.Mem,
+	verifier *storage.Integrity, root *rng.Source) (*Device, error) {
+
+	var backend storage.Backend = store
+	if verifier != nil {
 		backend = verifier
 	}
-	root := rng.New(cfg.Seed)
-	d := &Device{cfg: cfg, tr: tr, store: store, verifier: verifier}
-	pcfg := pathoram.Config{Tree: tr, StashCapacity: cfg.StashCapacity, TrackData: true}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		// The injector sits above the Merkle layer but corrupts the raw
+		// medium, so injected corruption is exactly what verification is
+		// specified to catch.
+		inj = faults.NewInjector(backend, store, *cfg.Faults)
+		backend = inj
+	}
+	d := &Device{cfg: cfg, tr: tr, store: store, verifier: verifier, inj: inj}
+	pcfg := pathoram.Config{Tree: tr, StashCapacity: cfg.StashCapacity, TrackData: true, Retries: cfg.Retries}
+	var err error
 	switch cfg.Variant {
 	case Baseline:
 		d.base, err = pathoram.New(pcfg, backend, root.Split())
@@ -219,28 +301,72 @@ func (d *Device) IntegrityRoot() (root [32]byte, ok bool) {
 	return d.verifier.Root(), true
 }
 
+// Poisoned returns the error that poisoned the device, or nil while it
+// is healthy.
+func (d *Device) Poisoned() error {
+	if d.poisoned == nil {
+		return nil
+	}
+	return d.poisoned
+}
+
+// poison records the first unrecovered failure; later operations see
+// only the PoisonedError wrapping it.
+func (d *Device) poison(cause error) {
+	if d.poisoned == nil {
+		d.poisoned = &PoisonedError{Cause: cause}
+	}
+}
+
+// checkAddr validates an address before any state is touched, so
+// validation failures neither poison the device nor count in Stats.
+func (d *Device) checkAddr(addr uint64) error {
+	if addr >= d.cfg.Blocks {
+		return fmt.Errorf("forkoram: address %d out of range (blocks=%d)", addr, d.cfg.Blocks)
+	}
+	return nil
+}
+
 // Read returns the contents of the block at addr (zero-filled if never
 // written).
 func (d *Device) Read(addr uint64) ([]byte, error) {
+	if d.poisoned != nil {
+		return nil, d.poisoned
+	}
+	if err := d.checkAddr(addr); err != nil {
+		return nil, err
+	}
 	d.reads++
-	return d.access(pathoram.OpRead, addr, nil)
+	out, err := d.access(pathoram.OpRead, addr, nil)
+	if err != nil {
+		d.poison(err)
+	}
+	return out, err
 }
 
 // Write replaces the contents of the block at addr. data must be exactly
 // BlockSize bytes.
 func (d *Device) Write(addr uint64, data []byte) error {
+	if d.poisoned != nil {
+		return d.poisoned
+	}
+	if err := d.checkAddr(addr); err != nil {
+		return err
+	}
 	if len(data) != d.cfg.BlockSize {
 		return fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), d.cfg.BlockSize)
 	}
 	d.writes++
 	_, err := d.access(pathoram.OpWrite, addr, data)
+	if err != nil {
+		d.poison(err)
+	}
 	return err
 }
 
+// access runs one admitted (validated, counted) operation. Any error it
+// returns left the device in a half-applied state — the caller poisons.
 func (d *Device) access(op pathoram.Op, addr uint64, data []byte) ([]byte, error) {
-	if addr >= d.cfg.Blocks {
-		return nil, fmt.Errorf("forkoram: address %d out of range (blocks=%d)", addr, d.cfg.Blocks)
-	}
 	if d.base != nil {
 		out, acc, err := d.base.Access(op, addr, data)
 		if err == nil && d.cfg.Observer != nil && acc.ReadNodes != nil {
@@ -267,12 +393,20 @@ func (d *Device) runEngine() error {
 // request, then run engine accesses until it is served.
 func (d *Device) forkAccess(op pathoram.Op, addr uint64, data []byte) ([]byte, error) {
 	// Step-1 stash shortcut, valid because the synchronous API guarantees
-	// no concurrent in-flight request for the address unless queued.
+	// no concurrent in-flight request for the address unless queued. A
+	// stash hit causes no memory traffic and is therefore not reported
+	// to the Observer (see the DeviceConfig.Observer contract).
+	//
+	// The block is still remapped, like the baseline's Step 1: serving it
+	// under its old label would let a stash-hit write produce a modified
+	// block whose stale tree copy shares the still-current label — two
+	// same-label copies with different payloads on one path, which a
+	// crash-restored engine (reading full paths again) could resolve the
+	// wrong way.
 	if !d.eng.HasAddr(addr) {
-		if b, ok := d.ctl.Stash().Get(addr); ok {
-			_ = b
-			label, _ := d.pos.Lookup(addr)
-			return d.ctl.FetchBlock(op, addr, label, data)
+		if _, ok := d.ctl.Stash().Get(addr); ok {
+			_, _, next := d.pos.Remap(addr)
+			return d.ctl.FetchBlock(op, addr, next, data)
 		}
 	}
 	old, _, next := d.pos.Remap(addr)
@@ -306,7 +440,25 @@ func (d *Device) forkAccess(op pathoram.Op, addr uint64, data []byte) ([]byte, e
 // the label queue before draining, so Fork Path's scheduling can reorder
 // them for path overlap. Results are positional: for reads, the payload;
 // for writes, nil. Operations on the same address keep program order.
+//
+// The whole batch is validated up front: a malformed op (address out of
+// range, wrong payload size) rejects the batch before any operation runs,
+// with no state change and nothing counted in Stats. Errors during
+// execution poison the device (see ErrPoisoned): some operations may
+// have been applied, and the returned results must be discarded.
 func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
+	if d.poisoned != nil {
+		return nil, d.poisoned
+	}
+	for i, op := range ops {
+		if err := d.checkAddr(op.Addr); err != nil {
+			return nil, fmt.Errorf("forkoram: batch op %d: %w", i, err)
+		}
+		if op.Write && len(op.Data) != d.cfg.BlockSize {
+			return nil, fmt.Errorf("forkoram: batch op %d: payload %d bytes, want %d",
+				i, len(op.Data), d.cfg.BlockSize)
+		}
+	}
 	results := make([][]byte, len(ops))
 	if d.base != nil || len(ops) == 0 {
 		// Baseline has no scheduling; run sequentially.
@@ -325,16 +477,10 @@ func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
 	}
 	pendingCount := 0
 	next := 0
-	admit := func() error {
+	admit := func() {
 		for next < len(ops) && d.eng.CanEnqueue() {
 			i := next
 			op := ops[i]
-			if op.Addr >= d.cfg.Blocks {
-				return fmt.Errorf("forkoram: address %d out of range", op.Addr)
-			}
-			if op.Write && len(op.Data) != d.cfg.BlockSize {
-				return fmt.Errorf("forkoram: op %d payload %d bytes, want %d", i, len(op.Data), d.cfg.BlockSize)
-			}
 			old, _, nl := d.pos.Remap(op.Addr)
 			d.nextID++
 			pop := pathoram.OpRead
@@ -362,21 +508,19 @@ func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
 			pendingCount++
 			next++
 		}
-		return nil
 	}
-	if err := admit(); err != nil {
-		return nil, err
-	}
+	admit()
 	guard := 0
 	for pendingCount > 0 || next < len(ops) {
 		if err := d.runEngine(); err != nil {
+			d.poison(err)
 			return nil, err
 		}
-		if err := admit(); err != nil {
-			return nil, err
-		}
+		admit()
 		if guard++; guard > 64*(len(ops)+d.cfg.QueueSize) {
-			return nil, fmt.Errorf("forkoram: batch failed to drain (engine bug)")
+			err := fmt.Errorf("forkoram: batch failed to drain (engine bug)")
+			d.poison(err)
+			return nil, err
 		}
 	}
 	return results, nil
@@ -389,7 +533,21 @@ type BatchOp struct {
 	Data  []byte // writes only
 }
 
-// Stats returns cumulative device statistics.
+// RetryStats returns the controller's transient-failure retry counters.
+func (d *Device) RetryStats() pathoram.RetryStats { return d.ctl.Retries() }
+
+// FaultCounts returns the faults injected so far; ok is false when the
+// device was created without a fault schedule (DeviceConfig.Faults nil).
+func (d *Device) FaultCounts() (c faults.Counts, ok bool) {
+	if d.inj == nil {
+		return c, false
+	}
+	return d.inj.Counts(), true
+}
+
+// Stats returns cumulative device statistics. Reads and Writes count
+// only admitted operations: requests rejected by validation (address out
+// of range, wrong payload size) or by a poisoned device do not appear.
 func (d *Device) Stats() DeviceStats {
 	st := DeviceStats{
 		Reads:      d.reads,

@@ -1,0 +1,199 @@
+package forkoram
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"forkoram/internal/faults"
+	"forkoram/internal/storage"
+)
+
+func payload(size int, fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, size)
+}
+
+// --- Batch error paths (validation vs execution) ---
+
+func TestBatchValidationRejectsWithoutStateChange(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Fork} {
+		d, err := NewDevice(DeviceConfig{Blocks: 32, BlockSize: 16, Seed: 5, Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(1, payload(16, 0xAB)); err != nil {
+			t.Fatal(err)
+		}
+		before := d.Stats()
+
+		// Out-of-range address mid-batch.
+		_, err = d.Batch([]BatchOp{
+			{Addr: 0, Write: true, Data: payload(16, 1)},
+			{Addr: 99, Write: true, Data: payload(16, 2)},
+		})
+		if err == nil || !strings.Contains(err.Error(), "batch op 1") {
+			t.Fatalf("variant %d: out-of-range batch: %v", variant, err)
+		}
+		// Wrong payload size mid-batch.
+		_, err = d.Batch([]BatchOp{
+			{Addr: 0, Write: true, Data: payload(16, 1)},
+			{Addr: 2, Write: true, Data: payload(7, 2)},
+		})
+		if err == nil || !strings.Contains(err.Error(), "batch op 1") {
+			t.Fatalf("variant %d: short-payload batch: %v", variant, err)
+		}
+
+		// Validation failures must not poison, count, or touch state.
+		if d.Poisoned() != nil {
+			t.Fatalf("variant %d: validation failure poisoned the device", variant)
+		}
+		after := d.Stats()
+		if after.Reads != before.Reads || after.Writes != before.Writes ||
+			after.BucketReads != before.BucketReads || after.BucketWrites != before.BucketWrites {
+			t.Fatalf("variant %d: rejected batch changed stats: %+v -> %+v", variant, before, after)
+		}
+		got, err := d.Read(1)
+		if err != nil || got[0] != 0xAB {
+			t.Fatalf("variant %d: device unusable after rejected batch: %v %v", variant, got, err)
+		}
+		if got, err := d.Read(0); err != nil || got[0] != 0 {
+			t.Fatalf("variant %d: rejected batch applied op 0: %v %v", variant, got, err)
+		}
+	}
+}
+
+// exhaust forces enough transient faults to blow the default retry
+// budget on the next bucket operation.
+func exhaust(d *Device, read bool) {
+	kind := faults.TransientRead
+	if !read {
+		kind = faults.TransientWrite
+	}
+	for i := 0; i < 1+4; i++ { // first attempt + DefaultRetries, with margin
+		d.inj.Force(kind)
+	}
+}
+
+func TestBatchBackendErrorPoisons(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Fork} {
+		d, err := NewDevice(DeviceConfig{
+			Blocks: 32, BlockSize: 16, Seed: 5, Variant: variant,
+			Faults: &faults.Config{Seed: 1}, // zero rates: only forced faults fire
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(1, payload(16, 0xAB)); err != nil {
+			t.Fatal(err)
+		}
+		exhaust(d, true)
+		_, err = d.Batch([]BatchOp{
+			{Addr: 1},
+			{Addr: 2, Write: true, Data: payload(16, 2)},
+		})
+		if !errors.Is(err, storage.ErrTransient) {
+			t.Fatalf("variant %d: batch under exhausted retries: %v", variant, err)
+		}
+		if d.Poisoned() == nil {
+			t.Fatalf("variant %d: execution failure did not poison", variant)
+		}
+		// Every subsequent operation refuses with ErrPoisoned.
+		if _, err := d.Read(1); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("variant %d: Read on poisoned device: %v", variant, err)
+		}
+		if err := d.Write(1, payload(16, 1)); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("variant %d: Write on poisoned device: %v", variant, err)
+		}
+		if _, err := d.Batch([]BatchOp{{Addr: 1}}); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("variant %d: Batch on poisoned device: %v", variant, err)
+		}
+		if _, err := d.Snapshot(); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("variant %d: Snapshot on poisoned device: %v", variant, err)
+		}
+		// The original cause stays inspectable through the wrapper.
+		var pe *PoisonedError
+		if _, err := d.Read(1); !errors.As(err, &pe) || !errors.Is(pe.Cause, storage.ErrTransient) {
+			t.Fatalf("variant %d: poisoned error lost its cause: %v", variant, err)
+		}
+	}
+}
+
+// --- Stats admission counting (only admitted ops count) ---
+
+func TestStatsCountOnlyAdmittedOps(t *testing.T) {
+	d, err := NewDevice(DeviceConfig{Blocks: 8, BlockSize: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, payload(16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// Rejected by validation: none of these may count.
+	d.Read(99)
+	d.Write(99, payload(16, 1))
+	d.Write(0, payload(3, 1))
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("validation-rejected ops were counted: %+v", st)
+	}
+}
+
+// --- Adversary trace equivalence under recovered faults ---
+
+// TestTraceEquivalenceUnderRecoveredFaults runs the same workload on a
+// fault-free device and on one riddled with transient faults that all
+// recover within the retry budget. The Observer traces (revealed labels
+// and bucket sequences) must be identical: retries re-request the same
+// bucket and the injector draws from its own rng stream, so fault
+// handling leaks nothing.
+func TestTraceEquivalenceUnderRecoveredFaults(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Fork} {
+		trace := func(fc *faults.Config) (string, *Device) {
+			var b strings.Builder
+			cfg := DeviceConfig{
+				Blocks: 48, BlockSize: 16, Seed: 11, Variant: variant, Faults: fc,
+				Observer: func(label uint64, dummy bool, r, w []uint64) {
+					fmt.Fprintf(&b, "%d %v %v %v\n", label, dummy, r, w)
+				},
+			}
+			d, err := NewDevice(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				addr := uint64(i*7) % 48
+				if i%2 == 0 {
+					if err := d.Write(addr, payload(16, byte(i))); err != nil {
+						t.Fatalf("variant %d write %d: %v", variant, i, err)
+					}
+				} else if _, err := d.Read(addr); err != nil {
+					t.Fatalf("variant %d read %d: %v", variant, i, err)
+				}
+			}
+			return b.String(), d
+		}
+		clean, _ := trace(nil)
+		faulty, fd := trace(&faults.Config{
+			Seed:           21,
+			PTransientRead: 0.02, PTransientWrite: 0.02, PDroppedWrite: 0.02,
+		})
+		if fc, _ := fd.FaultCounts(); fc.Total() == 0 {
+			t.Fatalf("variant %d: no faults injected, test proves nothing", variant)
+		}
+		if rs := fd.RetryStats(); rs.Recovered == 0 {
+			t.Fatalf("variant %d: no recoveries recorded", variant)
+		}
+		if fd.Poisoned() != nil {
+			t.Fatalf("variant %d: faulty run poisoned (raise retry budget or lower rate): %v",
+				variant, fd.Poisoned())
+		}
+		if clean != faulty {
+			t.Fatalf("variant %d: adversary traces diverged under recovered faults", variant)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Chaos harness: randomized fault schedules (transient failures,
+// dropped/torn writes, bit flips, stale replays) × workloads × both
+// device variants, asserting the no-silent-corruption contract end to
+// end. The schedules are deterministic in the seed, so a failure here
+// replays exactly.
+//
+// The package under test is the top-level forkoram Device; this file
+// lives with the fault injector because the injector is what the
+// campaign exercises. The default run covers 120 schedules (~240k
+// device operations); set FORKORAM_CHAOS_SCHEDULES to widen it — the
+// `make chaos` target runs 1000.
+package faults_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	forkoram "forkoram"
+)
+
+func chaosSchedules(t *testing.T, def int) int {
+	if s := os.Getenv("FORKORAM_CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad FORKORAM_CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return def / 4
+	}
+	return def
+}
+
+// TestChaosTransient: retryable faults only (the medium is never
+// mutated), Integrity alternating per schedule. Every transient burst
+// inside the retry budget must recover invisibly; exhausted budgets must
+// poison and restore cleanly.
+func TestChaosTransient(t *testing.T) {
+	rep := forkoram.RunChaos(forkoram.ChaosConfig{
+		Seed:      1,
+		Schedules: chaosSchedules(t, 60),
+		FaultRate: 0.01,
+	})
+	t.Logf("\n%s", rep.String())
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.SilentCorruptions != 0 {
+		t.Fatalf("%d silent corruptions", rep.SilentCorruptions)
+	}
+	if rep.Injected.Total() == 0 {
+		t.Fatalf("no faults injected — campaign exercised nothing")
+	}
+	if rep.Retries.Recovered == 0 {
+		t.Errorf("no retry recoveries across the campaign (rate too low?)")
+	}
+	if rep.Injected.Medium() != 0 {
+		t.Errorf("transient campaign mutated the medium: %+v", rep.Injected)
+	}
+}
+
+// TestChaosCorruption: the full fault menu including medium corruption,
+// always with the Merkle layer (payload corruption without it is silent
+// by design — the documented gap, not a regression).
+func TestChaosCorruption(t *testing.T) {
+	rep := forkoram.RunChaos(forkoram.ChaosConfig{
+		Seed:       2,
+		Schedules:  chaosSchedules(t, 60),
+		Corruption: true,
+		FaultRate:  0.006,
+	})
+	t.Logf("\n%s", rep.String())
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.SilentCorruptions != 0 {
+		t.Fatalf("%d silent corruptions", rep.SilentCorruptions)
+	}
+	if rep.Injected.Medium() == 0 {
+		t.Fatalf("no medium corruption injected — campaign exercised nothing")
+	}
+	if rep.Poisonings == 0 {
+		t.Errorf("no poisonings across a corruption campaign (rate too low?)")
+	}
+}
+
+// TestChaosDeterminism: the whole campaign is a pure function of its
+// seed — byte-identical reports across runs.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := forkoram.ChaosConfig{Seed: 3, Schedules: 8, Corruption: true, FaultRate: 0.008}
+	a := forkoram.RunChaos(cfg)
+	b := forkoram.RunChaos(cfg)
+	if a.String() != b.String() {
+		t.Fatalf("campaign not deterministic:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}

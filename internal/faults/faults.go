@@ -1,0 +1,324 @@
+// Package faults injects storage failures underneath an ORAM controller,
+// deterministically: every fault schedule is a pure function of a seed
+// (internal/rng) and the sequence of bucket operations, so a failing
+// chaos run replays exactly from its seed.
+//
+// The Injector decorates a storage.Backend (typically the Integrity
+// layer, or a bare Mem) and additionally holds the raw medium so it can
+// corrupt stored ciphertexts the way a failing or hostile device would:
+//
+//   - Transient read/write: the operation fails with storage.ErrTransient
+//     before touching the medium. A retry succeeds (unless re-injected).
+//   - Dropped write: the write is acknowledged as failed and never
+//     reaches the medium (storage.ErrTransient; retryable).
+//   - Torn write: the write reaches the medium but the stored ciphertext
+//     is scrambled afterwards, and the operation reports
+//     storage.ErrTransient — a retry rewrites the bucket cleanly; an
+//     abandoned retry leaves detectable corruption behind.
+//   - Bit flip: a byte of the target bucket's stored ciphertext is
+//     flipped before the read proceeds. Detected by the Merkle layer
+//     (storage.IntegrityError), or probabilistically by Mem's header
+//     plausibility check; payload-only flips without the Merkle layer
+//     are the documented silent-corruption gap.
+//   - Stale replay: a previously valid ciphertext of some bucket is
+//     written back over the current one — an undetectable fault for
+//     plain encryption, detected only by the Merkle layer.
+//
+// Fault decisions consume the injector's own rng stream, never the
+// device's, so enabling faults does not perturb ORAM label randomness
+// (the adversary-trace equivalence tests depend on this).
+package faults
+
+import (
+	"fmt"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// Kind enumerates injectable fault kinds.
+type Kind int
+
+// Fault kinds. None means "no fault on this operation".
+const (
+	None Kind = iota
+	TransientRead
+	TransientWrite
+	DroppedWrite
+	TornWrite
+	BitFlip
+	StaleReplay
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case TransientRead:
+		return "transient-read"
+	case TransientWrite:
+		return "transient-write"
+	case DroppedWrite:
+		return "dropped-write"
+	case TornWrite:
+		return "torn-write"
+	case BitFlip:
+		return "bit-flip"
+	case StaleReplay:
+		return "stale-replay"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Medium is the raw-ciphertext view the injector needs to model medium
+// corruption. *storage.Mem implements it; metadata-only backends do not
+// (corruption faults are skipped when Medium is nil).
+type Medium interface {
+	Ciphertext(n tree.Node) []byte
+	SetCiphertext(n tree.Node, ct []byte)
+}
+
+// Config parameterizes a fault schedule. Probabilities are per bucket
+// operation (one read or write of one bucket) and are evaluated with a
+// single rng draw per operation, so the schedule depends only on the
+// seed and the operation index.
+type Config struct {
+	// Seed derives the injector's private rng stream.
+	Seed uint64
+
+	// Read-side fault probabilities.
+	PTransientRead float64
+	PBitFlip       float64
+	PStaleReplay   float64
+
+	// Write-side fault probabilities.
+	PTransientWrite float64
+	PDroppedWrite   float64
+	PTornWrite      float64
+
+	// MaxFaults caps the number of injected faults; 0 means unlimited.
+	MaxFaults int
+
+	// HistoryDepth is how many past ciphertexts per bucket are retained
+	// for stale replays (default 4).
+	HistoryDepth int
+}
+
+// Counts tallies injected faults per kind.
+type Counts struct {
+	TransientReads  uint64
+	TransientWrites uint64
+	DroppedWrites   uint64
+	TornWrites      uint64
+	BitFlips        uint64
+	StaleReplays    uint64
+}
+
+// Total returns the sum over all kinds.
+func (c Counts) Total() uint64 {
+	return c.TransientReads + c.TransientWrites + c.DroppedWrites +
+		c.TornWrites + c.BitFlips + c.StaleReplays
+}
+
+// Medium reports how many injected faults mutated stored ciphertexts
+// (as opposed to only failing operations): such faults can leave latent
+// corruption behind that only a later read or a Scrub surfaces.
+func (c Counts) Medium() uint64 {
+	return c.TornWrites + c.BitFlips + c.StaleReplays
+}
+
+// Injector is a storage.Backend decorator injecting faults per Config.
+type Injector struct {
+	under  storage.Backend
+	medium Medium
+	cfg    Config
+	rnd    *rng.Source
+
+	counts Counts
+	ops    uint64
+
+	history map[tree.Node][][]byte
+	forced  []Kind
+}
+
+// NewInjector decorates under with the fault schedule of cfg. medium
+// grants raw-ciphertext access for corruption faults and may be nil, in
+// which case BitFlip/TornWrite/StaleReplay are never injected.
+func NewInjector(under storage.Backend, medium Medium, cfg Config) *Injector {
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = 4
+	}
+	return &Injector{
+		under:   under,
+		medium:  medium,
+		cfg:     cfg,
+		rnd:     rng.New(cfg.Seed),
+		history: make(map[tree.Node][][]byte),
+	}
+}
+
+// Force queues a fault kind to be injected on the next matching
+// operation (read kinds on the next read, write kinds on the next
+// write), ahead of the probabilistic schedule. Test hook.
+func (i *Injector) Force(k Kind) { i.forced = append(i.forced, k) }
+
+// Counts returns the faults injected so far.
+func (i *Injector) Counts() Counts { return i.counts }
+
+// Ops returns the number of bucket operations observed.
+func (i *Injector) Ops() uint64 { return i.ops }
+
+func isReadKind(k Kind) bool {
+	return k == TransientRead || k == BitFlip || k == StaleReplay
+}
+
+// draw picks the fault for this operation: a forced fault of the right
+// side first, then one probability evaluation. A single Float64 draw per
+// operation keeps schedules aligned across runs that differ only in
+// which faults fire.
+func (i *Injector) draw(read bool) Kind {
+	for idx, k := range i.forced {
+		if isReadKind(k) == read {
+			i.forced = append(i.forced[:idx], i.forced[idx+1:]...)
+			return k
+		}
+	}
+	if i.cfg.MaxFaults > 0 && i.counts.Total() >= uint64(i.cfg.MaxFaults) {
+		return None
+	}
+	p := i.rnd.Float64()
+	var kinds []Kind
+	var probs []float64
+	if read {
+		kinds = []Kind{TransientRead, BitFlip, StaleReplay}
+		probs = []float64{i.cfg.PTransientRead, i.cfg.PBitFlip, i.cfg.PStaleReplay}
+	} else {
+		kinds = []Kind{TransientWrite, DroppedWrite, TornWrite}
+		probs = []float64{i.cfg.PTransientWrite, i.cfg.PDroppedWrite, i.cfg.PTornWrite}
+	}
+	acc := 0.0
+	for j, pk := range probs {
+		acc += pk
+		if p < acc {
+			return kinds[j]
+		}
+	}
+	return None
+}
+
+// corrupt flips one byte of bucket n's stored ciphertext. Reports
+// whether there was a ciphertext to corrupt.
+func (i *Injector) corrupt(n tree.Node) bool {
+	if i.medium == nil {
+		return false
+	}
+	ct := i.medium.Ciphertext(n)
+	if len(ct) == 0 {
+		return false
+	}
+	ct[i.rnd.Intn(len(ct))] ^= byte(1 + i.rnd.Intn(255))
+	return true
+}
+
+// replay rolls some bucket back to an earlier ciphertext, preferring the
+// target node, else a deterministic pick among buckets with history.
+func (i *Injector) replay(target tree.Node) bool {
+	if i.medium == nil || len(i.history) == 0 {
+		return false
+	}
+	if h := i.history[target]; len(h) > 0 {
+		i.medium.SetCiphertext(target, h[0])
+		return true
+	}
+	// Deterministic pick: the lowest node id with history.
+	best := tree.Node(0)
+	found := false
+	for n, h := range i.history {
+		if len(h) == 0 {
+			continue
+		}
+		if !found || n < best {
+			best, found = n, true
+		}
+	}
+	if !found {
+		return false
+	}
+	i.medium.SetCiphertext(best, i.history[best][0])
+	return true
+}
+
+// record retains the current ciphertext of n for future stale replays.
+func (i *Injector) record(n tree.Node) {
+	if i.medium == nil {
+		return
+	}
+	ct := i.medium.Ciphertext(n)
+	if len(ct) == 0 {
+		return
+	}
+	h := i.history[n]
+	if len(h) >= i.cfg.HistoryDepth {
+		copy(h, h[1:])
+		h = h[:len(h)-1]
+	}
+	i.history[n] = append(h, append([]byte(nil), ct...))
+}
+
+// ReadBucket implements storage.Backend.
+func (i *Injector) ReadBucket(n tree.Node) (block.Bucket, error) {
+	i.ops++
+	switch i.draw(true) {
+	case TransientRead:
+		i.counts.TransientReads++
+		return block.Bucket{}, fmt.Errorf("faults: transient read of bucket %d: %w", n, storage.ErrTransient)
+	case BitFlip:
+		if i.corrupt(n) {
+			i.counts.BitFlips++
+		}
+	case StaleReplay:
+		if i.replay(n) {
+			i.counts.StaleReplays++
+		}
+	}
+	return i.under.ReadBucket(n)
+}
+
+// WriteBucket implements storage.Backend.
+func (i *Injector) WriteBucket(n tree.Node, b *block.Bucket) error {
+	i.ops++
+	switch i.draw(false) {
+	case TransientWrite:
+		i.counts.TransientWrites++
+		return fmt.Errorf("faults: transient write of bucket %d: %w", n, storage.ErrTransient)
+	case DroppedWrite:
+		i.counts.DroppedWrites++
+		return fmt.Errorf("faults: dropped write of bucket %d: %w", n, storage.ErrTransient)
+	case TornWrite:
+		if err := i.under.WriteBucket(n, b); err != nil {
+			return err
+		}
+		if i.corrupt(n) {
+			i.counts.TornWrites++
+			return fmt.Errorf("faults: torn write of bucket %d: %w", n, storage.ErrTransient)
+		}
+		// Nothing to tear (metadata backend): the write stands.
+		return nil
+	}
+	err := i.under.WriteBucket(n, b)
+	if err == nil {
+		i.record(n)
+	}
+	return err
+}
+
+// Geometry implements storage.Backend.
+func (i *Injector) Geometry() block.Geometry { return i.under.Geometry() }
+
+// Counters implements storage.Backend.
+func (i *Injector) Counters() storage.Counters { return i.under.Counters() }
+
+var _ storage.Backend = (*Injector)(nil)

@@ -1,0 +1,201 @@
+package faults_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/faults"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+func testStack(t *testing.T, integrity bool, cfg faults.Config) (*faults.Injector, *storage.Mem, storage.Backend) {
+	t.Helper()
+	tr := tree.MustNew(3)
+	mem, err := storage.NewMem(tr, block.Geometry{Z: 2, PayloadSize: 16}, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var under storage.Backend = mem
+	if integrity {
+		under = storage.NewIntegrity(mem, tr)
+	}
+	inj := faults.NewInjector(under, mem, cfg)
+	return inj, mem, under
+}
+
+func testBucket(addr, label uint64, fill byte) *block.Bucket {
+	data := bytes.Repeat([]byte{fill}, 16)
+	return &block.Bucket{Blocks: []block.Block{{Addr: addr, Label: label, Data: data}}}
+}
+
+func TestForcedTransients(t *testing.T) {
+	inj, _, _ := testStack(t, false, faults.Config{Seed: 1})
+	if err := inj.WriteBucket(3, testBucket(1, 0, 0xAA)); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Force(faults.TransientRead)
+	if _, err := inj.ReadBucket(3); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("forced transient read: got %v", err)
+	}
+	if bk, err := inj.ReadBucket(3); err != nil || len(bk.Blocks) != 1 {
+		t.Fatalf("retry after transient read: %v %v", bk, err)
+	}
+
+	inj.Force(faults.DroppedWrite)
+	if err := inj.WriteBucket(3, testBucket(1, 0, 0xBB)); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("forced dropped write: got %v", err)
+	}
+	bk, err := inj.ReadBucket(3)
+	if err != nil || bk.Blocks[0].Data[0] != 0xAA {
+		t.Fatalf("dropped write reached the medium: %v %v", bk, err)
+	}
+
+	c := inj.Counts()
+	if c.TransientReads != 1 || c.DroppedWrites != 1 || c.Total() != 2 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.Medium() != 0 {
+		t.Fatalf("transient faults must not count as medium corruption: %+v", c)
+	}
+}
+
+func TestTornWriteDetectedByIntegrity(t *testing.T) {
+	inj, _, _ := testStack(t, true, faults.Config{Seed: 1})
+	if err := inj.WriteBucket(4, testBucket(1, 1, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Force(faults.TornWrite)
+	if err := inj.WriteBucket(4, testBucket(1, 1, 0x22)); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("torn write: got %v", err)
+	}
+	// The write landed but was scrambled: the Merkle layer must reject it.
+	if _, err := inj.ReadBucket(4); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("read after torn write: got %v, want ErrCorrupt", err)
+	}
+	// A retry (the controller's move) rewrites cleanly.
+	if err := inj.WriteBucket(4, testBucket(1, 1, 0x22)); err != nil {
+		t.Fatal(err)
+	}
+	bk, err := inj.ReadBucket(4)
+	if err != nil || bk.Blocks[0].Data[0] != 0x22 {
+		t.Fatalf("retried write: %v %v", bk, err)
+	}
+}
+
+func TestBitFlipDetectedByIntegrity(t *testing.T) {
+	inj, _, _ := testStack(t, true, faults.Config{Seed: 1})
+	if err := inj.WriteBucket(5, testBucket(2, 2, 0x33)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Force(faults.BitFlip)
+	if _, err := inj.ReadBucket(5); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("bit-flipped read: got %v, want ErrCorrupt", err)
+	}
+	var ie *storage.IntegrityError
+	inj.Force(faults.BitFlip)
+	_, err := inj.ReadBucket(5)
+	if !errors.As(err, &ie) {
+		t.Fatalf("want IntegrityError, got %v", err)
+	}
+}
+
+func TestStaleReplayDetectedByIntegrity(t *testing.T) {
+	inj, _, _ := testStack(t, true, faults.Config{Seed: 1})
+	if err := inj.WriteBucket(6, testBucket(3, 3, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.WriteBucket(6, testBucket(3, 3, 0x55)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Force(faults.StaleReplay)
+	if _, err := inj.ReadBucket(6); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("stale replay under integrity: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStaleReplaySilentWithoutIntegrity documents the gap the Merkle
+// layer closes: a replayed ciphertext decrypts and decodes fine, so a
+// plain-encryption backend serves stale data with no error.
+func TestStaleReplaySilentWithoutIntegrity(t *testing.T) {
+	inj, _, _ := testStack(t, false, faults.Config{Seed: 1})
+	if err := inj.WriteBucket(6, testBucket(3, 3, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.WriteBucket(6, testBucket(3, 3, 0x55)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Force(faults.StaleReplay)
+	bk, err := inj.ReadBucket(6)
+	if err != nil {
+		t.Fatalf("stale replay without integrity should be silent, got %v", err)
+	}
+	if bk.Blocks[0].Data[0] != 0x44 {
+		t.Fatalf("expected the stale 0x44 payload, got %#x", bk.Blocks[0].Data[0])
+	}
+	if inj.Counts().StaleReplays != 1 {
+		t.Fatalf("counts: %+v", inj.Counts())
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	run := func() faults.Counts {
+		inj, _, _ := testStack(t, false, faults.Config{
+			Seed:           7,
+			PTransientRead: 0.2, PTransientWrite: 0.2, PDroppedWrite: 0.2,
+		})
+		for i := 0; i < 200; i++ {
+			n := tree.Node(uint64(i) % 15)
+			inj.WriteBucket(n, testBucket(1, n%8, byte(i)))
+			inj.ReadBucket(n)
+		}
+		return inj.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("schedules diverged: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("no faults injected at 20% rates")
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	inj, _, _ := testStack(t, false, faults.Config{
+		Seed:           7,
+		PTransientRead: 1.0,
+		MaxFaults:      3,
+	})
+	if err := inj.WriteBucket(3, testBucket(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if _, err := inj.ReadBucket(3); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("MaxFaults=3: %d reads failed", fails)
+	}
+	if got := inj.Counts().Total(); got != 3 {
+		t.Fatalf("counts after cap: %d", got)
+	}
+}
+
+// TestKindString pins the labels used in chaos reports.
+func TestKindString(t *testing.T) {
+	for k, want := range map[faults.Kind]string{
+		faults.None: "none", faults.TransientRead: "transient-read",
+		faults.TransientWrite: "transient-write", faults.DroppedWrite: "dropped-write",
+		faults.TornWrite: "torn-write", faults.BitFlip: "bit-flip",
+		faults.StaleReplay: "stale-replay", faults.Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -48,25 +48,52 @@ type Access struct {
 	Dummy      bool
 }
 
+// DefaultRetries is the bounded retry budget applied when Config.Retries
+// is zero: up to 3 additional attempts per failed bucket access.
+const DefaultRetries = 3
+
 // Config parameterizes a Controller.
 type Config struct {
 	Tree          tree.Tree
 	StashCapacity int  // paper's C, e.g. 200
 	TrackData     bool // false for metadata-only timing runs
+	// Retries bounds how many additional attempts a transient storage
+	// failure (storage.ErrTransient) gets before the controller
+	// fail-stops. 0 means DefaultRetries; negative disables retrying.
+	// Retries are oblivious by construction: a retry re-issues the read
+	// or write of the *same* bucket the adversary already saw requested,
+	// and whether it happens depends only on (public) storage behaviour,
+	// never on the access's secret address or payload.
+	Retries int
 }
 
 // Controller implements the label-driven Path ORAM mechanics over a
 // storage backend (optionally decorated by on-chip bucket caches).
 type Controller struct {
-	tr    tree.Tree
-	z     int
-	store storage.Backend
-	stash *stash.Stash
-	track bool
-	geo   block.Geometry
-	err   error
+	tr      tree.Tree
+	z       int
+	store   storage.Backend
+	stash   *stash.Stash
+	track   bool
+	geo     block.Geometry
+	err     error
+	retries int
 
 	evictBuf []block.Block // scratch for path refills; reused every bucket write
+
+	retryStats RetryStats
+}
+
+// RetryStats counts the controller's transient-failure handling.
+type RetryStats struct {
+	// Retried is the number of retry attempts issued (reads + writes).
+	Retried uint64
+	// Recovered is the number of bucket accesses that failed at least
+	// once and then succeeded within the retry budget.
+	Recovered uint64
+	// Exhausted is the number of bucket accesses abandoned after the
+	// full retry budget (each one fail-stops the controller).
+	Exhausted uint64
 }
 
 // NewController creates a controller. The bucket capacity Z comes from the
@@ -82,15 +109,70 @@ func NewController(cfg Config, store storage.Backend) (*Controller, error) {
 		return nil, fmt.Errorf("pathoram: tree must have at least 2 levels (got %d; unset Config.Tree?)",
 			cfg.Tree.Levels())
 	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
 	return &Controller{
-		tr:    cfg.Tree,
-		z:     geo.Z,
-		store: store,
-		stash: stash.New(cfg.Tree, cfg.StashCapacity),
-		track: cfg.TrackData,
-		geo:   geo,
+		tr:      cfg.Tree,
+		z:       geo.Z,
+		store:   store,
+		stash:   stash.New(cfg.Tree, cfg.StashCapacity),
+		track:   cfg.TrackData,
+		geo:     geo,
+		retries: retries,
 	}, nil
 }
+
+// readBucket reads bucket n with bounded oblivious retry on transient
+// failures: every attempt targets the same node, so the adversary-visible
+// bucket sequence of the enclosing access is unchanged, and non-transient
+// errors (corruption, integrity violations) are never retried.
+func (c *Controller) readBucket(n tree.Node) (block.Bucket, error) {
+	bk, err := c.store.ReadBucket(n)
+	if err == nil || !errors.Is(err, storage.ErrTransient) {
+		return bk, err
+	}
+	for r := 0; r < c.retries; r++ {
+		c.retryStats.Retried++
+		bk, err = c.store.ReadBucket(n)
+		if err == nil {
+			c.retryStats.Recovered++
+			return bk, nil
+		}
+		if !errors.Is(err, storage.ErrTransient) {
+			return bk, err
+		}
+	}
+	c.retryStats.Exhausted++
+	return bk, err
+}
+
+// writeBucket writes bucket n with the same bounded retry as readBucket.
+func (c *Controller) writeBucket(n tree.Node, bk *block.Bucket) error {
+	err := c.store.WriteBucket(n, bk)
+	if err == nil || !errors.Is(err, storage.ErrTransient) {
+		return err
+	}
+	for r := 0; r < c.retries; r++ {
+		c.retryStats.Retried++
+		err = c.store.WriteBucket(n, bk)
+		if err == nil {
+			c.retryStats.Recovered++
+			return nil
+		}
+		if !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+	}
+	c.retryStats.Exhausted++
+	return err
+}
+
+// Retries returns cumulative transient-retry statistics.
+func (c *Controller) Retries() RetryStats { return c.retryStats }
 
 // Tree returns the tree geometry.
 func (c *Controller) Tree() tree.Tree { return c.tr }
@@ -111,7 +193,7 @@ func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node
 	}
 	for lvl := fromLevel; lvl <= c.tr.LeafLevel(); lvl++ {
 		n := c.tr.NodeAt(label, lvl)
-		bk, err := c.store.ReadBucket(n)
+		bk, err := c.readBucket(n)
 		if err != nil {
 			c.err = err
 			return dst, err
@@ -136,7 +218,7 @@ func (c *Controller) WriteRange(label tree.Label, fromLevel uint, dst []tree.Nod
 		n := c.tr.NodeAt(label, uint(i))
 		c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)
 		bk := block.Bucket{Blocks: c.evictBuf}
-		if err := c.store.WriteBucket(n, &bk); err != nil {
+		if err := c.writeBucket(n, &bk); err != nil {
 			c.err = err
 			return dst, err
 		}
@@ -156,7 +238,7 @@ func (c *Controller) WriteLevel(label tree.Label, level uint) (tree.Node, error)
 	n := c.tr.NodeAt(label, level)
 	c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)
 	bk := block.Bucket{Blocks: c.evictBuf}
-	if err := c.store.WriteBucket(n, &bk); err != nil {
+	if err := c.writeBucket(n, &bk); err != nil {
 		c.err = err
 		return 0, err
 	}
@@ -249,13 +331,12 @@ func (o *ORAM) PositionMap() *posmap.Map { return o.pos }
 func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, Access, error) {
 	// Step 1: stash hit returns immediately with no memory access; the
 	// block is still remapped so its label stays fresh.
-	if b, ok := o.ctl.stash.Get(addr); ok {
+	if _, ok := o.ctl.stash.Get(addr); ok {
 		_, _, next := o.pos.Remap(addr)
 		out, err := o.ctl.FetchBlock(op, addr, next, data)
 		if err != nil {
 			return nil, Access{}, err
 		}
-		_ = b
 		return out, Access{}, nil
 	}
 	// Step 2: look up and remap.

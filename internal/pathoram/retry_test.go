@@ -1,0 +1,189 @@
+package pathoram
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// flakyBackend fails the next failNext operations with a transient (or
+// permanent) error before delegating, recording the node sequence it was
+// asked for — including the failed attempts, which is exactly what the
+// adversary sees on the bus.
+type flakyBackend struct {
+	storage.Backend
+	failNext  int
+	permanent bool
+	trace     []tree.Node
+}
+
+func (f *flakyBackend) fail(n tree.Node) error {
+	f.trace = append(f.trace, n)
+	if f.failNext > 0 {
+		f.failNext--
+		if f.permanent {
+			return fmt.Errorf("flaky: permanent failure at %d: %w", n, storage.ErrCorrupt)
+		}
+		return fmt.Errorf("flaky: transient failure at %d: %w", n, storage.ErrTransient)
+	}
+	return nil
+}
+
+func (f *flakyBackend) ReadBucket(n tree.Node) (block.Bucket, error) {
+	if err := f.fail(n); err != nil {
+		return block.Bucket{}, err
+	}
+	return f.Backend.ReadBucket(n)
+}
+
+func (f *flakyBackend) WriteBucket(n tree.Node, b *block.Bucket) error {
+	if err := f.fail(n); err != nil {
+		return err
+	}
+	return f.Backend.WriteBucket(n, b)
+}
+
+func retryFixture(t *testing.T, retries int) (*ORAM, *flakyBackend) {
+	t.Helper()
+	tr := tree.MustNew(3)
+	mem, err := storage.NewMem(tr, block.Geometry{Z: 4, PayloadSize: 16}, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &flakyBackend{Backend: mem}
+	o, err := New(Config{Tree: tr, StashCapacity: 50, TrackData: true, Retries: retries}, fb, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, fb
+}
+
+func TestRetryRecoversWithinBudget(t *testing.T) {
+	o, fb := retryFixture(t, 0) // 0 → DefaultRetries = 3
+	payload := make([]byte, 16)
+	payload[0] = 0x7E
+	if _, _, err := o.Access(OpWrite, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	fb.failNext = DefaultRetries // fails, then the last retry succeeds
+	out, _, err := o.Access(OpRead, 1, nil)
+	if err != nil {
+		t.Fatalf("access within retry budget failed: %v", err)
+	}
+	if out[0] != 0x7E {
+		t.Fatalf("wrong payload after retries: %#x", out[0])
+	}
+	rs := o.Controller().Retries()
+	if rs.Retried != uint64(DefaultRetries) || rs.Recovered != 1 || rs.Exhausted != 0 {
+		t.Fatalf("retry stats: %+v", rs)
+	}
+}
+
+// TestRetryTracePreserved is the obliviousness argument, mechanized: a
+// retried bucket access re-requests the same node, so the adversary-
+// visible node sequence differs from a fault-free run only by adjacent
+// duplicates — never by a different node or order.
+func TestRetryTracePreserved(t *testing.T) {
+	clean, cleanFB := retryFixture(t, 0)
+	flaky, flakyFB := retryFixture(t, 0)
+
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			flakyFB.failNext = 2 // burst mid-run, recovered by retries
+		}
+		addr := uint64(i % 3)
+		if _, _, err := clean.Access(OpRead, addr, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := flaky.Access(OpRead, addr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dedup := func(ns []tree.Node) []tree.Node {
+		var out []tree.Node
+		for i, n := range ns {
+			if i > 0 && ns[i-1] == n {
+				continue
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	a, b := dedup(cleanFB.trace), dedup(flakyFB.trace)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ after dedup: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(flakyFB.trace) != len(cleanFB.trace)+2 {
+		t.Fatalf("expected exactly 2 duplicated requests, got %d extra",
+			len(flakyFB.trace)-len(cleanFB.trace))
+	}
+}
+
+func TestRetryExhaustionFailsStop(t *testing.T) {
+	o, fb := retryFixture(t, 2)
+	if _, _, err := o.Access(OpWrite, 1, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	fb.failNext = 10 // beyond the budget of 2
+	_, _, err := o.Access(OpRead, 1, nil)
+	if !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("exhausted retries: got %v, want wrapped ErrTransient", err)
+	}
+	rs := o.Controller().Retries()
+	if rs.Exhausted != 1 {
+		t.Fatalf("retry stats: %+v", rs)
+	}
+	// The controller is fail-stopped: every further access errors without
+	// touching storage.
+	before := len(fb.trace)
+	if _, _, err := o.Access(OpRead, 1, nil); err == nil {
+		t.Fatal("fail-stopped controller served an access")
+	}
+	if len(fb.trace) != before {
+		t.Fatal("fail-stopped controller touched storage")
+	}
+	if o.Controller().Err() == nil {
+		t.Fatal("controller Err() not set after exhaustion")
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	o, fb := retryFixture(t, -1)
+	if _, _, err := o.Access(OpWrite, 1, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	fb.failNext = 1
+	if _, _, err := o.Access(OpRead, 1, nil); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("retries disabled: got %v", err)
+	}
+	rs := o.Controller().Retries()
+	if rs.Retried != 0 || rs.Exhausted != 1 {
+		t.Fatalf("retry stats with retries disabled: %+v", rs)
+	}
+}
+
+func TestNonTransientNeverRetried(t *testing.T) {
+	o, fb := retryFixture(t, 0)
+	if _, _, err := o.Access(OpWrite, 1, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	fb.failNext, fb.permanent = 1, true
+	if _, _, err := o.Access(OpRead, 1, nil); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("permanent failure: got %v", err)
+	}
+	rs := o.Controller().Retries()
+	if rs.Retried != 0 {
+		t.Fatalf("permanent failures must not be retried: %+v", rs)
+	}
+}

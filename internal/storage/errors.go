@@ -1,0 +1,53 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"forkoram/internal/tree"
+)
+
+// Error taxonomy of the untrusted storage layer. Controllers classify
+// failures into exactly two families:
+//
+//   - ErrTransient: the operation failed but the medium may still hold
+//     correct data — a retry of the *same* bucket access is safe and
+//     oblivious (it repeats an access the adversary already saw, driven
+//     by public storage behaviour, never by secret state).
+//   - ErrCorrupt: the medium returned bytes that provably are not what
+//     the controller wrote — retrying is useless; the controller must
+//     fail-stop so no corrupted payload is ever silently served.
+//
+// Concrete errors wrap one of the two sentinels, so callers dispatch
+// with errors.Is and still see the detailed cause.
+var (
+	// ErrTransient marks a retryable I/O failure (timeout, dropped or
+	// torn write acknowledgement). The bucket contents on the medium are
+	// unspecified until a subsequent read or rewrite succeeds.
+	ErrTransient = errors.New("storage: transient I/O failure")
+
+	// ErrCorrupt marks data that fails validation: an implausible
+	// decrypted image, or a Merkle verification failure (IntegrityError
+	// wraps it). Not retryable.
+	ErrCorrupt = errors.New("storage: corrupt data")
+)
+
+// IntegrityError reports a Merkle verification failure at a specific
+// bucket. It wraps ErrCorrupt: errors.Is(err, ErrCorrupt) is true.
+type IntegrityError struct {
+	Node  tree.Node
+	Level uint
+}
+
+// Error implements error.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("storage: integrity violation at bucket %d (level %d)", e.Node, e.Level)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) succeed for integrity failures.
+func (e *IntegrityError) Is(target error) bool { return target == ErrCorrupt }
+
+// corruptf wraps ErrCorrupt with a formatted cause.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}

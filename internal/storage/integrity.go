@@ -2,7 +2,6 @@ package storage
 
 import (
 	"crypto/sha256"
-	"fmt"
 
 	"forkoram/internal/block"
 	"forkoram/internal/tree"
@@ -83,8 +82,7 @@ func (g *Integrity) verifyPath(n tree.Node) error {
 		got := g.computeHash(cur)
 		if got != want {
 			g.failures++
-			return fmt.Errorf("storage: integrity violation at bucket %d (level %d)",
-				cur, g.tr.Level(cur))
+			return &IntegrityError{Node: cur, Level: g.tr.Level(cur)}
 		}
 		if cur == g.tr.Root() {
 			return nil
@@ -135,6 +133,41 @@ func (g *Integrity) Counters() Counters { return g.cnt }
 func (g *Integrity) Stats() (verifications, failures uint64) {
 	return g.verifications, g.failures
 }
+
+// Rebuild recomputes the whole hash tree bottom-up from the ciphertexts
+// currently on the medium, replacing any previous hash state. Used by
+// crash recovery: a restored client rebuilds the tree from the surviving
+// untrusted storage and then compares Root() against the trusted root it
+// persisted — a mismatch means the medium diverged (corruption, replay,
+// or writes after the snapshot) and the restore must be rejected.
+func (g *Integrity) Rebuild() {
+	g.hash = make(map[tree.Node][32]byte)
+	// computeHash consumes stored child hashes, so walk leaf level first.
+	for n := int64(g.tr.Nodes()) - 1; n >= 0; n-- {
+		if h := g.computeHash(tree.Node(n)); h != zeroHash {
+			g.hash[tree.Node(n)] = h
+		}
+	}
+}
+
+// VerifyAll recomputes every node hash from the medium and compares it
+// against the stored hash tree — the full-tree audit walk behind
+// Device.Scrub. It returns the first mismatch as an IntegrityError.
+// Unlike the per-read verifyPath, this also surfaces latent corruption
+// in buckets no request has touched yet.
+func (g *Integrity) VerifyAll() error {
+	for n := uint64(0); n < g.tr.Nodes(); n++ {
+		g.verifications++
+		if g.computeHash(n) != g.nodeHash(n) {
+			g.failures++
+			return &IntegrityError{Node: n, Level: g.tr.Level(n)}
+		}
+	}
+	return nil
+}
+
+// Mem exposes the wrapped medium (fault-injection and recovery plumbing).
+func (g *Integrity) Mem() *Mem { return g.mem }
 
 // Tamper corrupts one byte of bucket n's stored ciphertext — test hook
 // playing the active adversary. Reports whether there was a ciphertext

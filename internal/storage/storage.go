@@ -92,9 +92,27 @@ func (m *Mem) ReadBucket(n tree.Node) (block.Bucket, error) {
 	}
 	pt := m.pt()
 	if err := m.eng.Open(pt, ct); err != nil {
-		return block.Bucket{}, err
+		return block.Bucket{}, corruptf("storage: bucket %d unreadable (%v)", n, err)
 	}
-	return m.geo.DecodeBucket(pt)
+	bk, err := m.geo.DecodeBucket(pt)
+	if err != nil {
+		return block.Bucket{}, corruptf("storage: bucket %d undecodable (%v)", n, err)
+	}
+	// Plausibility check: every real block ever written carries a label
+	// naming a leaf of this tree. Ciphertext corruption under CTR
+	// scrambles the decrypted headers, so corruption touching a header
+	// fails this with overwhelming probability (a random 64-bit word is
+	// a valid label with chance Leaves/2^64). Payload-only corruption is
+	// NOT detectable here — that is what the Merkle layer (Integrity)
+	// is for; the on-path eviction invariant is audited by Scrub, not
+	// enforced per read.
+	for _, b := range bk.Blocks {
+		if !m.tr.ValidLabel(b.Label) {
+			return block.Bucket{}, corruptf("storage: bucket %d holds implausible block (addr %d label %d)",
+				n, b.Addr, b.Label)
+		}
+	}
+	return bk, nil
 }
 
 // pt returns the reusable plaintext staging buffer, sized to one bucket.
@@ -139,9 +157,22 @@ func (m *Mem) Geometry() block.Geometry { return m.geo }
 func (m *Mem) Counters() Counters { return m.cnt }
 
 // Ciphertext returns the raw sealed image of bucket n as an adversary
-// would observe it, or nil if the bucket was never written. Test-only
-// introspection; controllers must not use it.
+// would observe it, or nil if the bucket was never written. The returned
+// slice is the live storage cell: mutating it models medium corruption.
+// Test and fault-injection hook; controllers must not use it.
 func (m *Mem) Ciphertext(n tree.Node) []byte { return m.data[n] }
+
+// SetCiphertext overwrites the raw sealed image of bucket n with a copy
+// of ct (nil deletes the cell, reverting the bucket to never-written).
+// Fault-injection hook modelling an active adversary or failing medium
+// replaying stale bytes; controllers must not use it.
+func (m *Mem) SetCiphertext(n tree.Node, ct []byte) {
+	if ct == nil {
+		delete(m.data, n)
+		return
+	}
+	m.data[n] = append([]byte(nil), ct...)
+}
 
 // Meta is a metadata-only backend for large-scale timing simulation. It
 // stores (addr, label) pairs per bucket with nil payloads and performs no

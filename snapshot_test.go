@@ -1,0 +1,249 @@
+package forkoram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"forkoram/internal/storage"
+)
+
+func snapFixture(t *testing.T, variant Variant, integrity bool) (*Device, map[uint64][]byte) {
+	t.Helper()
+	d, err := NewDevice(DeviceConfig{
+		Blocks: 48, BlockSize: 16, Seed: 17, Variant: variant, Integrity: integrity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[uint64][]byte)
+	for i := 0; i < 150; i++ {
+		addr := uint64(i*5) % 48
+		data := payload(16, byte(i+1))
+		if err := d.Write(addr, data); err != nil {
+			t.Fatal(err)
+		}
+		oracle[addr] = data
+	}
+	return d, oracle
+}
+
+func verifyOracle(t *testing.T, d *Device, oracle map[uint64][]byte, what string) {
+	t.Helper()
+	for addr := uint64(0); addr < d.Blocks(); addr++ {
+		want, ok := oracle[addr]
+		if !ok {
+			want = make([]byte, d.BlockSize())
+		}
+		got, err := d.Read(addr)
+		if err != nil {
+			t.Fatalf("%s: read %d: %v", what, addr, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: read %d: got %x want %x", what, addr, got[:4], want[:4])
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Fork} {
+		for _, integrity := range []bool{false, true} {
+			d, oracle := snapFixture(t, variant, integrity)
+			snap, err := d.Snapshot()
+			if err != nil {
+				t.Fatalf("variant %d integrity %v: snapshot: %v", variant, integrity, err)
+			}
+			// Crash: the old device handle is abandoned; only the medium
+			// and the snapshot survive.
+			nd, err := RestoreDevice(snap)
+			if err != nil {
+				t.Fatalf("variant %d integrity %v: restore: %v", variant, integrity, err)
+			}
+			if err := nd.Scrub(); err != nil {
+				t.Fatalf("variant %d integrity %v: scrub after restore: %v", variant, integrity, err)
+			}
+			verifyOracle(t, nd, oracle, "after restore")
+			// The restored device keeps working: more writes, then audit.
+			for i := 0; i < 60; i++ {
+				addr := uint64(i*11) % 48
+				data := payload(16, byte(0x80+i))
+				if err := nd.Write(addr, data); err != nil {
+					t.Fatalf("write after restore: %v", err)
+				}
+				oracle[addr] = data
+			}
+			verifyOracle(t, nd, oracle, "after post-restore writes")
+			if err := nd.Scrub(); err != nil {
+				t.Fatalf("variant %d integrity %v: final scrub: %v", variant, integrity, err)
+			}
+			// Counters carried over.
+			if nd.Stats().Writes < 150 {
+				t.Fatalf("restored device lost its counters: %+v", nd.Stats())
+			}
+		}
+	}
+}
+
+func TestSnapshotMarshalRoundTrip(t *testing.T) {
+	d, oracle := snapFixture(t, Fork, true)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalSnapshot(buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := decoded.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("marshal → unmarshal → marshal is not the identity")
+	}
+	nd, err := RestoreDevice(decoded)
+	if err != nil {
+		t.Fatalf("restore from decoded snapshot: %v", err)
+	}
+	verifyOracle(t, nd, oracle, "after decoded restore")
+	if err := nd.Scrub(); err != nil {
+		t.Fatalf("scrub after decoded restore: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	d, _ := snapFixture(t, Baseline, false)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSnapshot(nil, d); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := UnmarshalSnapshot(buf[:len(buf)/2], d); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalSnapshot(bad, d); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Geometry mismatch: a device with different Blocks.
+	other, err := NewDevice(DeviceConfig{Blocks: 200, BlockSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSnapshot(buf, other); err == nil {
+		t.Fatal("accepted snapshot against mismatched device")
+	}
+}
+
+// TestRestoreRejectsDivergedMedium: with integrity, restoring a snapshot
+// over a medium that advanced past it (the crashed client kept writing)
+// must be rejected with a typed corruption error — resuming would fork
+// history silently.
+func TestRestoreRejectsDivergedMedium(t *testing.T) {
+	d, _ := snapFixture(t, Fork, true)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Write(uint64(i), payload(16, 0xEE)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RestoreDevice(snap); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("restore over diverged medium: got %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// TestRestoreRejectsTamperedMedium: same, for out-of-band corruption.
+func TestRestoreRejectsTamperedMedium(t *testing.T) {
+	d, _ := snapFixture(t, Baseline, true)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamperSomeBucket(t, d)
+	if _, err := RestoreDevice(snap); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("restore over tampered medium: got %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+func tamperSomeBucket(t *testing.T, d *Device) {
+	t.Helper()
+	for n := uint64(0); n < d.tr.Nodes(); n++ {
+		if ct := d.store.Ciphertext(n); len(ct) > 0 {
+			ct[len(ct)/3] ^= 0x40
+			return
+		}
+	}
+	t.Fatal("no written bucket to tamper with")
+}
+
+func TestScrubDetectsLatentCorruption(t *testing.T) {
+	d, _ := snapFixture(t, Fork, true)
+	if err := d.Scrub(); err != nil {
+		t.Fatalf("clean scrub: %v", err)
+	}
+	tamperSomeBucket(t, d)
+	err := d.Scrub()
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("scrub over tampered medium: got %v, want wrapped ErrCorrupt", err)
+	}
+	var ie *storage.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("scrub error carries no IntegrityError: %v", err)
+	}
+}
+
+// TestScrubMidStream: Scrub must hold between any two synchronous
+// operations, including while the Fork handle is open (merged buckets
+// legitimately hold stale copies then).
+func TestScrubMidStream(t *testing.T) {
+	d, err := NewDevice(DeviceConfig{Blocks: 32, BlockSize: 16, Seed: 23, Variant: Fork, Integrity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if err := d.Write(uint64(i)%32, payload(16, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := d.Scrub(); err != nil {
+				t.Fatalf("mid-stream scrub after op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestSnapshotLeavesLiveDeviceConsistent(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Fork} {
+		d, oracle := snapFixture(t, variant, true)
+		if _, err := d.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		// The snapshotted (still live) device keeps serving correctly.
+		for i := 0; i < 60; i++ {
+			addr := uint64(i * 3 % 48)
+			data := payload(16, byte(0x40+i))
+			if err := d.Write(addr, data); err != nil {
+				t.Fatalf("variant %d: write after snapshot: %v", variant, err)
+			}
+			oracle[addr] = data
+		}
+		verifyOracle(t, d, oracle, "live device after snapshot")
+		if err := d.Scrub(); err != nil {
+			t.Fatalf("variant %d: scrub: %v", variant, err)
+		}
+	}
+}
