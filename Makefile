@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench json chaos fuzz
+.PHONY: build test race bench json chaos chaos-smoke fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the worker pool and the parallel harness
-# (TestParallel* run one generator sequentially and at parallel=4 and
-# require bit-identical output).
+# Race-detector pass: the whole root package (Service concurrency, the
+# admission queue, the crash campaign) plus every internal package.
 race:
-	$(GO) test -race ./internal/par ./internal/bench -run TestParallel
+	$(GO) test -race . ./internal/...
 
 bench:
 	$(GO) test -bench BenchmarkAccessAllocs -benchtime 1000x ./internal/fork ./internal/pathoram
@@ -21,14 +20,28 @@ bench:
 json:
 	$(GO) run ./cmd/orambench -mixes 2 -requests 800 -json
 
-# Deterministic fault-injection campaign: 1000 transient schedules plus
-# 1000 corruption schedules, fixed seeds so failures replay exactly.
-# Exits non-zero on any silent corruption / untyped error.
+# Deterministic fault-injection + crash campaigns, fixed seeds so
+# failures replay exactly. Exits non-zero on any silent corruption /
+# untyped error / lost acknowledged write. The -crash campaign kills the
+# supervised Service at every write-path point across 1000 schedules,
+# each run with both Device variants.
 chaos:
 	$(GO) run ./cmd/forksim -faults -seed 1 -fault-schedules 1000
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 1000 -fault-rate 0.006
+	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 1000
+
+# Reduced-schedule campaign for CI smoke: same assertions, ~10% of the
+# schedules.
+chaos-smoke:
+	$(GO) run ./cmd/forksim -faults -seed 1 -fault-schedules 100
+	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 100 -fault-rate 0.006
+	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 100
 
 # Coverage-guided fuzzing of the Device against a map oracle, with and
 # without fault injection (see FuzzDeviceOps in fuzz_test.go).
 fuzz:
 	$(GO) test -fuzz FuzzDeviceOps -fuzztime 60s .
+
+# Short fuzz pass for CI.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDeviceOps -fuzztime 30s .

@@ -39,6 +39,11 @@ type benchReport struct {
 	// Fork-engine access-loop microbenchmark (see AccessLoopStats).
 	AccessAllocsPerOp float64 `json:"access_allocs_per_op"`
 	AccessNSPerOp     float64 `json:"access_ns_per_op"`
+	// Supervised-recovery latency probe (see RecoveryLoopStats): full
+	// heals per second, and journal records replayed per second while
+	// healing.
+	RecoverHealsPerSec     float64 `json:"recover_heals_per_sec"`
+	RecoverReplayOpsPerSec float64 `json:"recover_replay_ops_per_sec"`
 }
 
 type experimentReport struct {
@@ -113,6 +118,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orambench: access-loop probe: %v\n", err)
 		}
+		heals, replay, err := forkoram.RecoveryLoopStats(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: recovery probe: %v\n", err)
+		}
 		rep := benchReport{
 			Date:              time.Now().Format("2006-01-02"),
 			GoVersion:         runtime.Version(),
@@ -125,6 +134,9 @@ func main() {
 			Speedup:           speedup,
 			AccessAllocsPerOp: allocs,
 			AccessNSPerOp:     nsOp,
+
+			RecoverHealsPerSec:     heals,
+			RecoverReplayOpsPerSec: replay,
 		}
 		path := fmt.Sprintf("BENCH_%s.json", rep.Date)
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,39 @@
+package forkoram
+
+import "testing"
+
+// TestCrashChaosReduced runs a reduced crash-at-every-point campaign in
+// the normal test suite; `make chaos` / forksim -crash run the full one.
+func TestCrashChaosReduced(t *testing.T) {
+	rep := RunCrashChaos(CrashChaosConfig{Seed: 0x51ab, Schedules: 30, Faults: true})
+	t.Logf("\n%s", rep.String())
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("campaign injected no crashes")
+	}
+	if rep.LostAcks != 0 || rep.SilentCorruptions != 0 {
+		t.Fatalf("lost acks %d, silent corruptions %d", rep.LostAcks, rep.SilentCorruptions)
+	}
+}
+
+// TestCrashChaosCoversEveryPoint checks that a moderately sized campaign
+// kills the service at every CrashPoint at least once — otherwise the
+// "crash at every point" claim silently degrades to "at some points".
+func TestCrashChaosCoversEveryPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a larger campaign")
+	}
+	rep := RunCrashChaos(CrashChaosConfig{Seed: 0xc0ffee, Schedules: 120, Faults: true})
+	if !rep.Ok() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	for p := 0; p < numCrashPoints; p++ {
+		if rep.PointHits[p] == 0 {
+			t.Errorf("crash point %v never hit (hits: %v)", CrashPoint(p), rep.PointHits)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package forkoram
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"forkoram/internal/block"
 	"forkoram/internal/faults"
@@ -24,6 +25,16 @@ import (
 // operation returns an error wrapping ErrPoisoned (and the original
 // cause). Recover by restoring a Snapshot taken before the failure.
 var ErrPoisoned = errors.New("forkoram: device poisoned by unrecovered failure")
+
+// ErrConcurrentAccess is returned when two goroutines enter a Device
+// operation at the same time. A raw Device is single-goroutine by
+// contract (see the Device doc); rather than silently interleave stash
+// and position-map updates — which corrupts state in ways no later check
+// can untangle — every entry point holds an atomic busy flag and the
+// loser fails fast with this error, before any state is touched. The
+// rejected operation is not counted in Stats and does not poison the
+// device. Use Service for a goroutine-safe front door.
+var ErrConcurrentAccess = errors.New("forkoram: concurrent access to Device (single-goroutine contract)")
 
 // ErrTransient and ErrCorrupt re-export the storage error taxonomy so
 // consumers outside this module can classify device failures with
@@ -184,8 +195,13 @@ type DeviceStats struct {
 // learn nothing about which addresses are accessed beyond the total
 // request count.
 //
-// A Device is not safe for concurrent use; wrap it in your own mutex if
-// needed (ORAM serializes accesses by construction anyway).
+// A Device is not safe for concurrent use: ORAM serializes accesses by
+// construction, so its operations are strictly single-goroutine. The
+// contract is enforced cheaply — every operation holds an atomic busy
+// flag, and a concurrent entry fails fast with ErrConcurrentAccess
+// instead of silently corrupting stash or position-map state. Wrap a
+// Device in a Service for a goroutine-safe, self-healing front door, or
+// in your own mutex if you only need serialization.
 type Device struct {
 	cfg      DeviceConfig
 	tr       tree.Tree
@@ -201,7 +217,22 @@ type Device struct {
 	reads    uint64
 	writes   uint64
 	poisoned *PoisonedError
+
+	// busy is the cheap concurrent-misuse guard: CAS-acquired by every
+	// public operation, so a second goroutine entering mid-operation gets
+	// ErrConcurrentAccess instead of corrupting stash/position-map state.
+	busy atomic.Int32
 }
+
+// enter acquires the single-goroutine guard; leave releases it.
+func (d *Device) enter() error {
+	if !d.busy.CompareAndSwap(0, 1) {
+		return ErrConcurrentAccess
+	}
+	return nil
+}
+
+func (d *Device) leave() { d.busy.Store(0) }
 
 // NewDevice creates an oblivious block store holding cfg.Blocks blocks of
 // cfg.BlockSize bytes, all initially zero.
@@ -330,6 +361,14 @@ func (d *Device) checkAddr(addr uint64) error {
 // Read returns the contents of the block at addr (zero-filled if never
 // written).
 func (d *Device) Read(addr uint64) ([]byte, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer d.leave()
+	return d.read(addr)
+}
+
+func (d *Device) read(addr uint64) ([]byte, error) {
 	if d.poisoned != nil {
 		return nil, d.poisoned
 	}
@@ -347,6 +386,14 @@ func (d *Device) Read(addr uint64) ([]byte, error) {
 // Write replaces the contents of the block at addr. data must be exactly
 // BlockSize bytes.
 func (d *Device) Write(addr uint64, data []byte) error {
+	if err := d.enter(); err != nil {
+		return err
+	}
+	defer d.leave()
+	return d.write(addr, data)
+}
+
+func (d *Device) write(addr uint64, data []byte) error {
 	if d.poisoned != nil {
 		return d.poisoned
 	}
@@ -447,6 +494,14 @@ func (d *Device) forkAccess(op pathoram.Op, addr uint64, data []byte) ([]byte, e
 // execution poison the device (see ErrPoisoned): some operations may
 // have been applied, and the returned results must be discarded.
 func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer d.leave()
+	return d.batch(ops)
+}
+
+func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 	if d.poisoned != nil {
 		return nil, d.poisoned
 	}
@@ -465,9 +520,9 @@ func (d *Device) Batch(ops []BatchOp) ([][]byte, error) {
 		for i, op := range ops {
 			var err error
 			if op.Write {
-				err = d.Write(op.Addr, op.Data)
+				err = d.write(op.Addr, op.Data)
 			} else {
-				results[i], err = d.Read(op.Addr)
+				results[i], err = d.read(op.Addr)
 			}
 			if err != nil {
 				return nil, err

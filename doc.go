@@ -9,7 +9,17 @@
 //     the paper's Fork Path engine (path merging + request scheduling +
 //     dummy request replacement). Payloads are protected with
 //     probabilistic (counter-mode) encryption. Use it when you want an
-//     ORAM as a data structure.
+//     ORAM as a data structure. A Device is strictly single-goroutine:
+//     ORAM serializes memory accesses by construction, and the Device
+//     enforces the contract with an atomic busy flag — a concurrent
+//     entry returns ErrConcurrentAccess rather than corrupting state.
+//
+//   - Service: the serving layer over a Device — goroutine-safe
+//     admission with context deadlines and bounded backpressure, a
+//     write-ahead journal (internal/wal) so acknowledged writes survive
+//     crashes, periodic checkpoints, and a supervisor that restores the
+//     newest checkpoint and replays the journal when the device
+//     fail-stops. Use it when the ORAM must stay up unattended.
 //
 //   - Simulation / Experiment: the architectural evaluation stack — a
 //     trace-driven multicore, shared LLC, hierarchical (recursive) Path

@@ -1,0 +1,346 @@
+// Package wal is the durable logical write-ahead journal under the
+// forkoram Service layer. Every mutating operation is appended as a
+// CRC-framed record {seq, op, addr, payload} and made durable (Sync)
+// BEFORE it is applied to the ORAM device; after a crash, replaying the
+// journal over the newest checkpoint reconstructs every acknowledged
+// write. The journal is logical (addresses and payloads, not bucket
+// ciphertexts), so replay goes through the full ORAM stack and the
+// oblivious-access guarantees are preserved.
+//
+// Durability is abstracted behind Store, an append-only byte log with an
+// explicit fsync-style barrier:
+//
+//   - MemStore keeps the log in memory and models crash semantics
+//     exactly: bytes appended but not yet Synced are lost on Crash,
+//     except for an arbitrary prefix that may have reached the medium
+//     (a torn tail). The chaos harness kills services at every point of
+//     the write path through this hook.
+//   - FileStore is the real thing: an O_APPEND file with Sync mapped to
+//     fsync.
+//
+// Replay tolerates a torn tail by construction: records are framed with
+// a length and a CRC32, decoding stops at the first frame that fails
+// either check, and Open compacts the log so the garbage bytes cannot
+// shadow records appended later. A record is considered durable only if
+// every byte of its frame survived — exactly the contract a caller gets
+// from appending then syncing.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Record is one journal entry. Seq is assigned by the Log, strictly
+// increasing across the Log's lifetime (it does not reset on Truncate,
+// so a record's seq can always be compared against a checkpoint's).
+type Record struct {
+	Seq     uint64
+	Op      uint8
+	Addr    uint64
+	Payload []byte
+}
+
+// Journal operations. The op byte is stored per record so the format can
+// grow (deletes, range ops, tombstones) without a version bump.
+const (
+	// OpWrite sets Addr's block to Payload.
+	OpWrite uint8 = 1
+)
+
+// Frame layout (little-endian):
+//
+//	length u32   — bytes after the 8-byte frame header
+//	crc    u32   — CRC-32 (IEEE) over those bytes
+//	seq u64 | op u8 | addr u64 | payload [length-17]byte
+const (
+	frameHeader = 8
+	recFixed    = 17
+)
+
+// AppendFrame appends the framed encoding of r to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, r Record) []byte {
+	n := recFixed + len(r.Payload)
+	off := len(dst)
+	dst = append(dst, make([]byte, frameHeader+n)...)
+	le := binary.LittleEndian
+	le.PutUint32(dst[off:], uint32(n))
+	body := dst[off+frameHeader:]
+	le.PutUint64(body, r.Seq)
+	body[8] = r.Op
+	le.PutUint64(body[9:], r.Addr)
+	copy(body[recFixed:], r.Payload)
+	le.PutUint32(dst[off+4:], crc32.ChecksumIEEE(body))
+	return dst
+}
+
+// Decode parses one frame from the head of data, returning the record
+// and the bytes consumed. An incomplete, corrupt, or implausible frame
+// returns an error; the caller treats everything from that offset on as
+// a torn tail.
+func Decode(data []byte) (Record, int, error) {
+	var r Record
+	if len(data) < frameHeader {
+		return r, 0, fmt.Errorf("wal: short frame header (%d bytes)", len(data))
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(data))
+	if n < recFixed {
+		return r, 0, fmt.Errorf("wal: frame length %d below record minimum", n)
+	}
+	if len(data) < frameHeader+n {
+		return r, 0, fmt.Errorf("wal: truncated frame (%d of %d bytes)", len(data)-frameHeader, n)
+	}
+	body := data[frameHeader : frameHeader+n]
+	if got, want := crc32.ChecksumIEEE(body), le.Uint32(data[4:]); got != want {
+		return r, 0, fmt.Errorf("wal: frame CRC mismatch (%08x != %08x)", got, want)
+	}
+	r.Seq = le.Uint64(body)
+	r.Op = body[8]
+	r.Addr = le.Uint64(body[9:])
+	r.Payload = append([]byte(nil), body[recFixed:]...)
+	return r, frameHeader + n, nil
+}
+
+// DecodeAll parses records from the head of data until the bytes run out
+// or a frame fails its length or CRC check. garbage is the count of
+// trailing bytes not decoded — a torn tail from a crash mid-sync, or
+// anything written after one (framing has no resync point, so the first
+// bad frame ends the journal). Records must carry strictly increasing
+// sequence numbers; a regression is treated like a bad frame.
+func DecodeAll(data []byte) (recs []Record, garbage int) {
+	off := 0
+	var last uint64
+	for off < len(data) {
+		r, n, err := Decode(data[off:])
+		if err != nil {
+			return recs, len(data) - off
+		}
+		if len(recs) > 0 && r.Seq <= last {
+			return recs, len(data) - off
+		}
+		recs = append(recs, r)
+		last = r.Seq
+		off += n
+	}
+	return recs, 0
+}
+
+// Store is the durability substrate of a Log: an append-only byte log
+// with an explicit barrier. Append may buffer; only bytes covered by a
+// returned Sync are guaranteed to survive a crash (a crashed append may
+// still leave an arbitrary prefix behind — the torn tail Decode guards
+// against).
+type Store interface {
+	// Append adds p to the log (possibly buffered).
+	Append(p []byte) error
+	// Sync is the durability barrier: when it returns, every byte
+	// appended so far survives a crash.
+	Sync() error
+	// Load returns the log's surviving contents from the beginning.
+	Load() ([]byte, error)
+	// Reset durably discards the whole log (checkpoint truncation).
+	Reset() error
+}
+
+// MemStore is an in-memory Store with explicit crash semantics, used by
+// tests and the chaos harness. It is not safe for concurrent use (the
+// Service serializes all journal access on its worker goroutine).
+type MemStore struct {
+	durable []byte
+	buffer  []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (m *MemStore) Append(p []byte) error {
+	m.buffer = append(m.buffer, p...)
+	return nil
+}
+
+// Sync implements Store.
+func (m *MemStore) Sync() error {
+	m.durable = append(m.durable, m.buffer...)
+	m.buffer = m.buffer[:0]
+	return nil
+}
+
+// Load implements Store.
+func (m *MemStore) Load() ([]byte, error) {
+	return append([]byte(nil), m.durable...), nil
+}
+
+// Reset implements Store.
+func (m *MemStore) Reset() error {
+	m.durable = m.durable[:0]
+	m.buffer = m.buffer[:0]
+	return nil
+}
+
+// Buffered returns the number of appended-but-unsynced bytes — the most
+// that can be torn away (or partially persisted) by a Crash.
+func (m *MemStore) Buffered() int { return len(m.buffer) }
+
+// Crash models process death: unsynced bytes vanish, except the first
+// tear bytes, which had already reached the medium (a torn tail for the
+// decoder to reject). tear is clamped to the buffered length.
+func (m *MemStore) Crash(tear int) {
+	if tear > len(m.buffer) {
+		tear = len(m.buffer)
+	}
+	if tear > 0 {
+		m.durable = append(m.durable, m.buffer[:tear]...)
+	}
+	m.buffer = m.buffer[:0]
+}
+
+// Clone deep-copies the store — a test hook for replaying recovery twice
+// from identical surviving state.
+func (m *MemStore) Clone() *MemStore {
+	return &MemStore{
+		durable: append([]byte(nil), m.durable...),
+		buffer:  append([]byte(nil), m.buffer...),
+	}
+}
+
+// FileStore is a file-backed Store: an append-only file whose Sync
+// barrier is fsync. One Log per file; the caller owns the path.
+type FileStore struct {
+	f *os.File
+}
+
+// OpenFile opens (creating if needed) a file-backed store at path.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileStore{f: f}, nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(p []byte) error {
+	_, err := s.f.Write(p)
+	return err
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Load implements Store.
+func (s *FileStore) Load() ([]byte, error) { return os.ReadFile(s.f.Name()) }
+
+// Reset implements Store.
+func (s *FileStore) Reset() error {
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FileStore)(nil)
+)
+
+// Log is the journal proper: sequence assignment, framing, and
+// torn-tail-tolerant recovery over a Store. Not safe for concurrent use.
+type Log struct {
+	store    Store
+	seq      uint64
+	unsynced int
+	appended uint64
+}
+
+// Open builds a Log over a store's surviving contents and returns the
+// durable records for the caller to replay. A torn tail (crash between
+// Append and the completion of Sync) is dropped, and the log is
+// compacted so later appends are not shadowed by the garbage bytes.
+func Open(store Store) (*Log, []Record, error) {
+	data, err := store.Load()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: load: %w", err)
+	}
+	recs, garbage := DecodeAll(data)
+	l := &Log{store: store}
+	if len(recs) > 0 {
+		l.seq = recs[len(recs)-1].Seq
+	}
+	if garbage > 0 {
+		// Rewrite only the valid prefix. A crash mid-compaction is no worse
+		// than the crash that tore the tail: every decoded record is held in
+		// memory and re-appended behind a fresh barrier before Open returns.
+		if err := store.Reset(); err != nil {
+			return nil, nil, fmt.Errorf("wal: compact reset: %w", err)
+		}
+		var buf []byte
+		for _, r := range recs {
+			buf = AppendFrame(buf, r)
+		}
+		if err := store.Append(buf); err != nil {
+			return nil, nil, fmt.Errorf("wal: compact append: %w", err)
+		}
+		if err := store.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("wal: compact sync: %w", err)
+		}
+	}
+	return l, recs, nil
+}
+
+// Append frames a record with the next sequence number and buffers it in
+// the store. The record is NOT durable until Sync returns.
+func (l *Log) Append(op uint8, addr uint64, payload []byte) (uint64, error) {
+	frame := AppendFrame(nil, Record{Seq: l.seq + 1, Op: op, Addr: addr, Payload: payload})
+	if err := l.store.Append(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq++
+	l.unsynced++
+	l.appended++
+	return l.seq, nil
+}
+
+// Sync is the durability barrier for every record appended so far.
+func (l *Log) Sync() error {
+	if err := l.store.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Truncate durably discards every record. Called only after a checkpoint
+// covering them is itself durable. Sequence numbering continues — seq is
+// the global operation clock, not a file offset.
+func (l *Log) Truncate() error {
+	if err := l.store.Reset(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recently appended
+// record (0 if none ever).
+func (l *Log) LastSeq() uint64 { return l.seq }
+
+// Advance raises the sequence clock to at least seq. Used after recovery
+// so that new records always outnumber the restored checkpoint even when
+// the journal itself was empty (truncated at that checkpoint).
+func (l *Log) Advance(seq uint64) {
+	if seq > l.seq {
+		l.seq = seq
+	}
+}
+
+// Appended returns the number of records appended over this Log's
+// lifetime (stats hook).
+func (l *Log) Appended() uint64 { return l.appended }

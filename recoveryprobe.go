@@ -1,0 +1,70 @@
+package forkoram
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"forkoram/internal/faults"
+)
+
+// RecoveryLoopStats measures the supervised heal path end to end: it
+// builds a Service whose journal holds a replay suffix, then repeatedly
+// poisons the device and times the supervisor's restore-and-replay
+// cycle. heals is the number of timed recoveries (heals <= 0 picks a
+// default). Returned rates characterize recovery latency for the perf
+// record: full heals per second, and journal records replayed per second
+// while healing (the paper-relevant cost — every replayed op is a full
+// ORAM access).
+func RecoveryLoopStats(heals int) (healsPerSec, replayOpsPerSec float64, err error) {
+	if heals <= 0 {
+		heals = 24
+	}
+	const suffix = 48 // journal records replayed per heal
+	cfg := ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    128,
+			BlockSize: 64,
+			QueueSize: 8,
+			Seed:      0xbe41,
+			Variant:   Fork,
+			Retries:   -1, // first fault poisons: the heal path, not the retry path
+			Faults:    &faults.Config{Seed: 0x5eed},
+		},
+		CheckpointEvery: 1 << 30, // keep the suffix in the journal
+		MaxRecoveries:   1 << 30, // the probe poisons on purpose, forever
+		sleep:           func(time.Duration) {},
+	}
+	svc, err := NewService(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	for i := 0; i < suffix; i++ {
+		if err := svc.Write(ctx, uint64(i%int(cfg.Device.Blocks)), chaosPayload(cfg.Device.BlockSize, 0xbe41, uint64(i)+1)); err != nil {
+			return 0, 0, fmt.Errorf("forkoram: recovery probe warmup: %w", err)
+		}
+	}
+	before := svc.Stats()
+	start := time.Now()
+	for i := 0; i < heals; i++ {
+		// Force the next bucket read to fail: with retries disabled the
+		// device poisons and the supervisor heals inline.
+		svc.dev.inj.Force(faults.TransientRead)
+		if _, err := svc.Read(ctx, uint64(i%int(cfg.Device.Blocks))); err != nil {
+			return 0, 0, fmt.Errorf("forkoram: recovery probe heal %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	after := svc.Stats()
+	if got := after.Recoveries - before.Recoveries; got != uint64(heals) {
+		return 0, 0, fmt.Errorf("forkoram: recovery probe: %d recoveries, want %d", got, heals)
+	}
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return 0, 0, fmt.Errorf("forkoram: recovery probe: zero elapsed time")
+	}
+	replayed := after.ReplayedOps - before.ReplayedOps
+	return float64(heals) / sec, float64(replayed) / sec, nil
+}

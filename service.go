@@ -1,0 +1,1114 @@
+package forkoram
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/wal"
+)
+
+// Service errors.
+var (
+	// ErrOverloaded is returned under BackpressureReject when the
+	// admission queue is full. The operation was not admitted and had no
+	// effect; the caller may retry.
+	ErrOverloaded = errors.New("forkoram: service overloaded (admission queue full)")
+	// ErrClosed is returned for operations submitted after Close.
+	ErrClosed = errors.New("forkoram: service closed")
+	// ErrUnrecoverable marks operations refused because the supervisor
+	// exhausted its recovery budget (or a recovery itself failed
+	// terminally). Returned errors wrap it together with the underlying
+	// cause chain — errors.As still extracts the *PoisonedError beneath.
+	ErrUnrecoverable = errors.New("forkoram: service unrecoverable")
+)
+
+// UnrecoverableError is the error the Service returns once supervised
+// recovery has given up: the restart budget was exhausted, or a restore
+// failed in a way retrying cannot fix. It wraps both ErrUnrecoverable
+// and the failure that ended recovery, so errors.Is(err, ErrUnrecoverable)
+// and errors.As(err, &(*PoisonedError)) both work.
+type UnrecoverableError struct {
+	// Cause is the failure that exhausted or broke recovery.
+	Cause error
+}
+
+// Error implements error.
+func (e *UnrecoverableError) Error() string {
+	return fmt.Sprintf("forkoram: service unrecoverable (cause: %v)", e.Cause)
+}
+
+// Is reports ErrUnrecoverable.
+func (e *UnrecoverableError) Is(target error) bool { return target == ErrUnrecoverable }
+
+// Unwrap exposes the terminal cause for errors.Is/As dispatch.
+func (e *UnrecoverableError) Unwrap() error { return e.Cause }
+
+// errKilled marks a simulated process kill injected by the crash-chaos
+// harness (ServiceConfig.crashHook). Never returned in production use.
+var errKilled = errors.New("forkoram: service killed (injected crash)")
+
+// Backpressure selects what admission does when the queue is full.
+type Backpressure int
+
+// Backpressure policies.
+const (
+	// BackpressureBlock blocks the caller until there is queue room, the
+	// context is done, or the service closes.
+	BackpressureBlock Backpressure = iota
+	// BackpressureReject fails fast with ErrOverloaded.
+	BackpressureReject
+)
+
+// Checkpoint is one durable recovery point: the serialized client
+// snapshot (Snapshot.MarshalBinary), a full backup of the untrusted
+// medium's ciphertexts at the same quiescent instant, and the journal
+// sequence number the pair covers. Restoring the medium backup and the
+// snapshot, then replaying journal records with Seq > Seq here,
+// reconstructs every acknowledged write.
+//
+// The medium backup is what a deployment would take as a storage-level
+// snapshot of the (remote, untrusted) bucket store; the simulator keeps
+// it inline. It is ciphertext-only — a checkpoint store learns nothing
+// an adversary watching the medium would not.
+type Checkpoint struct {
+	Seq      uint64
+	Snapshot []byte
+	Medium   map[uint64][]byte
+}
+
+// CheckpointStore persists checkpoints. Save must be durable when it
+// returns — the Service truncates the journal immediately after, and a
+// checkpoint that quietly failed to persist would strand every write
+// since the previous one.
+type CheckpointStore interface {
+	// Save durably replaces the newest checkpoint.
+	Save(c *Checkpoint) error
+	// Load returns the newest checkpoint, or ok=false if none exists.
+	Load() (c *Checkpoint, ok bool, err error)
+}
+
+// MemCheckpointStore is an in-memory CheckpointStore modelling durable
+// storage: Save deep-copies in, Load deep-copies out, so a crashed
+// service cannot mutate a saved checkpoint retroactively. Safe for
+// concurrent use.
+type MemCheckpointStore struct {
+	mu sync.Mutex
+	ck *Checkpoint
+}
+
+// NewMemCheckpointStore returns an empty store.
+func NewMemCheckpointStore() *MemCheckpointStore { return &MemCheckpointStore{} }
+
+// Save implements CheckpointStore.
+func (s *MemCheckpointStore) Save(c *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ck = cloneCheckpoint(c)
+	return nil
+}
+
+// Load implements CheckpointStore.
+func (s *MemCheckpointStore) Load() (*Checkpoint, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ck == nil {
+		return nil, false, nil
+	}
+	return cloneCheckpoint(s.ck), true, nil
+}
+
+// Clone deep-copies the store — a test hook for recovering twice from
+// identical surviving state.
+func (s *MemCheckpointStore) Clone() *MemCheckpointStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl := &MemCheckpointStore{}
+	if s.ck != nil {
+		cl.ck = cloneCheckpoint(s.ck)
+	}
+	return cl
+}
+
+func cloneCheckpoint(c *Checkpoint) *Checkpoint {
+	cp := &Checkpoint{
+		Seq:      c.Seq,
+		Snapshot: append([]byte(nil), c.Snapshot...),
+		Medium:   make(map[uint64][]byte, len(c.Medium)),
+	}
+	for n, ct := range c.Medium {
+		cp.Medium[n] = append([]byte(nil), ct...)
+	}
+	return cp
+}
+
+// CrashPoint names a kill site in the Service write path; the crash
+// chaos campaign injects process death at each of them and asserts that
+// no acknowledged write is lost and nothing is silently corrupted.
+type CrashPoint int
+
+// Crash sites, in write-path order.
+const (
+	// CrashAfterAppend: journal record buffered, durability barrier not
+	// yet issued. The record may be wholly lost or persist as a torn tail.
+	CrashAfterAppend CrashPoint = iota
+	// CrashAfterSync: record durable, device apply not yet run.
+	CrashAfterSync
+	// CrashAfterApply: applied to the device, acknowledgement not sent.
+	CrashAfterApply
+	// CrashAfterCheckpointSave: checkpoint durable, journal not yet
+	// truncated — replay must tolerate the already-applied prefix.
+	CrashAfterCheckpointSave
+	// CrashMidRestore: during recovery, after the medium and client
+	// snapshot are restored but before the journal suffix is replayed.
+	CrashMidRestore
+	numCrashPoints = int(CrashMidRestore) + 1
+)
+
+// String implements fmt.Stringer.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashAfterAppend:
+		return "after-append"
+	case CrashAfterSync:
+		return "after-sync"
+	case CrashAfterApply:
+		return "after-apply"
+	case CrashAfterCheckpointSave:
+		return "after-checkpoint-save"
+	case CrashMidRestore:
+		return "mid-restore"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// ServiceConfig configures a supervised, goroutine-safe ORAM service.
+type ServiceConfig struct {
+	// Device configures the underlying oblivious block store. The
+	// Service owns the device; do not touch it directly.
+	Device DeviceConfig
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// Backpressure selects blocking vs. fail-fast admission when the
+	// queue is full.
+	Backpressure Backpressure
+	// CheckpointEvery is the number of acknowledged operations between
+	// automatic checkpoints (default 128). Checkpoint() forces one.
+	CheckpointEvery int
+	// MaxRecoveries bounds consecutive supervised recoveries (default 8).
+	// The counter resets whenever a checkpoint commits — real forward
+	// progress — so a service that heals and keeps working is never
+	// penalized for old incidents; one that thrashes without completing a
+	// checkpoint runs out of budget and degrades or fail-stops.
+	MaxRecoveries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// recovery attempts (defaults 1ms and 100ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DegradedReads keeps serving reads after the recovery budget is
+	// exhausted: the supervisor performs one final restore and the
+	// service enters read-only degraded mode (writes fail with
+	// ErrUnrecoverable). When false — or when the final restore fails —
+	// the service fail-stops instead.
+	DegradedReads bool
+	// WAL is the journal's durability substrate (default a fresh
+	// MemStore). Hand the store of a previous incarnation to resume: if
+	// Checkpoints holds a checkpoint, NewService recovers from it and
+	// replays this journal before serving.
+	WAL wal.Store
+	// Checkpoints persists recovery points (default a fresh
+	// MemCheckpointStore).
+	Checkpoints CheckpointStore
+
+	// crashHook, when set, is consulted at every CrashPoint; returning
+	// true kills the service as a crash would (chaos harness hook).
+	crashHook func(CrashPoint) bool
+	// sleep overrides time.Sleep for recovery backoff (test hook).
+	sleep func(time.Duration)
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 128
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = 8
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 100 * time.Millisecond
+	}
+	if c.WAL == nil {
+		c.WAL = wal.NewMemStore()
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = NewMemCheckpointStore()
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	return c
+}
+
+// ServiceState is the supervisor's serving state.
+type ServiceState int
+
+// Service states.
+const (
+	// StateHealthy: full read/write service.
+	StateHealthy ServiceState = iota
+	// StateDegraded: recovery budget exhausted; reads are served from the
+	// last successful restore, writes fail with ErrUnrecoverable.
+	StateDegraded
+	// StateFailed: fail-stop; every operation returns ErrUnrecoverable.
+	StateFailed
+	// StateClosed: Close completed.
+	StateClosed
+	// stateKilled: crash-injected death (chaos harness only).
+	stateKilled
+)
+
+// String implements fmt.Stringer.
+func (s ServiceState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateFailed:
+		return "failed"
+	case StateClosed:
+		return "closed"
+	case stateKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ServiceStats summarizes a Service's activity. All counters are
+// cumulative over the service's lifetime (recoveries included).
+type ServiceStats struct {
+	// Reads/Writes/Batches count acknowledged operations.
+	Reads   uint64
+	Writes  uint64
+	Batches uint64
+	// Overloaded counts admissions rejected under BackpressureReject.
+	Overloaded uint64
+	// Recoveries counts successful supervised restores; ReplayedOps the
+	// journal records replayed across them. FailedRecoveries counts
+	// restore attempts that themselves failed (and were retried or gave
+	// up, per the budget).
+	Recoveries       uint64
+	FailedRecoveries uint64
+	ReplayedOps      uint64
+	// Checkpoints counts committed checkpoints (journal truncations).
+	Checkpoints uint64
+	// WALRecords counts journal records appended.
+	WALRecords uint64
+	// State is the serving state at the time of the call.
+	State ServiceState
+}
+
+// svcReq is one admitted operation travelling the queue.
+type svcReq struct {
+	kind reqKind
+	addr uint64
+	data []byte
+	ops  []BatchOp
+	resp chan svcResp
+}
+
+type reqKind int
+
+const (
+	reqRead reqKind = iota
+	reqWrite
+	reqBatch
+	reqCheckpoint
+)
+
+type svcResp struct {
+	data  []byte
+	batch [][]byte
+	err   error
+}
+
+// Service is a goroutine-safe, self-healing front door over a Device.
+//
+// Concurrency: any number of goroutines may call Read/Write/Batch
+// concurrently. Operations pass a bounded admission queue into a single
+// supervisor goroutine that owns the device — ORAM serializes memory
+// accesses by construction, so a single worker loses no parallelism and
+// keeps the Device's single-goroutine contract by design.
+//
+// Durability: every write is appended to a write-ahead journal and made
+// durable BEFORE it is applied, and acknowledged only after apply. The
+// supervisor checkpoints the device periodically (client snapshot +
+// medium backup) and truncates the journal only after the checkpoint is
+// durable. An acknowledged write therefore survives any crash: it is in
+// the newest checkpoint, or in the journal suffix replay applies on
+// recovery.
+//
+// Self-healing: when the device poisons itself (storage failure
+// surviving the retry budget, detected corruption, invariant violation),
+// the supervisor restores the newest checkpoint, replays the journal
+// suffix, and resumes — with exponential backoff, a fresh fault-schedule
+// seed per attempt, and a bounded budget after which the service
+// degrades to read-only (DegradedReads) or fail-stops, both with typed
+// ErrUnrecoverable errors.
+type Service struct {
+	cfg ServiceConfig
+
+	q       chan *svcReq
+	closing chan struct{}
+	done    chan struct{}
+	close1  sync.Once
+	closeRv error
+
+	mu    sync.Mutex // guards stats, state, cause
+	stats ServiceStats
+	state ServiceState
+	cause error // terminal cause (Degraded/Failed)
+
+	// Worker-owned (no locking): the device, journal, and checkpoint
+	// bookkeeping are touched only by the supervisor goroutine after
+	// NewService returns.
+	dev        *Device
+	log        *wal.Log
+	ckptSeq    uint64
+	sinceCkpt  int
+	recoveries int    // consecutive, reset by a committed checkpoint
+	faultEpoch uint64 // derives a fresh fault seed per restore
+}
+
+// NewService builds the supervised service. If cfg.Checkpoints already
+// holds a checkpoint (a previous incarnation crashed), the service first
+// recovers: it restores the checkpoint's medium backup and client
+// snapshot, replays the journal suffix from cfg.WAL, commits a fresh
+// checkpoint, and only then starts serving. Otherwise it creates a new
+// device and commits the initial (empty) checkpoint so a recovery point
+// always exists.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		q:       make(chan *svcReq, cfg.QueueDepth),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	log, recs, err := wal.Open(cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	ck, ok, err := cfg.Checkpoints.Load()
+	if err != nil {
+		return nil, fmt.Errorf("forkoram: service checkpoint load: %w", err)
+	}
+	if ok {
+		// Cold-start recovery over the surviving artifacts, retried with a
+		// fresh fault epoch per attempt — a transient storage fault during
+		// replay must not make the service unconstructible. The journal may
+		// have been truncated at the checkpoint, so the sequence clock is
+		// raised past it: new records have to outnumber ck.Seq or the
+		// replay filter would skip them on the next recovery.
+		var rerr error
+		for attempt := 0; attempt <= coldStartRetries(cfg.MaxRecoveries); attempt++ {
+			if rerr = s.restoreFrom(ck, recs); rerr == nil || errors.Is(rerr, errKilled) {
+				break
+			}
+			s.bump(func(t *ServiceStats) { t.FailedRecoveries++ })
+			cfg.sleep(s.backoff(attempt + 1))
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		s.log.Advance(ck.Seq)
+		// Re-anchor so the journal cannot grow without bound across
+		// repeated crashes. A checkpoint exists, so this commit is
+		// supervised like any steady-state one.
+		if err := s.commitCheckpoint(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Fresh service: build the device and commit its first recovery
+		// point. There is no checkpoint to supervise against yet, so a
+		// failed initial snapshot is retried with a rebuilt device on a
+		// fresh fault epoch instead.
+		var lastErr error
+		for attempt := 0; attempt <= coldStartRetries(cfg.MaxRecoveries); attempt++ {
+			d, err := NewDevice(s.epochDeviceConfig())
+			if err != nil {
+				return nil, err // config error: retrying cannot help
+			}
+			s.dev = d
+			snap, err := d.Snapshot()
+			if err == nil {
+				lastErr = s.persistCheckpoint(snap)
+				break
+			}
+			lastErr = err
+			s.faultEpoch++
+			s.bump(func(t *ServiceStats) { t.FailedRecoveries++ })
+			cfg.sleep(s.backoff(attempt + 1))
+		}
+		if lastErr != nil {
+			return nil, lastErr
+		}
+	}
+	go s.run()
+	return s, nil
+}
+
+// coldStartRetries clamps the recovery budget for NewService's loops:
+// even a spent budget (MaxRecoveries < 0, used by tests to make the
+// first in-service poisoning terminal) gets exactly one cold-start
+// attempt — zero attempts would mean no device at all.
+func coldStartRetries(maxRecoveries int) int {
+	if maxRecoveries < 0 {
+		return 0
+	}
+	return maxRecoveries
+}
+
+// epochDeviceConfig returns the device config with the fault schedule
+// seed re-derived for the current epoch, so a rebuilt device never
+// replays the exact injector stream that just failed.
+func (s *Service) epochDeviceConfig() DeviceConfig {
+	dc := s.cfg.Device
+	if dc.Faults != nil && s.faultEpoch > 0 {
+		fc := *dc.Faults
+		fc.Seed = rng.SeedAt(fc.Seed, 1000+s.faultEpoch)
+		dc.Faults = &fc
+	}
+	return dc
+}
+
+// Read returns the contents of the block at addr. Safe for concurrent
+// use. ctx governs admission and waiting: once the operation is
+// dequeued it runs to completion even if ctx expires (the result is
+// then discarded). A nil ctx means context.Background().
+func (s *Service) Read(ctx context.Context, addr uint64) ([]byte, error) {
+	r, err := s.do(ctx, &svcReq{kind: reqRead, addr: addr})
+	return r.data, err
+}
+
+// Write durably replaces the contents of the block at addr; data must be
+// exactly BlockSize bytes. When Write returns nil the write is
+// acknowledged: it is journaled durably, applied, and will survive any
+// crash the checkpoint/journal machinery can recover from. On error the
+// write may or may not have been applied (ctx expiry and crash errors
+// leave it in flight; validation errors guarantee it was not).
+func (s *Service) Write(ctx context.Context, addr uint64, data []byte) error {
+	_, err := s.do(ctx, &svcReq{kind: reqWrite, addr: addr, data: data})
+	return err
+}
+
+// Batch executes ops as the Device would (Fork variant: admitted
+// together into the label queue so the scheduler can merge overlapping
+// paths), with the same durability contract as Write for every write op.
+// Results are positional: payloads for reads, nil for writes.
+func (s *Service) Batch(ctx context.Context, ops []BatchOp) ([][]byte, error) {
+	r, err := s.do(ctx, &svcReq{kind: reqBatch, ops: ops})
+	return r.batch, err
+}
+
+// Checkpoint forces a checkpoint now (quiescing the device first) and
+// truncates the journal once it is durable.
+func (s *Service) Checkpoint(ctx context.Context) error {
+	_, err := s.do(ctx, &svcReq{kind: reqCheckpoint})
+	return err
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.State = s.state
+	return st
+}
+
+// State returns the current serving state.
+func (s *Service) State() ServiceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Close stops admission, drains every in-flight and queued operation,
+// commits a final checkpoint (when the service is still healthy), and
+// stops the supervisor. Safe to call multiple times; concurrent
+// operations that lose the race fail with ErrClosed.
+func (s *Service) Close() error {
+	s.close1.Do(func() {
+		close(s.closing)
+		<-s.done
+		s.mu.Lock()
+		if s.state == StateHealthy || s.state == StateDegraded {
+			s.state = StateClosed
+		}
+		s.mu.Unlock()
+	})
+	return s.closeRv
+}
+
+// do admits one request and waits for its response.
+func (s *Service) do(ctx context.Context, req *svcReq) (svcResp, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return svcResp{}, err
+	}
+	req.resp = make(chan svcResp, 1)
+	if s.cfg.Backpressure == BackpressureReject {
+		select {
+		case s.q <- req:
+		case <-s.closing:
+			return svcResp{}, ErrClosed
+		case <-s.done:
+			// Supervisor gone (crash-injected death): the queue would
+			// swallow the request forever.
+			return svcResp{}, s.deadErr()
+		case <-ctx.Done():
+			return svcResp{}, ctx.Err()
+		default:
+			s.mu.Lock()
+			s.stats.Overloaded++
+			s.mu.Unlock()
+			return svcResp{}, ErrOverloaded
+		}
+	} else {
+		select {
+		case s.q <- req:
+		case <-s.closing:
+			return svcResp{}, ErrClosed
+		case <-s.done:
+			return svcResp{}, s.deadErr()
+		case <-ctx.Done():
+			return svcResp{}, ctx.Err()
+		}
+	}
+	select {
+	case r := <-req.resp:
+		return r, r.err
+	case <-s.done:
+		// The worker may have answered and then exited; the buffered
+		// response wins over the death notice.
+		select {
+		case r := <-req.resp:
+			return r, r.err
+		default:
+		}
+		return svcResp{}, s.deadErr()
+	case <-ctx.Done():
+		// The operation stays in flight and its (buffered) response is
+		// discarded; for writes it may still be applied and journaled.
+		return svcResp{}, ctx.Err()
+	}
+}
+
+// deadErr is the admission error once the supervisor goroutine has
+// exited: ErrClosed after an orderly Close, errKilled after an injected
+// crash.
+func (s *Service) deadErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateKilled {
+		return errKilled
+	}
+	return ErrClosed
+}
+
+// run is the supervisor goroutine: it owns the device, serves the
+// admission queue, journals and applies operations, checkpoints, and
+// heals the device when it fail-stops.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.q:
+			if !s.serve(req) {
+				s.drainKilled()
+				return
+			}
+		case <-s.closing:
+			// Drain: everything admitted before Close completes is served.
+			for {
+				select {
+				case req := <-s.q:
+					if !s.serve(req) {
+						s.drainKilled()
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if s.State() == StateHealthy {
+				s.closeRv = s.commitCheckpoint()
+			}
+			return
+		}
+	}
+}
+
+// drainKilled answers every queued request with errKilled after a
+// crash injection, then lets the worker exit (simulated process death).
+func (s *Service) drainKilled() {
+	s.setState(stateKilled, errKilled)
+	for {
+		select {
+		case req := <-s.q:
+			req.resp <- svcResp{err: errKilled}
+		case <-s.closing:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// serve handles one request; it reports false when a crash injection
+// killed the service mid-operation.
+func (s *Service) serve(req *svcReq) bool {
+	st := s.State()
+	switch st {
+	case StateFailed:
+		req.resp <- svcResp{err: s.terminalErr()}
+		return true
+	case StateDegraded:
+		return s.serveDegraded(req)
+	}
+	var resp svcResp
+	var alive bool
+	switch req.kind {
+	case reqRead:
+		resp, alive = s.serveRead(req.addr)
+		if alive && resp.err == nil {
+			s.bump(func(t *ServiceStats) { t.Reads++ })
+		}
+	case reqWrite:
+		resp, alive = s.serveWrite(req.addr, req.data)
+		if alive && resp.err == nil {
+			s.bump(func(t *ServiceStats) { t.Writes++ })
+		}
+	case reqBatch:
+		resp, alive = s.serveBatch(req.ops)
+		if alive && resp.err == nil {
+			s.bump(func(t *ServiceStats) { t.Batches++ })
+		}
+	case reqCheckpoint:
+		err := s.commitCheckpoint()
+		if errors.Is(err, errKilled) {
+			req.resp <- svcResp{err: errKilled}
+			return false
+		}
+		req.resp <- svcResp{err: err}
+		return true
+	}
+	if !alive {
+		req.resp <- svcResp{err: errKilled}
+		return false
+	}
+	req.resp <- resp
+	if resp.err == nil && req.kind != reqRead {
+		// Mutations advance the checkpoint clock; reads have nothing to
+		// re-anchor. (sinceCkpt counts acked mutating ops.)
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.cfg.CheckpointEvery {
+			if err := s.commitCheckpoint(); errors.Is(err, errKilled) {
+				return false
+			}
+			// A failed periodic checkpoint is not fatal: the previous
+			// checkpoint plus the (untruncated) journal still cover every
+			// acknowledged write. The next interval retries.
+		}
+	}
+	return true
+}
+
+// serveDegraded serves reads best-effort after the recovery budget is
+// gone; anything mutating refuses with the terminal error.
+func (s *Service) serveDegraded(req *svcReq) bool {
+	if req.kind != reqRead {
+		req.resp <- svcResp{err: s.terminalErr()}
+		return true
+	}
+	out, err := s.dev.Read(req.addr)
+	if err != nil && s.dev.Poisoned() != nil {
+		// One restore attempt per incident keeps degraded reads alive
+		// under transient trouble without ever looping unbounded.
+		if rerr := s.recoverOnce(); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				req.resp <- svcResp{err: errKilled}
+				return false
+			}
+			s.setState(StateFailed, &UnrecoverableError{Cause: rerr})
+			req.resp <- svcResp{err: s.terminalErr()}
+			return true
+		}
+		s.bump(func(t *ServiceStats) { t.Recoveries++ })
+		out, err = s.dev.Read(req.addr)
+	}
+	if err == nil {
+		s.bump(func(t *ServiceStats) { t.Reads++ })
+	}
+	req.resp <- svcResp{data: out, err: err}
+	return true
+}
+
+func (s *Service) serveRead(addr uint64) (svcResp, bool) {
+	for {
+		out, err := s.dev.Read(addr)
+		if err == nil {
+			return svcResp{data: out}, true
+		}
+		if s.dev.Poisoned() == nil {
+			return svcResp{err: err}, true // validation error: not a failure
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				return svcResp{}, false
+			}
+			return svcResp{err: rerr}, true
+		}
+	}
+}
+
+func (s *Service) serveWrite(addr uint64, data []byte) (svcResp, bool) {
+	// Validate before journaling: a malformed write must not enter the
+	// WAL (replay would re-reject it forever).
+	if err := s.dev.checkAddr(addr); err != nil {
+		return svcResp{err: err}, true
+	}
+	if len(data) != s.dev.cfg.BlockSize {
+		return svcResp{err: fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), s.dev.cfg.BlockSize)}, true
+	}
+	if _, err := s.log.Append(wal.OpWrite, addr, data); err != nil {
+		return svcResp{err: err}, true
+	}
+	s.bump(func(t *ServiceStats) { t.WALRecords++ })
+	if s.killed(CrashAfterAppend) {
+		return svcResp{}, false
+	}
+	if err := s.log.Sync(); err != nil {
+		return svcResp{err: err}, true
+	}
+	if s.killed(CrashAfterSync) {
+		return svcResp{}, false
+	}
+	err := s.dev.Write(addr, data)
+	for err != nil {
+		if s.dev.Poisoned() == nil {
+			return svcResp{err: err}, true
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				return svcResp{}, false
+			}
+			return svcResp{err: rerr}, true
+		}
+		// Recovery replayed the journal, which includes this record: the
+		// write is applied. (Replaying it again would also be correct —
+		// journal writes are idempotent — but there is nothing left to do.)
+		err = nil
+	}
+	if s.killed(CrashAfterApply) {
+		return svcResp{}, false
+	}
+	return svcResp{}, true
+}
+
+func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
+	// Validate the whole batch up front (mirrors Device.Batch): nothing
+	// is journaled or applied unless every op is well-formed.
+	for i, op := range ops {
+		if err := s.dev.checkAddr(op.Addr); err != nil {
+			return svcResp{err: fmt.Errorf("forkoram: batch op %d: %w", i, err)}, true
+		}
+		if op.Write && len(op.Data) != s.dev.cfg.BlockSize {
+			return svcResp{err: fmt.Errorf("forkoram: batch op %d: payload %d bytes, want %d",
+				i, len(op.Data), s.dev.cfg.BlockSize)}, true
+		}
+	}
+	wrote := false
+	for _, op := range ops {
+		if !op.Write {
+			continue
+		}
+		if _, err := s.log.Append(wal.OpWrite, op.Addr, op.Data); err != nil {
+			return svcResp{err: err}, true
+		}
+		wrote = true
+		s.bump(func(t *ServiceStats) { t.WALRecords++ })
+	}
+	if wrote {
+		if s.killed(CrashAfterAppend) {
+			return svcResp{}, false
+		}
+		if err := s.log.Sync(); err != nil {
+			return svcResp{err: err}, true
+		}
+		if s.killed(CrashAfterSync) {
+			return svcResp{}, false
+		}
+	}
+	for {
+		out, err := s.dev.Batch(ops)
+		if err == nil {
+			if s.killed(CrashAfterApply) {
+				return svcResp{}, false
+			}
+			return svcResp{batch: out}, true
+		}
+		if s.dev.Poisoned() == nil {
+			return svcResp{err: err}, true
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				return svcResp{}, false
+			}
+			return svcResp{err: rerr}, true
+		}
+		// Recovery replayed the batch's writes; re-running the batch
+		// re-applies them idempotently and refreshes the read results,
+		// preserving the batch's positional contract.
+	}
+}
+
+// supervise handles a device fail-stop: bounded, backed-off recovery
+// attempts. It returns nil once the device is healed (journal fully
+// replayed), or the terminal error after the budget is exhausted (the
+// service is then Degraded or Failed), or errKilled under crash
+// injection.
+func (s *Service) supervise(cause error) error {
+	// The poison marker wraps the triggering fault, so carrying it as the
+	// cause keeps both *PoisonedError and the storage error extractable
+	// from the supervisor's terminal error chain.
+	if p := s.dev.Poisoned(); p != nil {
+		cause = p
+	}
+	for {
+		s.recoveries++
+		if s.recoveries > s.cfg.MaxRecoveries {
+			return s.giveUp(cause)
+		}
+		s.cfg.sleep(s.backoff(s.recoveries))
+		err := s.recoverOnce()
+		if err == nil {
+			s.bump(func(t *ServiceStats) { t.Recoveries++ })
+			return nil
+		}
+		if errors.Is(err, errKilled) {
+			return err
+		}
+		s.bump(func(t *ServiceStats) { t.FailedRecoveries++ })
+		cause = err
+	}
+}
+
+// backoff returns the exponential backoff delay for the n-th consecutive
+// recovery attempt.
+func (s *Service) backoff(n int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= s.cfg.BackoffMax {
+			return s.cfg.BackoffMax
+		}
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d
+}
+
+// giveUp transitions to Degraded (one final restore, reads only) or
+// Failed, and returns the terminal error.
+func (s *Service) giveUp(cause error) error {
+	if s.cfg.DegradedReads {
+		if err := s.recoverOnce(); err == nil {
+			s.setState(StateDegraded, &UnrecoverableError{Cause: cause})
+			return s.terminalErr()
+		} else if errors.Is(err, errKilled) {
+			return err
+		}
+	}
+	s.setState(StateFailed, &UnrecoverableError{Cause: cause})
+	return s.terminalErr()
+}
+
+// recoverOnce performs one full restore: newest checkpoint loaded from
+// the durable store, medium backup re-applied, client snapshot restored
+// over it, journal suffix replayed. On success s.dev is the healed
+// device and every acknowledged write is present.
+func (s *Service) recoverOnce() error {
+	ck, ok, err := s.cfg.Checkpoints.Load()
+	if err != nil {
+		return fmt.Errorf("forkoram: recovery checkpoint load: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("forkoram: recovery without a checkpoint")
+	}
+	data, err := s.cfg.WAL.Load()
+	if err != nil {
+		return fmt.Errorf("forkoram: recovery journal load: %w", err)
+	}
+	recs, _ := wal.DecodeAll(data)
+	if err := s.restoreFrom(ck, recs); err != nil {
+		return err
+	}
+	s.log.Advance(ck.Seq)
+	return nil
+}
+
+// restoreFrom rebuilds the device from a checkpoint and replays the
+// journal records beyond it. Shared by in-process recovery and
+// cold-start (NewService over surviving stores).
+func (s *Service) restoreFrom(ck *Checkpoint, recs []wal.Record) error {
+	s.faultEpoch++
+	// A host device supplies geometry, a fresh medium to install the
+	// backup into, and the process-local hooks (Observer, fault schedule)
+	// UnmarshalSnapshot re-binds.
+	host, err := NewDevice(s.cfg.Device)
+	if err != nil {
+		return fmt.Errorf("forkoram: recovery host device: %w", err)
+	}
+	restoreMedium(host.store, host.tr, ck.Medium)
+	snap, err := UnmarshalSnapshot(ck.Snapshot, host)
+	if err != nil {
+		return fmt.Errorf("forkoram: recovery snapshot: %w", err)
+	}
+	if snap.cfg.Faults != nil {
+		// Replaying the identical fault schedule from the identical state
+		// would deterministically fail the same way forever; each restore
+		// derives a fresh injector stream (the chaos harness does the same).
+		fc := *snap.cfg.Faults
+		fc.Seed = rng.SeedAt(fc.Seed, 1000+s.faultEpoch)
+		snap.cfg.Faults = &fc
+	}
+	d, err := RestoreDevice(snap)
+	if err != nil {
+		return fmt.Errorf("forkoram: recovery restore: %w", err)
+	}
+	if s.killed(CrashMidRestore) {
+		return errKilled
+	}
+	replayed := uint64(0)
+	for _, r := range recs {
+		if r.Seq <= ck.Seq {
+			continue // already inside the checkpoint; replay is idempotent anyway
+		}
+		if r.Op != wal.OpWrite {
+			return fmt.Errorf("forkoram: recovery journal op %d unknown", r.Op)
+		}
+		if err := d.Write(r.Addr, r.Payload); err != nil {
+			return fmt.Errorf("forkoram: recovery replay seq %d: %w", r.Seq, err)
+		}
+		replayed++
+	}
+	s.dev = d
+	s.bump(func(t *ServiceStats) { t.ReplayedOps += replayed })
+	return nil
+}
+
+// commitCheckpoint quiesces the device, persists {snapshot, medium
+// backup, seq}, and truncates the journal only once the checkpoint is
+// durable. A committed checkpoint resets the recovery budget: the
+// service made real forward progress.
+func (s *Service) commitCheckpoint() error {
+	var snap *Snapshot
+	for {
+		var err error
+		snap, err = s.dev.Snapshot()
+		if err == nil {
+			break
+		}
+		if s.dev.Poisoned() == nil {
+			return err
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			return rerr
+		}
+	}
+	return s.persistCheckpoint(snap)
+}
+
+// persistCheckpoint durably saves a quiescent snapshot + medium backup
+// and truncates the journal behind it.
+func (s *Service) persistCheckpoint(snap *Snapshot) error {
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("forkoram: checkpoint marshal: %w", err)
+	}
+	ck := &Checkpoint{Seq: s.log.LastSeq(), Snapshot: data, Medium: cloneMedium(s.dev)}
+	if err := s.cfg.Checkpoints.Save(ck); err != nil {
+		return fmt.Errorf("forkoram: checkpoint save: %w", err)
+	}
+	if s.killed(CrashAfterCheckpointSave) {
+		return errKilled
+	}
+	if err := s.log.Truncate(); err != nil {
+		return err
+	}
+	s.ckptSeq = ck.Seq
+	s.sinceCkpt = 0
+	s.recoveries = 0
+	s.bump(func(t *ServiceStats) { t.Checkpoints++ })
+	return nil
+}
+
+// killed consults the crash hook at one CrashPoint.
+func (s *Service) killed(p CrashPoint) bool {
+	if s.cfg.crashHook == nil {
+		return false
+	}
+	if !s.cfg.crashHook(p) {
+		return false
+	}
+	s.setState(stateKilled, errKilled)
+	return true
+}
+
+func (s *Service) setState(st ServiceState, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateHealthy:
+		s.state, s.cause = st, cause
+	case StateDegraded:
+		// Degraded can only worsen: fail-stop or crash-injected death.
+		if st == StateFailed || st == stateKilled {
+			s.state, s.cause = st, cause
+		}
+	}
+}
+
+func (s *Service) terminalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cause != nil {
+		return s.cause
+	}
+	return ErrUnrecoverable
+}
+
+func (s *Service) bump(f func(*ServiceStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

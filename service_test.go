@@ -1,0 +1,454 @@
+package forkoram
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"testing"
+
+	"forkoram/internal/faults"
+	"forkoram/internal/rng"
+	"forkoram/internal/wal"
+)
+
+func testServiceConfig(v Variant) ServiceConfig {
+	return ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    64,
+			BlockSize: 32,
+			QueueSize: 4,
+			Seed:      7,
+			Variant:   v,
+		},
+		CheckpointEvery: 16,
+	}
+}
+
+func TestServiceRoundTrip(t *testing.T) {
+	for _, v := range []Variant{Baseline, Fork} {
+		t.Run(fmt.Sprint(v), func(t *testing.T) {
+			svc, err := NewService(testServiceConfig(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			data := chaosPayload(32, 1, 1)
+			if err := svc.Write(ctx, 3, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := svc.Read(ctx, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("read-your-writes failed")
+			}
+			d2 := chaosPayload(32, 1, 2)
+			out, err := svc.Batch(ctx, []BatchOp{
+				{Addr: 5, Write: true, Data: d2},
+				{Addr: 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != nil || !bytes.Equal(out[1], data) {
+				t.Fatal("batch results wrong")
+			}
+			if err := svc.Checkpoint(ctx); err != nil {
+				t.Fatal(err)
+			}
+			st := svc.Stats()
+			if st.Reads != 1 || st.Writes != 1 || st.Batches != 1 || st.WALRecords != 2 {
+				t.Fatalf("stats %+v", st)
+			}
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if svc.State() != StateClosed {
+				t.Fatalf("state %v after close", svc.State())
+			}
+			if err := svc.Write(ctx, 1, data); !errors.Is(err, ErrClosed) {
+				t.Fatalf("write after close: %v", err)
+			}
+		})
+	}
+}
+
+// TestServiceConcurrentStress hammers one Service from many goroutines,
+// each owning a disjoint address range so every goroutine can assert
+// read-your-writes on its own blocks. Run under -race this is the
+// goroutine-safety test for the admission queue and supervisor.
+func TestServiceConcurrentStress(t *testing.T) {
+	for _, v := range []Variant{Baseline, Fork} {
+		t.Run(fmt.Sprint(v), func(t *testing.T) {
+			cfg := testServiceConfig(v)
+			cfg.QueueDepth = 4
+			svc, err := NewService(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 8
+			const perG = 8 // address range per goroutine (64 blocks total)
+			const ops = 60
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ctx := context.Background()
+					wl := rng.New(uint64(g) + 1)
+					base := uint64(g * perG)
+					last := make(map[uint64][]byte)
+					for i := 0; i < ops; i++ {
+						addr := base + wl.Uint64n(perG)
+						if wl.Float64() < 0.5 {
+							data := chaosPayload(32, uint64(g), uint64(i)+1)
+							if err := svc.Write(ctx, addr, data); err != nil {
+								t.Errorf("goroutine %d: write: %v", g, err)
+								return
+							}
+							last[addr] = data
+						} else {
+							got, err := svc.Read(ctx, addr)
+							if err != nil {
+								t.Errorf("goroutine %d: read: %v", g, err)
+								return
+							}
+							want := last[addr]
+							if want == nil {
+								want = make([]byte, 32)
+							}
+							if !bytes.Equal(got, want) {
+								t.Errorf("goroutine %d: lost write at addr %d", g, addr)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := svc.Stats()
+			if st.Reads+st.Writes != goroutines*ops {
+				t.Fatalf("served %d ops, want %d", st.Reads+st.Writes, goroutines*ops)
+			}
+		})
+	}
+}
+
+// blockingHook blocks the worker goroutine inside its first write (the
+// first after-append consultation; NewService's initial checkpoint only
+// consults the checkpoint-save point) until gate is closed, and never
+// kills. Used to hold the worker busy deterministically.
+func blockingHook(entered, gate chan struct{}) func(CrashPoint) bool {
+	var once sync.Once
+	return func(p CrashPoint) bool {
+		if p == CrashAfterAppend {
+			once.Do(func() {
+				close(entered)
+				<-gate
+			})
+		}
+		return false
+	}
+}
+
+func TestServiceContextCancellation(t *testing.T) {
+	cfg := testServiceConfig(Fork)
+	cfg.QueueDepth = 2
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	cfg.crashHook = blockingHook(entered, gate)
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Pre-cancelled context: rejected before admission.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := svc.Write(cancelled, 1, make([]byte, 32)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled write: %v", err)
+	}
+
+	// Hold the worker inside a write, then cancel a queued operation: the
+	// caller unblocks with ctx.Err() while the operation itself stays in
+	// flight and is applied once the worker resumes.
+	w1done := make(chan error, 1)
+	go func() { w1done <- svc.Write(context.Background(), 2, chaosPayload(32, 9, 1)) }()
+	<-entered
+	ctx, cancel2 := context.WithCancel(context.Background())
+	w2data := chaosPayload(32, 9, 2)
+	w2done := make(chan error, 1)
+	go func() { w2done <- svc.Write(ctx, 3, w2data) }()
+	for len(svc.q) == 0 {
+		runtime.Gosched()
+	}
+	cancel2()
+	if err := <-w2done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued write: %v", err)
+	}
+	close(gate)
+	if err := <-w1done; err != nil {
+		t.Fatalf("blocked write: %v", err)
+	}
+	// The cancelled write still ran to completion (documented semantics).
+	got, err := svc.Read(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, w2data) {
+		t.Fatal("cancelled-but-admitted write was not applied")
+	}
+}
+
+func TestServiceOverload(t *testing.T) {
+	cfg := testServiceConfig(Baseline)
+	cfg.QueueDepth = 1
+	cfg.Backpressure = BackpressureReject
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	cfg.crashHook = blockingHook(entered, gate)
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	w1done := make(chan error, 1)
+	go func() { w1done <- svc.Write(ctx, 1, chaosPayload(32, 4, 1)) }()
+	<-entered // worker busy inside w1
+	w2done := make(chan error, 1)
+	go func() { w2done <- svc.Write(ctx, 2, chaosPayload(32, 4, 2)) }()
+	for len(svc.q) == 0 {
+		runtime.Gosched()
+	}
+	// Queue full, worker busy: fail fast.
+	if err := svc.Write(ctx, 3, chaosPayload(32, 4, 3)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded write: %v", err)
+	}
+	if st := svc.Stats(); st.Overloaded != 1 {
+		t.Fatalf("overloaded count %d", st.Overloaded)
+	}
+	close(gate)
+	if err := <-w1done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-w2done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// degradedConfig poisons deterministically: zero-probability injector
+// (so faults only fire when forced), no controller retries (the first
+// fault poisons), and a spent recovery budget.
+func degradedConfig(degradedReads bool) ServiceConfig {
+	return ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    32,
+			BlockSize: 16,
+			QueueSize: 2,
+			Seed:      5,
+			Variant:   Baseline,
+			Retries:   -1,
+			Faults:    &faults.Config{Seed: 9},
+		},
+		CheckpointEvery: 1 << 20,
+		MaxRecoveries:   -1, // budget already spent: first poisoning gives up
+		DegradedReads:   degradedReads,
+		sleep:           func(time.Duration) {},
+	}
+}
+
+func TestServiceDegradedReads(t *testing.T) {
+	svc, err := NewService(degradedConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	d1 := chaosPayload(16, 1, 1)
+	if err := svc.Write(ctx, 1, d1); err != nil {
+		t.Fatal(err)
+	}
+	svc.dev.inj.Force(faults.TransientWrite)
+	d2 := chaosPayload(16, 1, 2)
+	err = svc.Write(ctx, 2, d2)
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("write after exhausted budget: %v", err)
+	}
+	// The typed cause survives the supervisor's wrapping.
+	var pe *PoisonedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As(*PoisonedError) failed on %v", err)
+	}
+	if svc.State() != StateDegraded {
+		t.Fatalf("state %v, want degraded", svc.State())
+	}
+	// Reads still served from the final restore.
+	got, err := svc.Read(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, d1) {
+		t.Fatal("degraded read lost an acknowledged write")
+	}
+	// The failed write was journaled durably before the poisoning, so the
+	// final restore replayed it: visible despite the error (the error
+	// only means "not acknowledged", never "not applied").
+	got, err = svc.Read(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, d2) {
+		t.Fatal("journaled write not replayed into degraded state")
+	}
+	// Writes stay refused.
+	if err := svc.Write(ctx, 3, chaosPayload(16, 1, 3)); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceFailStop(t *testing.T) {
+	svc, err := NewService(degradedConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	svc.dev.inj.Force(faults.TransientRead)
+	if _, err := svc.Read(ctx, 0); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("read after exhausted budget: %v", err)
+	}
+	if svc.State() != StateFailed {
+		t.Fatalf("state %v, want failed", svc.State())
+	}
+	if _, err := svc.Read(ctx, 1); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("read in failed state: %v", err)
+	}
+	if err := svc.Write(ctx, 1, make([]byte, 16)); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("write in failed state: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALReplayIdempotence kills a service with applied-but-untruncated
+// journal records, then recovers twice from byte-identical clones of the
+// surviving stores. Both recoveries must produce identical devices —
+// same position map, same stash, same medium ciphertexts — and both must
+// hold every durable write.
+func TestWALReplayIdempotence(t *testing.T) {
+	walStore := wal.NewMemStore()
+	cks := NewMemCheckpointStore()
+	applies := 0
+	cfg := ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    32,
+			BlockSize: 16,
+			QueueSize: 4,
+			Seed:      11,
+			Variant:   Fork,
+			Integrity: true,
+		},
+		CheckpointEvery: 3,
+		WAL:             walStore,
+		Checkpoints:     cks,
+		crashHook: func(p CrashPoint) bool {
+			// Kill at the 5th apply: the checkpoint covers seq 3, and the
+			// journal holds seqs 4 and 5 — both already applied, seq 5
+			// unacknowledged.
+			if p == CrashAfterApply {
+				applies++
+				return applies == 5
+			}
+			return false
+		},
+		sleep: func(time.Duration) {},
+	}
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	payload := func(i int) []byte { return chaosPayload(16, 0xda7a, uint64(i)) }
+	for i := 1; i <= 5; i++ {
+		err := svc.Write(ctx, uint64(i), payload(i))
+		switch {
+		case i < 5 && err != nil:
+			t.Fatalf("write %d: %v", i, err)
+		case i == 5 && !errors.Is(err, errKilled):
+			t.Fatalf("write 5 should have been killed, got %v", err)
+		}
+	}
+
+	recovered := func(w *wal.MemStore, c *MemCheckpointStore) *Service {
+		rcfg := cfg
+		rcfg.WAL, rcfg.Checkpoints = w, c
+		rcfg.crashHook = nil
+		s, err := NewService(rcfg)
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		return s
+	}
+	s1 := recovered(walStore.Clone(), cks.Clone())
+	s2 := recovered(walStore.Clone(), cks.Clone())
+	if r := s1.Stats().ReplayedOps; r != 2 {
+		t.Fatalf("replayed %d records, want 2 (seqs 4 and 5)", r)
+	}
+
+	// Identical recoveries: position map, stash, counters (snapshot bytes)
+	// and medium ciphertexts all byte-equal.
+	snap1, err := s1.dev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := s2.dev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := snap1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := snap2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("recovered client states differ (position map / stash / counters)")
+	}
+	if !mediumEquals(s1.dev, cloneMedium(s2.dev)) {
+		t.Fatal("recovered mediums differ")
+	}
+
+	// Every durable write is present, including the replayed
+	// unacknowledged seq 5.
+	for i := 1; i <= 5; i++ {
+		got, err := s1.Read(ctx, uint64(i))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("write %d lost across recovery", i)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,12 +33,12 @@ type Snapshot struct {
 	root    [32]byte
 	hasRoot bool
 
-	pos     []posEntry
-	stash   []block.Block
-	nextID  uint64
-	reads   uint64
-	writes  uint64
-	reseed  uint64
+	pos    []posEntry
+	stash  []block.Block
+	nextID uint64
+	reads  uint64
+	writes uint64
+	reseed uint64
 }
 
 type posEntry struct {
@@ -58,6 +58,14 @@ type posEntry struct {
 // state is small (stash + position map + one hash root) and everything
 // in external memory stays external.
 func (d *Device) Snapshot() (*Snapshot, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer d.leave()
+	return d.snapshot()
+}
+
+func (d *Device) snapshot() (*Snapshot, error) {
 	if d.poisoned != nil {
 		return nil, d.poisoned
 	}
@@ -494,6 +502,14 @@ func UnmarshalSnapshot(data []byte, from *Device) (*Snapshot, error) {
 // backend counters. A poisoned device can be scrubbed — that is the
 // point of a post-crash audit.
 func (d *Device) Scrub() error {
+	if err := d.enter(); err != nil {
+		return err
+	}
+	defer d.leave()
+	return d.scrub()
+}
+
+func (d *Device) scrub() error {
 	if d.verifier != nil {
 		if err := d.verifier.VerifyAll(); err != nil {
 			return err
