@@ -153,6 +153,22 @@ func (p *crashPlan) hook(pt CrashPoint) bool {
 	return true
 }
 
+// truncateCrash is the MemStore.CrashTruncate hook: a kill landing
+// inside wal.Open's torn-tail truncation (between ftruncate and fsync,
+// in FileStore terms) while a previous crash is being reopened from.
+// Whether the truncation persisted is itself random — both outcomes
+// must recover identically, since only garbage bytes are ever dropped.
+func (p *crashPlan) truncateCrash(int) (error, bool) {
+	p.count++
+	if p.remaining <= 0 || p.count < p.next {
+		return nil, false
+	}
+	p.remaining--
+	p.hits[CrashMidCompaction]++
+	p.next = p.count + 1 + p.wl.Uint64n(24)
+	return errKilled, p.wl.Uint64n(2) == 0
+}
+
 // pendingWrite is a mutation that was killed in flight: the crash landed
 // between admission and acknowledgement, so the oracle cannot know
 // whether it is durable. After recovery the ambiguity is resolved by
@@ -208,6 +224,7 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 		// First kill lands anywhere in the schedule: roughly three hook
 		// consultations per write, half the ops are writes.
 		uint64(cfg.Ops)*3/2+8)
+	walStore.CrashTruncate = plan.truncateCrash
 	var fc *faults.Config
 	retries := 0
 	if cfg.Faults && idx%2 == 1 {

@@ -20,18 +20,39 @@
 //
 // Replay tolerates a torn tail by construction: records are framed with
 // a length and a CRC32, decoding stops at the first frame that fails
-// either check, and Open compacts the log so the garbage bytes cannot
-// shadow records appended later. A record is considered durable only if
-// every byte of its frame survived — exactly the contract a caller gets
-// from appending then syncing.
+// either check, and Open durably truncates the garbage bytes off the
+// tail so they cannot shadow records appended later. Truncation only
+// ever removes bytes that failed decoding, so no crash anywhere inside
+// Open can lose an acknowledged record: either the truncation persisted
+// (garbage gone) or it did not (the next Open truncates again). A
+// record is considered durable only if every byte of its frame
+// survived — exactly the contract a caller gets from appending then
+// syncing.
+//
+// A store failure mid-append is latched: the bytes may have partially
+// reached the log, and a later record appended behind them would be
+// unreachable by replay (decoding stops at the first bad frame, and
+// there is no resync point). A broken Log therefore refuses every
+// further Append/Sync with ErrBroken until Truncate durably empties the
+// store — so no record can ever be acknowledged behind a bad frame.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 )
+
+// ErrBroken marks a Log whose store failed mid-append or mid-sync: the
+// log may hold a partially written frame, and any record appended after
+// it would be stranded behind the garbage (replay stops at the first
+// bad frame). Append and Sync refuse with an error wrapping ErrBroken
+// until Truncate durably empties the store.
+var ErrBroken = errors.New("wal: journal broken by a prior store failure")
 
 // Record is one journal entry. Seq is assigned by the Log, strictly
 // increasing across the Log's lifetime (it does not reset on Truncate,
@@ -144,6 +165,12 @@ type Store interface {
 	Load() ([]byte, error)
 	// Reset durably discards the whole log (checkpoint truncation).
 	Reset() error
+	// TruncateTail durably discards every byte at offset >= keep,
+	// leaving the first keep bytes untouched. Open uses it to drop a
+	// torn tail: because only bytes that failed decoding are ever
+	// discarded, the operation cannot lose an acknowledged record no
+	// matter where a crash lands relative to its durability barrier.
+	TruncateTail(keep int) error
 }
 
 // MemStore is an in-memory Store with explicit crash semantics, used by
@@ -152,6 +179,14 @@ type Store interface {
 type MemStore struct {
 	durable []byte
 	buffer  []byte
+
+	// CrashTruncate, when set, is consulted by TruncateTail before the
+	// truncation is applied — the chaos-harness hook modelling process
+	// death between a FileStore's ftruncate and its fsync. A non-nil die
+	// kills the operation: TruncateTail returns die without touching the
+	// buffer-side state, and the truncation has reached the medium iff
+	// persist is true.
+	CrashTruncate func(keep int) (die error, persist bool)
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -179,6 +214,25 @@ func (m *MemStore) Load() ([]byte, error) {
 func (m *MemStore) Reset() error {
 	m.durable = m.durable[:0]
 	m.buffer = m.buffer[:0]
+	return nil
+}
+
+// TruncateTail implements Store. Only called by Open (no bytes are
+// buffered yet), so it operates on the durable contents alone.
+func (m *MemStore) TruncateTail(keep int) error {
+	if keep > len(m.durable) {
+		keep = len(m.durable)
+	}
+	if m.CrashTruncate != nil {
+		if die, persist := m.CrashTruncate(keep); die != nil {
+			if persist {
+				m.durable = m.durable[:keep]
+			}
+			m.buffer = m.buffer[:0]
+			return die
+		}
+	}
+	m.durable = m.durable[:keep]
 	return nil
 }
 
@@ -214,11 +268,28 @@ type FileStore struct {
 	f *os.File
 }
 
-// OpenFile opens (creating if needed) a file-backed store at path.
+// OpenFile opens (creating if needed) a file-backed store at path. The
+// path is resolved to an absolute one immediately, so a later working-
+// directory change cannot redirect the store, and the parent directory
+// is fsynced so the file's very existence survives a crash right after
+// creation.
 func OpenFile(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	abs, err := filepath.Abs(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(abs, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	dir, err := os.Open(filepath.Dir(abs))
+	if err == nil {
+		err = dir.Sync()
+		dir.Close()
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync parent dir of %s: %w", abs, err)
 	}
 	return &FileStore{f: f}, nil
 }
@@ -232,12 +303,29 @@ func (s *FileStore) Append(p []byte) error {
 // Sync implements Store.
 func (s *FileStore) Sync() error { return s.f.Sync() }
 
-// Load implements Store.
-func (s *FileStore) Load() ([]byte, error) { return os.ReadFile(s.f.Name()) }
+// Load implements Store. It reads through the held fd (not by path), so
+// it always sees this store's file regardless of renames or working-
+// directory changes since open.
+func (s *FileStore) Load() ([]byte, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(s.f)
+}
 
 // Reset implements Store.
 func (s *FileStore) Reset() error {
 	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// TruncateTail implements Store. The file is O_APPEND, so writes after
+// a tail truncation land exactly at the new end — garbage bytes can
+// never shadow later records.
+func (s *FileStore) TruncateTail(keep int) error {
+	if err := s.f.Truncate(int64(keep)); err != nil {
 		return err
 	}
 	return s.f.Sync()
@@ -258,12 +346,13 @@ type Log struct {
 	seq      uint64
 	unsynced int
 	appended uint64
+	broken   error // first store Append/Sync failure; latches the log
 }
 
 // Open builds a Log over a store's surviving contents and returns the
 // durable records for the caller to replay. A torn tail (crash between
-// Append and the completion of Sync) is dropped, and the log is
-// compacted so later appends are not shadowed by the garbage bytes.
+// Append and the completion of Sync) is dropped by durably truncating
+// it off, so later appends are not shadowed by the garbage bytes.
 func Open(store Store) (*Log, []Record, error) {
 	data, err := store.Load()
 	if err != nil {
@@ -275,31 +364,30 @@ func Open(store Store) (*Log, []Record, error) {
 		l.seq = recs[len(recs)-1].Seq
 	}
 	if garbage > 0 {
-		// Rewrite only the valid prefix. A crash mid-compaction is no worse
-		// than the crash that tore the tail: every decoded record is held in
-		// memory and re-appended behind a fresh barrier before Open returns.
-		if err := store.Reset(); err != nil {
-			return nil, nil, fmt.Errorf("wal: compact reset: %w", err)
-		}
-		var buf []byte
-		for _, r := range recs {
-			buf = AppendFrame(buf, r)
-		}
-		if err := store.Append(buf); err != nil {
-			return nil, nil, fmt.Errorf("wal: compact append: %w", err)
-		}
-		if err := store.Sync(); err != nil {
-			return nil, nil, fmt.Errorf("wal: compact sync: %w", err)
+		// Drop exactly the bytes that failed decoding; the valid prefix is
+		// never rewritten, so there is no point in this path — crash
+		// included — where an acknowledged record exists only in memory. If
+		// the truncation is torn away by a crash, the garbage survives and
+		// the next Open truncates it again.
+		if err := store.TruncateTail(len(data) - garbage); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 	}
 	return l, recs, nil
 }
 
 // Append frames a record with the next sequence number and buffers it in
-// the store. The record is NOT durable until Sync returns.
+// the store. The record is NOT durable until Sync returns. A store
+// failure latches the log broken (see ErrBroken): the failed bytes may
+// sit partially in the log, and replay would never see past them, so
+// accepting more records would silently strand every one of them.
 func (l *Log) Append(op uint8, addr uint64, payload []byte) (uint64, error) {
+	if l.broken != nil {
+		return 0, fmt.Errorf("wal: append: %w (cause: %v)", ErrBroken, l.broken)
+	}
 	frame := AppendFrame(nil, Record{Seq: l.seq + 1, Op: op, Addr: addr, Payload: payload})
 	if err := l.store.Append(frame); err != nil {
+		l.broken = err
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.seq++
@@ -308,9 +396,16 @@ func (l *Log) Append(op uint8, addr uint64, payload []byte) (uint64, error) {
 	return l.seq, nil
 }
 
-// Sync is the durability barrier for every record appended so far.
+// Sync is the durability barrier for every record appended so far. A
+// failed barrier also latches the log broken — after a failed fsync the
+// kernel may have dropped dirty pages anywhere in the unsynced span, so
+// the log's tail is as suspect as after a failed write.
 func (l *Log) Sync() error {
+	if l.broken != nil {
+		return fmt.Errorf("wal: sync: %w (cause: %v)", ErrBroken, l.broken)
+	}
 	if err := l.store.Sync(); err != nil {
+		l.broken = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.unsynced = 0
@@ -319,14 +414,20 @@ func (l *Log) Sync() error {
 
 // Truncate durably discards every record. Called only after a checkpoint
 // covering them is itself durable. Sequence numbering continues — seq is
-// the global operation clock, not a file offset.
+// the global operation clock, not a file offset. A successful Truncate
+// clears a broken latch: the suspect bytes are durably gone, so the
+// store is a clean journal again.
 func (l *Log) Truncate() error {
 	if err := l.store.Reset(); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
 	l.unsynced = 0
+	l.broken = nil
 	return nil
 }
+
+// Broken returns the store failure that latched the log broken, or nil.
+func (l *Log) Broken() error { return l.broken }
 
 // LastSeq returns the sequence number of the most recently appended
 // record (0 if none ever).

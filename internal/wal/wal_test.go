@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -98,8 +100,8 @@ func TestTornTailToleratedAndCompacted(t *testing.T) {
 		if l2.LastSeq() != recs[len(recs)-1].Seq {
 			t.Fatalf("tear %d: seq resumed at %d after %d records", tear, l2.LastSeq(), len(recs))
 		}
-		// After compaction, appending works and survives another replay:
-		// the torn garbage must not shadow new records.
+		// After the tail truncation, appending works and survives another
+		// replay: the torn garbage must not shadow new records.
 		if _, err := l2.Append(OpWrite, 9, []byte{9, 9}); err != nil {
 			t.Fatal(err)
 		}
@@ -177,6 +179,126 @@ func TestDecodeAllRejectsSeqRegression(t *testing.T) {
 	}
 }
 
+// TestTruncationCrashSafe pins the fix for the reset-and-rewrite
+// compaction bug: Open's only durable mutation is dropping the garbage
+// tail, so a crash anywhere inside Open — truncation persisted or torn
+// away — must leave a store that recovers the identical records, with
+// every synced record intact.
+func TestTruncationCrashSafe(t *testing.T) {
+	build := func() *MemStore {
+		st := NewMemStore()
+		l, _, _ := Open(st)
+		appendSynced(t, l, 1, []byte{1, 1})
+		appendSynced(t, l, 2, []byte{2, 2})
+		if _, err := l.Append(OpWrite, 3, []byte{3, 3}); err != nil {
+			t.Fatal(err)
+		}
+		st.Crash(st.Buffered() / 2) // torn tail: Open must truncate
+		return st
+	}
+	die := errors.New("injected crash")
+	for _, persist := range []bool{false, true} {
+		st := build()
+		st.CrashTruncate = func(keep int) (error, bool) { return die, persist }
+		if _, _, err := Open(st); !errors.Is(err, die) {
+			t.Fatalf("persist=%v: Open survived injected crash: %v", persist, err)
+		}
+		// The next incarnation opens whatever the crash left behind.
+		st.CrashTruncate = nil
+		l, recs, err := Open(st)
+		if err != nil {
+			t.Fatalf("persist=%v: reopen: %v", persist, err)
+		}
+		if len(recs) != 2 || recs[0].Addr != 1 || recs[1].Addr != 2 {
+			t.Fatalf("persist=%v: lost synced records across crashed truncation: %+v", persist, recs)
+		}
+		// And appends after the recovery still survive a further replay.
+		appendSynced(t, l, 9, []byte{9, 9})
+		if _, recs, _ = Open(st); len(recs) != 3 || recs[2].Addr != 9 {
+			t.Fatalf("persist=%v: post-crash append lost: %+v", persist, recs)
+		}
+	}
+}
+
+// flakyStore wraps a MemStore with injectable append/sync failures. A
+// failing append persists a partial frame first — the short-write case
+// the broken latch exists for.
+type flakyStore struct {
+	*MemStore
+	failAppends int
+	failSyncs   int
+}
+
+var errDisk = errors.New("disk error")
+
+func (f *flakyStore) Append(p []byte) error {
+	if f.failAppends > 0 {
+		f.failAppends--
+		f.MemStore.Append(p[:len(p)/2]) // short write: garbage mid-log
+		return errDisk
+	}
+	return f.MemStore.Append(p)
+}
+
+func (f *flakyStore) Sync() error {
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return errDisk
+	}
+	return f.MemStore.Sync()
+}
+
+// TestBrokenLatchStopsAppends pins the strand-proofing contract: after a
+// store failure the Log refuses every Append/Sync with ErrBroken (so no
+// record can be acknowledged behind the partial frame), and a durable
+// Truncate clears the latch and yields a clean journal again.
+func TestBrokenLatchStopsAppends(t *testing.T) {
+	st := &flakyStore{MemStore: NewMemStore()}
+	l, _, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSynced(t, l, 1, []byte{1})
+	st.failAppends = 1
+	if _, err := l.Append(OpWrite, 2, []byte{2}); !errors.Is(err, errDisk) {
+		t.Fatalf("injected append failure not surfaced: %v", err)
+	}
+	if l.Broken() == nil {
+		t.Fatal("store failure did not latch the log broken")
+	}
+	// Everything behind the partial frame would be invisible to replay —
+	// the latch must refuse it rather than strand it.
+	if _, err := l.Append(OpWrite, 3, []byte{3}); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("sync on broken log: %v", err)
+	}
+	// Replay of the surviving store sees only the pre-failure record,
+	// even when the partial frame reached the medium.
+	cl := st.Clone()
+	cl.Crash(cl.Buffered()) // the short write's bytes all persist
+	if _, recs, _ := Open(cl); len(recs) != 1 || recs[0].Addr != 1 {
+		t.Fatalf("replay over partial frame: %+v", recs)
+	}
+	// Truncate durably empties the store: the latch clears and appends
+	// both work and survive replay.
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Broken() != nil {
+		t.Fatal("truncate did not clear the broken latch")
+	}
+	seq := appendSynced(t, l, 4, []byte{4})
+	_, recs, err := Open(st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Addr != 4 || recs[0].Seq != seq {
+		t.Fatalf("post-heal journal: %+v", recs)
+	}
+}
+
 func TestFileStore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	st, err := OpenFile(path)
@@ -209,5 +331,76 @@ func TestFileStore(t *testing.T) {
 	}
 	if _, recs, _ := Open(st2); len(recs) != 0 {
 		t.Fatalf("truncated file still has records: %+v", recs)
+	}
+}
+
+// TestFileStoreTornTail writes garbage after a synced record directly
+// into the file (a crash's torn tail) and checks that Open truncates it
+// and that appends land cleanly at the new end despite O_APPEND.
+func TestFileStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	l, _, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSynced(t, l, 1, []byte("keep"))
+	if err := st.Append([]byte{0xDE, 0xAD, 0xBE}); err != nil { // torn frame
+		t.Fatal(err)
+	}
+	st2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	l2, recs, err := Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "keep" {
+		t.Fatalf("torn-tail recovery: %+v", recs)
+	}
+	appendSynced(t, l2, 2, []byte("after"))
+	if _, recs, _ = Open(st2); len(recs) != 2 || string(recs[1].Payload) != "after" {
+		t.Fatalf("append after truncation lost: %+v", recs)
+	}
+}
+
+// TestFileStoreRelativePath opens a store via a relative path and then
+// changes the working directory: Load must keep reading the original
+// file (the path is absolutized at open, and reads go through the fd).
+func TestFileStoreRelativePath(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(orig)
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	l, _, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSynced(t, l, 1, []byte("here"))
+	if err := os.Chdir(orig); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, garbage := DecodeAll(data)
+	if garbage != 0 || len(recs) != 1 || string(recs[0].Payload) != "here" {
+		t.Fatalf("load after chdir: %d garbage, %+v", garbage, recs)
 	}
 }

@@ -165,7 +165,13 @@ const (
 	// CrashMidRestore: during recovery, after the medium and client
 	// snapshot are restored but before the journal suffix is replayed.
 	CrashMidRestore
-	numCrashPoints = int(CrashMidRestore) + 1
+	// CrashMidCompaction: inside wal.Open's torn-tail truncation on
+	// reopen — between the truncate and its durability barrier, so the
+	// truncation may or may not have persisted. Injected through the
+	// MemStore.CrashTruncate hook rather than the Service crashHook (the
+	// Service is not running yet), but reported like any other site.
+	CrashMidCompaction
+	numCrashPoints = int(CrashMidCompaction) + 1
 )
 
 // String implements fmt.Stringer.
@@ -181,6 +187,8 @@ func (p CrashPoint) String() string {
 		return "after-checkpoint-save"
 	case CrashMidRestore:
 		return "mid-restore"
+	case CrashMidCompaction:
+		return "mid-compaction"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -799,14 +807,14 @@ func (s *Service) serveWrite(addr uint64, data []byte) (svcResp, bool) {
 		return svcResp{err: fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), s.dev.cfg.BlockSize)}, true
 	}
 	if _, err := s.log.Append(wal.OpWrite, addr, data); err != nil {
-		return svcResp{err: err}, true
+		return svcResp{err: err}, s.healJournal()
 	}
 	s.bump(func(t *ServiceStats) { t.WALRecords++ })
 	if s.killed(CrashAfterAppend) {
 		return svcResp{}, false
 	}
 	if err := s.log.Sync(); err != nil {
-		return svcResp{err: err}, true
+		return svcResp{err: err}, s.healJournal()
 	}
 	if s.killed(CrashAfterSync) {
 		return svcResp{}, false
@@ -851,7 +859,7 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 			continue
 		}
 		if _, err := s.log.Append(wal.OpWrite, op.Addr, op.Data); err != nil {
-			return svcResp{err: err}, true
+			return svcResp{err: err}, s.healJournal()
 		}
 		wrote = true
 		s.bump(func(t *ServiceStats) { t.WALRecords++ })
@@ -861,7 +869,7 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 			return svcResp{}, false
 		}
 		if err := s.log.Sync(); err != nil {
-			return svcResp{err: err}, true
+			return svcResp{err: err}, s.healJournal()
 		}
 		if s.killed(CrashAfterSync) {
 			return svcResp{}, false
@@ -919,6 +927,22 @@ func (s *Service) supervise(cause error) error {
 		s.bump(func(t *ServiceStats) { t.FailedRecoveries++ })
 		cause = err
 	}
+}
+
+// healJournal re-establishes a usable journal after a store append or
+// sync failure latched it broken (wal.ErrBroken): the failed bytes may
+// sit partially in the log, and any record appended behind them would
+// be invisible to replay — so the log refuses all appends, meaning no
+// write can be acknowledged, until the suspect bytes are durably gone.
+// Committing a checkpoint is exactly that cure: it captures every
+// acknowledged write in a durable recovery point and truncates the
+// journal behind it, which clears the latch. A failed heal is tolerable
+// — writes keep failing fast with ErrBroken and the next mutation
+// retries the checkpoint; reads are unaffected throughout. Reports
+// false only when a crash injection killed the service inside the
+// checkpoint.
+func (s *Service) healJournal() bool {
+	return !errors.Is(s.commitCheckpoint(), errKilled)
 }
 
 // backoff returns the exponential backoff delay for the n-th consecutive

@@ -349,6 +349,89 @@ func TestServiceFailStop(t *testing.T) {
 // surviving stores. Both recoveries must produce identical devices —
 // same position map, same stash, same medium ciphertexts — and both must
 // hold every durable write.
+// flakyWALStore wraps a wal.MemStore with a bounded number of injected
+// append failures, each of which persists a partial frame first — the
+// short-write scenario the journal's broken latch guards against.
+type flakyWALStore struct {
+	*wal.MemStore
+	failAppends int
+}
+
+var errWALDisk = errors.New("injected WAL disk error")
+
+func (f *flakyWALStore) Append(p []byte) error {
+	if f.failAppends > 0 {
+		f.failAppends--
+		f.MemStore.Append(p[:len(p)/2])
+		return errWALDisk
+	}
+	return f.MemStore.Append(p)
+}
+
+// TestServiceHealsBrokenJournal pins the stranded-record fix: a store
+// failure mid-append must not let later writes be acknowledged behind
+// the partial frame. The service heals by committing a checkpoint
+// (truncating the broken journal), after which writes succeed again and
+// everything acknowledged survives a reopen over the same stores.
+func TestServiceHealsBrokenJournal(t *testing.T) {
+	walStore := &flakyWALStore{MemStore: wal.NewMemStore()}
+	ckpts := NewMemCheckpointStore()
+	cfg := testServiceConfig(Fork)
+	cfg.WAL = walStore
+	cfg.Checkpoints = ckpts
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before := chaosPayload(32, 9, 1)
+	if err := svc.Write(ctx, 2, before); err != nil {
+		t.Fatal(err)
+	}
+	ckptsBefore := svc.Stats().Checkpoints
+
+	walStore.failAppends = 1
+	bad := chaosPayload(32, 9, 2)
+	if err := svc.Write(ctx, 2, bad); !errors.Is(err, errWALDisk) {
+		t.Fatalf("injected append failure not surfaced: %v", err)
+	}
+	// The heal committed a checkpoint covering every acknowledged write
+	// and truncated the suspect journal, so the very next write succeeds.
+	if got := svc.Stats().Checkpoints; got != ckptsBefore+1 {
+		t.Fatalf("heal committed %d checkpoints, want %d", got, ckptsBefore+1)
+	}
+	after := chaosPayload(32, 9, 3)
+	if err := svc.Write(ctx, 7, after); err != nil {
+		t.Fatalf("write after journal heal: %v", err)
+	}
+	if _, err := svc.Batch(ctx, []BatchOp{{Addr: 8, Write: true, Data: after}}); err != nil {
+		t.Fatalf("batch after journal heal: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen over the surviving stores: the failed write must not be
+	// visible, everything acknowledged must be.
+	cfg2 := testServiceConfig(Fork)
+	cfg2.WAL = walStore
+	cfg2.Checkpoints = ckpts
+	svc2, err := NewService(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	for addr, want := range map[uint64][]byte{2: before, 7: after, 8: after} {
+		got, err := svc2.Read(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("addr %d lost across heal + reopen", addr)
+		}
+	}
+}
+
 func TestWALReplayIdempotence(t *testing.T) {
 	walStore := wal.NewMemStore()
 	cks := NewMemCheckpointStore()
