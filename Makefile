@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench json chaos chaos-smoke fuzz fuzz-smoke
+.PHONY: build test race bench bench-svc json chaos chaos-smoke fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ race:
 
 bench:
 	$(GO) test -bench BenchmarkAccessAllocs -benchtime 1000x ./internal/fork ./internal/pathoram
+
+# Service group-commit benchmark: concurrent clients over a file-backed
+# journal, coalesced vs. one-sync-per-op (smoke-sized for CI).
+bench-svc:
+	$(GO) run ./cmd/orambench -svc -svc-ops 1200
 
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:

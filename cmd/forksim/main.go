@@ -39,6 +39,7 @@ import (
 	forkoram "forkoram"
 	"forkoram/internal/cpu"
 	"forkoram/internal/faults"
+	"forkoram/internal/prof"
 	"forkoram/internal/rng"
 	"forkoram/internal/workload"
 )
@@ -75,8 +76,22 @@ func main() {
 
 		recoverDemo = flag.Bool("recover", false, "run the supervised self-healing demo (faults injected, supervisor heals live)")
 		recoverOps  = flag.Int("recover-ops", 2000, "recover: client operations to drive through the healing service")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "forksim: %v\n", err)
+		}
+	}()
 
 	if *chaos {
 		runChaos(forkoram.ChaosConfig{

@@ -9,6 +9,8 @@
 //	orambench -parallel 4          # four simulations in flight
 //	orambench -json                # also write BENCH_<date>.json
 //	orambench -paper               # Table 1 geometry (slow, memory-hungry)
+//	orambench -svc                 # only the Service group-commit bench
+//	orambench -cpuprofile cpu.out  # profile the run for go tool pprof
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	forkoram "forkoram"
+	"forkoram/internal/prof"
 )
 
 // benchReport is the perf-trajectory record -json writes: enough to
@@ -44,6 +47,19 @@ type benchReport struct {
 	// healing.
 	RecoverHealsPerSec     float64 `json:"recover_heals_per_sec"`
 	RecoverReplayOpsPerSec float64 `json:"recover_replay_ops_per_sec"`
+	// Service group-commit bench (see RunServiceBench): end-to-end write
+	// throughput over a file-backed journal with coalescing on vs. pinned
+	// to one sync per op, plus latency percentiles and the dispatch-
+	// window shape the coalescer achieved.
+	SvcOpsPerSec          float64   `json:"svc_ops_per_sec"`
+	SvcBaselineOpsPerSec  float64   `json:"svc_baseline_ops_per_sec"`
+	SvcGroupCommitSpeedup float64   `json:"svc_group_commit_speedup"`
+	SvcP50LatencyNS       int64     `json:"svc_p50_latency_ns"`
+	SvcP99LatencyNS       int64     `json:"svc_p99_latency_ns"`
+	WALSyncsPerOp         float64   `json:"wal_syncs_per_op"`
+	WALSyncsPerOpBaseline float64   `json:"wal_syncs_per_op_baseline"`
+	SvcMeanGroupSize      float64   `json:"svc_mean_group_size"`
+	SvcGroupSizeHist      [9]uint64 `json:"svc_group_size_hist"`
 }
 
 type experimentReport struct {
@@ -64,6 +80,10 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "write a BENCH_<date>.json perf record")
 		paper      = flag.Bool("paper", false, "full Table 1 geometry (4 GB ORAM; slow)")
 		list       = flag.Bool("list", false, "list experiment names")
+		svcOnly    = flag.Bool("svc", false, "run only the Service group-commit benchmark")
+		svcOps     = flag.Int("svc-ops", 2000, "Service bench: acknowledged writes per run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -71,6 +91,27 @@ func main() {
 		for _, e := range forkoram.Experiments() {
 			fmt.Println(e)
 		}
+		return
+	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orambench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: %v\n", err)
+		}
+	}()
+
+	if *svcOnly {
+		res, err := forkoram.RunServiceBench(forkoram.ServiceBenchConfig{Ops: *svcOps, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: svc bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
 		return
 	}
 	o := forkoram.ExperimentOptions{
@@ -122,6 +163,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orambench: recovery probe: %v\n", err)
 		}
+		svcRes, err := forkoram.RunServiceBench(forkoram.ServiceBenchConfig{Ops: *svcOps, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: svc bench: %v\n", err)
+		} else {
+			fmt.Print(svcRes.String())
+		}
 		rep := benchReport{
 			Date:              time.Now().Format("2006-01-02"),
 			GoVersion:         runtime.Version(),
@@ -137,6 +184,16 @@ func main() {
 
 			RecoverHealsPerSec:     heals,
 			RecoverReplayOpsPerSec: replay,
+
+			SvcOpsPerSec:          svcRes.Grouped.OpsPerSec,
+			SvcBaselineOpsPerSec:  svcRes.Baseline.OpsPerSec,
+			SvcGroupCommitSpeedup: svcRes.Speedup,
+			SvcP50LatencyNS:       svcRes.Grouped.P50Latency.Nanoseconds(),
+			SvcP99LatencyNS:       svcRes.Grouped.P99Latency.Nanoseconds(),
+			WALSyncsPerOp:         svcRes.Grouped.WALSyncsPerOp,
+			WALSyncsPerOpBaseline: svcRes.Baseline.WALSyncsPerOp,
+			SvcMeanGroupSize:      svcRes.Grouped.MeanGroupSize,
+			SvcGroupSizeHist:      svcRes.Grouped.GroupSizes,
 		}
 		path := fmt.Sprintf("BENCH_%s.json", rep.Date)
 		data, err := json.MarshalIndent(rep, "", "  ")

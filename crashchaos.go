@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"forkoram/internal/faults"
@@ -13,9 +14,11 @@ import (
 )
 
 // CrashChaosConfig parameterizes RunCrashChaos: a crash-at-every-point
-// campaign against the supervised Service. Every schedule is a pure
-// function of (Seed, schedule index, variant), so a failing run replays
-// exactly from its seed.
+// campaign against the supervised Service. A schedule's workload, device
+// and crash plan are a pure function of (Seed, schedule index, variant);
+// only the burst case (concurrent writers racing the admission queue, to
+// exercise the group-commit path and its kill sites) admits requests in
+// scheduler-dependent order — the invariants checked are order-free.
 type CrashChaosConfig struct {
 	// Seed derives every schedule's workload, device, crash and fault
 	// seeds.
@@ -362,6 +365,66 @@ func (st *crashState) drive(wl *rng.Source, seed uint64) {
 					st.rep.Acked++
 				} else {
 					st.compareRead(o.Addr, out[i])
+				}
+			}
+		case roll < 0.70: // burst: concurrent distinct-address writes
+			// Several writers race into the admission queue together so the
+			// supervisor coalesces them into one group commit — the only way
+			// to reach the group kill sites (after-group-append/sync) and the
+			// group ack rule: every write acked by one sync, or none.
+			n := 2 + int(wl.Uint64n(3))
+			pend := make([]pendingWrite, 0, n)
+			used := make(map[uint64]bool)
+			for len(pend) < n {
+				addr := wl.Uint64n(st.cfg.Blocks)
+				if used[addr] {
+					continue
+				}
+				used[addr] = true
+				counter++
+				pend = append(pend, pendingWrite{
+					addr: addr, old: st.oracle[addr],
+					new: chaosPayload(st.cfg.BlockSize, seed, counter),
+				})
+			}
+			st.rep.Ops += uint64(len(pend) - 1) // loop header counted one
+			errs := make([]error, len(pend))
+			var wg sync.WaitGroup
+			for i := range pend {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = st.svc.Write(ctx, pend[i].addr, pend[i].new)
+				}(i)
+			}
+			wg.Wait()
+			// Addresses are distinct, so acks commit independently; a kill
+			// leaves each unacked write ambiguous (group durable-but-unacked,
+			// torn away, or never admitted) — resolve settles every one.
+			killed := false
+			for i, err := range errs {
+				switch {
+				case err == nil:
+					st.oracle[pend[i].addr] = pend[i].new
+					st.rep.Acked++
+				case errors.Is(err, errKilled):
+					killed = true
+				default:
+					st.rep.violate("%s: burst write failed with unexpected error: %v", st.id, err)
+					st.dead = true
+				}
+			}
+			if st.dead {
+				continue
+			}
+			if killed {
+				if !st.reopen() {
+					continue
+				}
+				for i, err := range errs {
+					if errors.Is(err, errKilled) {
+						st.resolve(pend[i])
+					}
 				}
 			}
 		default: // read

@@ -126,6 +126,15 @@ type DeviceConfig struct {
 	// with Integrity enabled (payload-only corruption is invisible to
 	// the plaintext plausibility checks).
 	Faults *faults.Config
+	// CryptoWorkers bounds the goroutines decrypting/encrypting bucket
+	// ciphertexts when a whole path segment is read or written at once:
+	// 0 (the default) means one per available CPU, 1 forces serial
+	// crypto. Parallel crypto only engages on the plain medium — the
+	// Integrity and Faults decorators pin the per-bucket path, whose
+	// retry and verification semantics are defined one bucket at a time.
+	// Process-local tuning: not serialized in snapshots, re-applied from
+	// the host device on restore.
+	CryptoWorkers int
 	// Observer, when set, receives the bus-visible trace of every ORAM
 	// tree traversal — exactly what an adversary probing the memory bus
 	// sees (revealed leaf label plus bucket read/write sequences), and
@@ -268,6 +277,7 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 func assembleDevice(cfg DeviceConfig, tr tree.Tree, store *storage.Mem,
 	verifier *storage.Integrity, root *rng.Source) (*Device, error) {
 
+	store.SetBulkWorkers(cfg.CryptoWorkers)
 	var backend storage.Backend = store
 	if verifier != nil {
 		backend = verifier

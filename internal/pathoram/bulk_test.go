@@ -1,0 +1,111 @@
+package pathoram
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// noBulk hides a backend's BulkBackend methods, pinning the controller
+// to the per-bucket path — the reference for the equivalence test.
+type noBulk struct{ storage.Backend }
+
+// TestBulkRangesMatchPerBucket drives two identically-seeded ORAMs over
+// the same geometry — one whose backend exposes bulk (grouped, parallel
+// crypto) access, one wrapped so it does not — through an interleaved
+// write/read workload. Every returned payload and every adversary-
+// visible node sequence must match exactly: the bulk path may change
+// scheduling, never semantics. The geometry is sized so a path segment
+// clears the serial-below cutoff and the parallel branch actually runs.
+func TestBulkRangesMatchPerBucket(t *testing.T) {
+	tr := tree.MustNew(6)
+	geo := block.Geometry{Z: 4, PayloadSize: 256}
+	build := func(hide bool) *ORAM {
+		st, err := storage.NewMem(tr, geo, make([]byte, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var be storage.Backend = st
+		if hide {
+			be = noBulk{st}
+		}
+		o, err := New(Config{Tree: tr, StashCapacity: 200, TrackData: true}, be, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	bulk, ref := build(false), build(true)
+	if bulk.ctl.bulk == nil {
+		t.Fatal("plain Mem backend did not enable the bulk path")
+	}
+	if ref.ctl.bulk != nil {
+		t.Fatal("wrapped backend leaked the bulk path")
+	}
+
+	src := rng.New(7)
+	const addrs = 24
+	for step := 0; step < 200; step++ {
+		addr := src.Uint64n(addrs)
+		var wantOut, gotOut []byte
+		var wantAcc, gotAcc Access
+		var errW, errG error
+		if src.Uint64n(100) < 55 {
+			data := payload(geo.PayloadSize, byte(step))
+			wantOut, wantAcc, errW = ref.Access(OpWrite, addr, data)
+			gotOut, gotAcc, errG = bulk.Access(OpWrite, addr, data)
+		} else {
+			wantOut, wantAcc, errW = ref.Access(OpRead, addr, nil)
+			gotOut, gotAcc, errG = bulk.Access(OpRead, addr, nil)
+		}
+		if errW != nil || errG != nil {
+			t.Fatalf("step %d: errors %v / %v", step, errW, errG)
+		}
+		if !bytes.Equal(wantOut, gotOut) {
+			t.Fatalf("step %d: payload diverged", step)
+		}
+		if err := sameAccess(wantAcc, gotAcc); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// Final state: every address reads back identically, and the stash
+	// occupancy agrees.
+	for a := uint64(0); a < addrs; a++ {
+		w, _, err1 := ref.Access(OpRead, a, nil)
+		g, _, err2 := bulk.Access(OpRead, a, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("final read %d: %v / %v", a, err1, err2)
+		}
+		if !bytes.Equal(w, g) {
+			t.Fatalf("final read %d diverged", a)
+		}
+	}
+	if w, g := ref.ctl.stash.Len(), bulk.ctl.stash.Len(); w != g {
+		t.Fatalf("stash occupancy diverged: %d vs %d", w, g)
+	}
+}
+
+func sameAccess(a, b Access) error {
+	if a.Label != b.Label || a.Dummy != b.Dummy {
+		return fmt.Errorf("access headers diverged: %+v vs %+v", a, b)
+	}
+	if len(a.ReadNodes) != len(b.ReadNodes) || len(a.WriteNodes) != len(b.WriteNodes) {
+		return fmt.Errorf("node counts diverged")
+	}
+	for i := range a.ReadNodes {
+		if a.ReadNodes[i] != b.ReadNodes[i] {
+			return fmt.Errorf("read node %d diverged", i)
+		}
+	}
+	for i := range a.WriteNodes {
+		if a.WriteNodes[i] != b.WriteNodes[i] {
+			return fmt.Errorf("write node %d diverged", i)
+		}
+	}
+	return nil
+}

@@ -81,6 +81,14 @@ type Controller struct {
 
 	evictBuf []block.Block // scratch for path refills; reused every bucket write
 
+	// bulk is non-nil when the backend supports grouped bucket access
+	// (parallel per-bucket crypto). ReadRange/WriteRange then hand the
+	// whole path segment over in one call; WriteLevel cannot (Fork
+	// Path's dummy-request replacement re-targets between levels).
+	bulk       storage.BulkBackend
+	bucketsBuf []block.Bucket  // bulk-read results / bulk-write staging
+	evictBufs  [][]block.Block // per-level eviction scratch for bulk writes
+
 	retryStats RetryStats
 }
 
@@ -115,6 +123,7 @@ func NewController(cfg Config, store storage.Backend) (*Controller, error) {
 	} else if retries < 0 {
 		retries = 0
 	}
+	bulk, _ := store.(storage.BulkBackend)
 	return &Controller{
 		tr:      cfg.Tree,
 		z:       geo.Z,
@@ -123,6 +132,7 @@ func NewController(cfg Config, store storage.Backend) (*Controller, error) {
 		track:   cfg.TrackData,
 		geo:     geo,
 		retries: retries,
+		bulk:    bulk,
 	}, nil
 }
 
@@ -191,6 +201,9 @@ func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node
 	if c.err != nil {
 		return dst, c.err
 	}
+	if c.bulk != nil {
+		return c.readRangeBulk(label, fromLevel, dst)
+	}
 	for lvl := fromLevel; lvl <= c.tr.LeafLevel(); lvl++ {
 		n := c.tr.NodeAt(label, lvl)
 		bk, err := c.readBucket(n)
@@ -200,6 +213,33 @@ func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node
 		}
 		c.stash.PutBucket(&bk)
 		dst = append(dst, n)
+	}
+	return dst, nil
+}
+
+// readRangeBulk hands the whole segment to the backend in one call and
+// stashes the results afterwards — in root-to-leaf order, exactly like
+// the per-bucket loop. The order matters: the tree may briefly hold two
+// copies of the same address along one path (a stale shallower one and
+// the current deeper one), and PutBucket's last-put-wins map semantics
+// resolve the race in favour of the deepest copy only if buckets arrive
+// root first.
+func (c *Controller) readRangeBulk(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
+	start := len(dst)
+	for lvl := fromLevel; lvl <= c.tr.LeafLevel(); lvl++ {
+		dst = append(dst, c.tr.NodeAt(label, lvl))
+	}
+	ns := dst[start:]
+	if cap(c.bucketsBuf) < len(ns) {
+		c.bucketsBuf = make([]block.Bucket, len(ns))
+	}
+	out := c.bucketsBuf[:len(ns)]
+	if err := c.bulk.ReadBuckets(ns, out); err != nil {
+		c.err = err
+		return dst[:start], err
+	}
+	for i := range out {
+		c.stash.PutBucket(&out[i])
 	}
 	return dst, nil
 }
@@ -214,6 +254,9 @@ func (c *Controller) WriteRange(label tree.Label, fromLevel uint, dst []tree.Nod
 	if c.err != nil {
 		return dst, c.err
 	}
+	if c.bulk != nil {
+		return c.writeRangeBulk(label, fromLevel, dst)
+	}
 	for i := int(c.tr.LeafLevel()); i >= int(fromLevel); i-- {
 		n := c.tr.NodeAt(label, uint(i))
 		c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)
@@ -223,6 +266,41 @@ func (c *Controller) WriteRange(label tree.Label, fromLevel uint, dst []tree.Nod
 			return dst, err
 		}
 		dst = append(dst, n)
+	}
+	return dst, nil
+}
+
+// writeRangeBulk plans every eviction first — sequentially, leaf to
+// root, because each EvictAppend consumes stash blocks and the greedy
+// assignment must match the per-bucket loop exactly — then hands all
+// buckets to the backend in one call. Eviction scratch is per level so
+// the planned buckets stay alive until the write lands. On a bulk-write
+// failure the stash has already surrendered the planned blocks, so the
+// controller fail-stops (c.err), exactly the contract a mid-loop
+// per-bucket failure gives the layers above.
+func (c *Controller) writeRangeBulk(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
+	start := len(dst)
+	levels := int(c.tr.LeafLevel()) - int(fromLevel) + 1
+	if cap(c.evictBufs) < levels {
+		grown := make([][]block.Block, levels)
+		copy(grown, c.evictBufs)
+		c.evictBufs = grown
+	}
+	c.evictBufs = c.evictBufs[:cap(c.evictBufs)]
+	if cap(c.bucketsBuf) < levels {
+		c.bucketsBuf = make([]block.Bucket, levels)
+	}
+	bks := c.bucketsBuf[:levels]
+	for i := 0; i < levels; i++ {
+		lvl := uint(int(c.tr.LeafLevel()) - i)
+		n := c.tr.NodeAt(label, lvl)
+		c.evictBufs[i] = c.stash.EvictAppend(c.evictBufs[i][:0], n, c.z)
+		bks[i] = block.Bucket{Blocks: c.evictBufs[i]}
+		dst = append(dst, n)
+	}
+	if err := c.bulk.WriteBuckets(dst[start:], bks); err != nil {
+		c.err = err
+		return dst[:start], err
 	}
 	return dst, nil
 }

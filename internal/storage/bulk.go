@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"fmt"
+
+	"forkoram/internal/block"
+	"forkoram/internal/crypt"
+	"forkoram/internal/par"
+	"forkoram/internal/tree"
+)
+
+// BulkBackend is an optional Backend extension for reading or writing a
+// set of DISTINCT buckets in one call, letting the implementation
+// spread the per-bucket AES work across cores. Semantics are exactly
+// those of the per-bucket methods applied to each index; only the
+// internal scheduling differs. Implementations must not return
+// ErrTransient (bulk callers do not retry) — which is why the
+// fault-injecting and integrity decorators deliberately do not
+// implement it: their per-bucket retry and verification semantics are
+// defined one bucket at a time, and a controller that sees no
+// BulkBackend falls back to the per-bucket path.
+type BulkBackend interface {
+	Backend
+	// ReadBuckets fills out[i] with the contents of bucket ns[i].
+	// len(out) must equal len(ns). Results follow the ReadBucket
+	// buffer contract: valid until the next read on this backend.
+	ReadBuckets(ns []tree.Node, out []block.Bucket) error
+	// WriteBuckets replaces bucket ns[i] with bks[i] for every i. It
+	// must not retain any bks[i].Blocks. A failure may leave a subset
+	// of the buckets written (the caller fail-stops on error).
+	WriteBuckets(ns []tree.Node, bks []block.Bucket) error
+}
+
+// bulkMinBytes is the per-call plaintext volume below which bulk calls
+// run serially: goroutine handoff costs more than the AES work it would
+// spread for tiny geometries. Package variable so tests can force the
+// parallel branch.
+var bulkMinBytes = 4096
+
+// SetBulkWorkers bounds the goroutines used by ReadBuckets and
+// WriteBuckets: 0 (the default) means one per available CPU, 1 forces
+// serial execution, and any other value is used as given.
+func (m *Mem) SetBulkWorkers(n int) { m.bulkWorkers = n }
+
+// bulkParallel decides whether a bulk call over n buckets is worth
+// fanning out.
+func (m *Mem) bulkParallel(n int) bool {
+	if n < 2 || m.bulkWorkers == 1 {
+		return false
+	}
+	return n*m.geo.BucketSize() >= bulkMinBytes
+}
+
+// bulkScratch returns n per-slot plaintext staging buffers, each sized
+// to one bucket, reused across calls so the steady state allocates
+// nothing.
+func (m *Mem) bulkScratch(n int) [][]byte {
+	if cap(m.bulkPt) < n {
+		grown := make([][]byte, n)
+		copy(grown, m.bulkPt)
+		m.bulkPt = grown
+	}
+	bufs := m.bulkPt[:n]
+	size := m.geo.BucketSize()
+	for i := range bufs {
+		if cap(bufs[i]) < size {
+			bufs[i] = make([]byte, size)
+		}
+		bufs[i] = bufs[i][:size]
+	}
+	m.bulkPt = m.bulkPt[:cap(m.bulkPt)]
+	return bufs
+}
+
+// ReadBuckets implements BulkBackend. Validation and access counting
+// happen serially up front; the Open+decode work — all of the CPU cost —
+// fans out across bulkWorkers. Decode results are independent per slot
+// (payloads are copied out of the per-slot staging buffer), so no two
+// workers share mutable state beyond the crypt.Engine, which is safe
+// for concurrent use.
+func (m *Mem) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
+	if len(ns) != len(out) {
+		return fmt.Errorf("storage: bulk read of %d nodes into %d slots", len(ns), len(out))
+	}
+	for _, n := range ns {
+		if !m.tr.ValidNode(n) {
+			return fmt.Errorf("storage: node %d out of range", n)
+		}
+	}
+	m.cnt.BucketReads += uint64(len(ns))
+	if !m.bulkParallel(len(ns)) {
+		for i, n := range ns {
+			out[i] = block.Bucket{}
+			bk, err := m.readBucketBody(n, m.pt())
+			if err != nil {
+				return err
+			}
+			out[i] = bk
+		}
+		return nil
+	}
+	pts := m.bulkScratch(len(ns))
+	return par.ForEach(m.bulkWorkers, len(ns), func(i int) error {
+		out[i] = block.Bucket{}
+		bk, err := m.readBucketBody(ns[i], pts[i])
+		if err != nil {
+			return err
+		}
+		out[i] = bk
+		return nil
+	})
+}
+
+// readBucketBody is the counting-free core of ReadBucket: decrypt into
+// pt, decode, and plausibility-check. pt must be one bucket long and
+// owned by the caller for the duration of the call.
+func (m *Mem) readBucketBody(n tree.Node, pt []byte) (block.Bucket, error) {
+	ct, ok := m.data[n]
+	if !ok {
+		return block.Bucket{}, nil // never-written bucket: all dummies
+	}
+	if err := m.eng.Open(pt, ct); err != nil {
+		return block.Bucket{}, corruptf("storage: bucket %d unreadable (%v)", n, err)
+	}
+	bk, err := m.geo.DecodeBucket(pt)
+	if err != nil {
+		return block.Bucket{}, corruptf("storage: bucket %d undecodable (%v)", n, err)
+	}
+	for _, b := range bk.Blocks {
+		if !m.tr.ValidLabel(b.Label) {
+			return block.Bucket{}, corruptf("storage: bucket %d holds implausible block (addr %d label %d)",
+				n, b.Addr, b.Label)
+		}
+	}
+	return bk, nil
+}
+
+// WriteBuckets implements BulkBackend. The map is touched only in the
+// serial phases: ciphertext slots are claimed (and grown) up front, the
+// encode+Seal work fans out into those disjoint slots — ns must be
+// distinct, which path segments are by construction — and the results
+// are stored back serially.
+func (m *Mem) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
+	if len(ns) != len(bks) {
+		return fmt.Errorf("storage: bulk write of %d nodes with %d buckets", len(ns), len(bks))
+	}
+	for _, n := range ns {
+		if !m.tr.ValidNode(n) {
+			return fmt.Errorf("storage: node %d out of range", n)
+		}
+	}
+	m.cnt.BucketWrites += uint64(len(ns))
+	if !m.bulkParallel(len(ns)) {
+		for i := range ns {
+			if err := m.writeBucketBody(ns[i], &bks[i], m.pt()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pts := m.bulkScratch(len(ns))
+	// Claim every ciphertext slot serially so workers never touch the map.
+	if cap(m.bulkCt) < len(ns) {
+		m.bulkCt = make([][]byte, len(ns))
+	}
+	cts := m.bulkCt[:len(ns)]
+	need := crypt.SealedSize(m.geo.BucketSize())
+	for i, n := range ns {
+		ct := m.data[n]
+		if cap(ct) < need {
+			ct = make([]byte, need)
+		}
+		cts[i] = ct[:need]
+	}
+	err := par.ForEach(m.bulkWorkers, len(ns), func(i int) error {
+		if err := m.geo.EncodeBucket(pts[i], &bks[i]); err != nil {
+			return err
+		}
+		return m.eng.Seal(cts[i], pts[i])
+	})
+	if err != nil {
+		// A subset of the slots may hold half-sealed bytes; publishing
+		// nothing keeps the map consistent with the last success, and the
+		// caller fail-stops anyway.
+		return err
+	}
+	for i, n := range ns {
+		m.data[n] = cts[i]
+	}
+	return nil
+}
+
+// writeBucketBody is the counting-free core of WriteBucket: encode into
+// pt and re-seal into the bucket's existing ciphertext slot.
+func (m *Mem) writeBucketBody(n tree.Node, b *block.Bucket, pt []byte) error {
+	if err := m.geo.EncodeBucket(pt, b); err != nil {
+		return err
+	}
+	need := crypt.SealedSize(len(pt))
+	ct := m.data[n]
+	if cap(ct) < need {
+		ct = make([]byte, need)
+	}
+	ct = ct[:need]
+	if err := m.eng.Seal(ct, pt); err != nil {
+		return err
+	}
+	m.data[n] = ct
+	return nil
+}
+
+var _ BulkBackend = (*Mem)(nil)

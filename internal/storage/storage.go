@@ -65,6 +65,10 @@ type Mem struct {
 	cnt  Counters
 
 	ptBuf []byte // plaintext staging buffer, reused by every read and write
+
+	bulkWorkers int      // ReadBuckets/WriteBuckets fan-out (0 = GOMAXPROCS, 1 = serial)
+	bulkPt      [][]byte // per-slot plaintext staging for bulk calls
+	bulkCt      [][]byte // ciphertext slot refs claimed before a bulk write fans out
 }
 
 // NewMem creates a Mem backend for the given tree and bucket geometry,
@@ -86,33 +90,16 @@ func (m *Mem) ReadBucket(n tree.Node) (block.Bucket, error) {
 		return block.Bucket{}, fmt.Errorf("storage: node %d out of range", n)
 	}
 	m.cnt.BucketReads++
-	ct, ok := m.data[n]
-	if !ok {
-		return block.Bucket{}, nil // never-written bucket: all dummies
-	}
-	pt := m.pt()
-	if err := m.eng.Open(pt, ct); err != nil {
-		return block.Bucket{}, corruptf("storage: bucket %d unreadable (%v)", n, err)
-	}
-	bk, err := m.geo.DecodeBucket(pt)
-	if err != nil {
-		return block.Bucket{}, corruptf("storage: bucket %d undecodable (%v)", n, err)
-	}
-	// Plausibility check: every real block ever written carries a label
-	// naming a leaf of this tree. Ciphertext corruption under CTR
-	// scrambles the decrypted headers, so corruption touching a header
-	// fails this with overwhelming probability (a random 64-bit word is
-	// a valid label with chance Leaves/2^64). Payload-only corruption is
-	// NOT detectable here — that is what the Merkle layer (Integrity)
-	// is for; the on-path eviction invariant is audited by Scrub, not
-	// enforced per read.
-	for _, b := range bk.Blocks {
-		if !m.tr.ValidLabel(b.Label) {
-			return block.Bucket{}, corruptf("storage: bucket %d holds implausible block (addr %d label %d)",
-				n, b.Addr, b.Label)
-		}
-	}
-	return bk, nil
+	// readBucketBody performs the decrypt + decode + plausibility check:
+	// every real block ever written carries a label naming a leaf of this
+	// tree. Ciphertext corruption under CTR scrambles the decrypted
+	// headers, so corruption touching a header fails the check with
+	// overwhelming probability (a random 64-bit word is a valid label
+	// with chance Leaves/2^64). Payload-only corruption is NOT detectable
+	// here — that is what the Merkle layer (Integrity) is for; the
+	// on-path eviction invariant is audited by Scrub, not enforced per
+	// read.
+	return m.readBucketBody(n, m.pt())
 }
 
 // pt returns the reusable plaintext staging buffer, sized to one bucket.
@@ -129,25 +116,12 @@ func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
 		return fmt.Errorf("storage: node %d out of range", n)
 	}
 	m.cnt.BucketWrites++
-	pt := m.pt()
-	if err := m.geo.EncodeBucket(pt, b); err != nil {
-		return err
-	}
-	// Re-seal into the bucket's existing ciphertext slot when possible:
-	// after the tree's first full traversal, writes stop allocating. Safe
-	// because every reader (Integrity's hasher, the security tests) copies
-	// or consumes ciphertexts before the next write.
-	need := crypt.SealedSize(len(pt))
-	ct := m.data[n]
-	if cap(ct) < need {
-		ct = make([]byte, need)
-	}
-	ct = ct[:need]
-	if err := m.eng.Seal(ct, pt); err != nil {
-		return err
-	}
-	m.data[n] = ct
-	return nil
+	// writeBucketBody re-seals into the bucket's existing ciphertext slot
+	// when possible: after the tree's first full traversal, writes stop
+	// allocating. Safe because every reader (Integrity's hasher, the
+	// security tests) copies or consumes ciphertexts before the next
+	// write.
+	return m.writeBucketBody(n, b, m.pt())
 }
 
 // Geometry implements Backend.

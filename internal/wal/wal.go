@@ -264,8 +264,16 @@ func (m *MemStore) Clone() *MemStore {
 
 // FileStore is a file-backed Store: an append-only file whose Sync
 // barrier is fsync. One Log per file; the caller owns the path.
+//
+// Appends are buffered in a reusable scratch slice and flushed by Sync
+// with a single write(2) followed by fsync, so a group of frames costs
+// one syscall pair no matter how many records it spans. The bytes that
+// reach the file are identical to writing each frame individually —
+// only the syscall count changes — so crash and torn-tail semantics are
+// unchanged.
 type FileStore struct {
-	f *os.File
+	f   *os.File
+	buf []byte
 }
 
 // OpenFile opens (creating if needed) a file-backed store at path. The
@@ -294,18 +302,33 @@ func OpenFile(path string) (*FileStore, error) {
 	return &FileStore{f: f}, nil
 }
 
-// Append implements Store.
+// Append implements Store: it only buffers. The bytes reach the file at
+// the next Sync, as one contiguous write.
 func (s *FileStore) Append(p []byte) error {
-	_, err := s.f.Write(p)
-	return err
+	s.buf = append(s.buf, p...)
+	return nil
 }
 
-// Sync implements Store.
-func (s *FileStore) Sync() error { return s.f.Sync() }
+// Sync implements Store: one write(2) for everything buffered since the
+// last barrier, then fsync. The buffer is consumed either way — after a
+// failed write the file may hold a partial frame, which is exactly the
+// state the Log's broken latch exists for, and retrying the same bytes
+// behind it could only strand more records.
+func (s *FileStore) Sync() error {
+	if len(s.buf) > 0 {
+		_, err := s.f.Write(s.buf)
+		s.buf = s.buf[:0]
+		if err != nil {
+			return err
+		}
+	}
+	return s.f.Sync()
+}
 
 // Load implements Store. It reads through the held fd (not by path), so
 // it always sees this store's file regardless of renames or working-
-// directory changes since open.
+// directory changes since open. Buffered (unsynced) bytes are not part
+// of the surviving contents, matching MemStore's crash model.
 func (s *FileStore) Load() ([]byte, error) {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
@@ -313,8 +336,10 @@ func (s *FileStore) Load() ([]byte, error) {
 	return io.ReadAll(s.f)
 }
 
-// Reset implements Store.
+// Reset implements Store. Buffered bytes are discarded along with the
+// durable contents.
 func (s *FileStore) Reset() error {
+	s.buf = s.buf[:0]
 	if err := s.f.Truncate(0); err != nil {
 		return err
 	}
@@ -323,8 +348,10 @@ func (s *FileStore) Reset() error {
 
 // TruncateTail implements Store. The file is O_APPEND, so writes after
 // a tail truncation land exactly at the new end — garbage bytes can
-// never shadow later records.
+// never shadow later records. Only Open calls this, before anything has
+// been buffered, but the buffer is cleared anyway for safety.
 func (s *FileStore) TruncateTail(keep int) error {
+	s.buf = s.buf[:0]
 	if err := s.f.Truncate(int64(keep)); err != nil {
 		return err
 	}
@@ -346,7 +373,8 @@ type Log struct {
 	seq      uint64
 	unsynced int
 	appended uint64
-	broken   error // first store Append/Sync failure; latches the log
+	broken   error  // first store Append/Sync failure; latches the log
+	frameBuf []byte // reusable framing scratch for Append/AppendGroup
 }
 
 // Open builds a Log over a store's surviving contents and returns the
@@ -385,8 +413,8 @@ func (l *Log) Append(op uint8, addr uint64, payload []byte) (uint64, error) {
 	if l.broken != nil {
 		return 0, fmt.Errorf("wal: append: %w (cause: %v)", ErrBroken, l.broken)
 	}
-	frame := AppendFrame(nil, Record{Seq: l.seq + 1, Op: op, Addr: addr, Payload: payload})
-	if err := l.store.Append(frame); err != nil {
+	l.frameBuf = AppendFrame(l.frameBuf[:0], Record{Seq: l.seq + 1, Op: op, Addr: addr, Payload: payload})
+	if err := l.store.Append(l.frameBuf); err != nil {
 		l.broken = err
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -394,6 +422,37 @@ func (l *Log) Append(op uint8, addr uint64, payload []byte) (uint64, error) {
 	l.unsynced++
 	l.appended++
 	return l.seq, nil
+}
+
+// AppendGroup frames a batch of records as one contiguous byte run and
+// hands it to the store in a single Append call — the group-commit fast
+// path. Sequence numbers are assigned in order into recs[i].Seq; Op,
+// Addr, and Payload must be filled in by the caller. Like Append, the
+// records are NOT durable until Sync returns, and a store failure
+// latches the log broken without advancing the sequence clock (none of
+// the group's records exist as far as replay is concerned — decoding
+// stops at the first bad frame).
+func (l *Log) AppendGroup(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: append group: %w (cause: %v)", ErrBroken, l.broken)
+	}
+	buf := l.frameBuf[:0]
+	for i := range recs {
+		recs[i].Seq = l.seq + 1 + uint64(i)
+		buf = AppendFrame(buf, recs[i])
+	}
+	l.frameBuf = buf
+	if err := l.store.Append(buf); err != nil {
+		l.broken = err
+		return fmt.Errorf("wal: append group: %w", err)
+	}
+	l.seq += uint64(len(recs))
+	l.unsynced += len(recs)
+	l.appended += uint64(len(recs))
+	return nil
 }
 
 // Sync is the durability barrier for every record appended so far. A

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -171,7 +172,18 @@ const (
 	// MemStore.CrashTruncate hook rather than the Service crashHook (the
 	// Service is not running yet), but reported like any other site.
 	CrashMidCompaction
-	numCrashPoints = int(CrashMidCompaction) + 1
+	// CrashAfterGroupAppend: a coalesced group's records are framed and
+	// buffered as one batch, the shared durability barrier not yet
+	// issued. The whole group may vanish or persist as a torn prefix;
+	// none of its operations were acknowledged. Consulted only on the
+	// group-commit path (after the generic CrashAfterAppend), so the
+	// singleton cadence is untouched.
+	CrashAfterGroupAppend
+	// CrashAfterGroupSync: the whole group is durable behind one sync,
+	// no operation of the group has been applied yet — replay must
+	// reconstruct every one of them.
+	CrashAfterGroupSync
+	numCrashPoints = int(CrashAfterGroupSync) + 1
 )
 
 // String implements fmt.Stringer.
@@ -189,6 +201,10 @@ func (p CrashPoint) String() string {
 		return "mid-restore"
 	case CrashMidCompaction:
 		return "mid-compaction"
+	case CrashAfterGroupAppend:
+		return "after-group-append"
+	case CrashAfterGroupSync:
+		return "after-group-sync"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -206,6 +222,18 @@ type ServiceConfig struct {
 	// CheckpointEvery is the number of acknowledged operations between
 	// automatic checkpoints (default 128). Checkpoint() forces one.
 	CheckpointEvery int
+	// MaxGroupSize bounds how many queued requests the worker coalesces
+	// into one group commit: the group's journal records are framed as
+	// one batch, made durable behind a single sync, and served through
+	// one Device.Batch so the Fork scheduler merges across the whole
+	// window. Default is QueueDepth; 1 disables coalescing (every
+	// request commits alone — the per-op-sync baseline).
+	MaxGroupSize int
+	// GroupLinger, when positive, lets the worker wait up to this long
+	// for more requests to join a group after the queue runs dry, trading
+	// latency for larger commit windows. Default 0: a group is whatever
+	// is already queued when the worker comes around.
+	GroupLinger time.Duration
 	// MaxRecoveries bounds consecutive supervised recoveries (default 8).
 	// The counter resets whenever a checkpoint commits — real forward
 	// progress — so a service that heals and keeps working is never
@@ -244,6 +272,12 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 128
+	}
+	if c.MaxGroupSize == 0 {
+		c.MaxGroupSize = c.QueueDepth
+	}
+	if c.MaxGroupSize < 1 {
+		c.MaxGroupSize = 1
 	}
 	if c.MaxRecoveries == 0 {
 		c.MaxRecoveries = 8
@@ -319,10 +353,33 @@ type ServiceStats struct {
 	ReplayedOps      uint64
 	// Checkpoints counts committed checkpoints (journal truncations).
 	Checkpoints uint64
-	// WALRecords counts journal records appended.
+	// WALRecords counts journal records appended; WALSyncs the
+	// durability barriers issued for them. Under group commit one sync
+	// covers a whole window, so WALSyncs/WALRecords is the amortization
+	// the pipeline buys (1.0 means per-op sync).
 	WALRecords uint64
+	WALSyncs   uint64
+	// Groups counts dispatch windows (coalesced or singleton) served on
+	// the healthy path; GroupedOps the requests they carried.
+	Groups     uint64
+	GroupedOps uint64
+	// GroupSizes histograms the window sizes into buckets of
+	// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65–128, and 129+ requests.
+	GroupSizes [9]uint64
 	// State is the serving state at the time of the call.
 	State ServiceState
+}
+
+// groupSizeBucket maps a window size to its GroupSizes histogram slot.
+func groupSizeBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 1
+	for top := 2; n > top && b < 8; b++ {
+		top *= 2
+	}
+	return b
 }
 
 // svcReq is one admitted operation travelling the queue.
@@ -395,7 +452,19 @@ type Service struct {
 	sinceCkpt  int
 	recoveries int    // consecutive, reset by a committed checkpoint
 	faultEpoch uint64 // derives a fresh fault seed per restore
+
+	// Group-commit scratch, reused every dispatch window so coalescing
+	// allocates nothing in steady state.
+	groupBuf []*svcReq
+	liveBuf  []*svcReq
+	recsBuf  []wal.Record
+	opsBuf   []BatchOp
+	spanBuf  []reqSpan
 }
+
+// reqSpan is one request's slice [start, end) of a group's combined
+// Device.Batch operation list.
+type reqSpan struct{ start, end int }
 
 // NewService builds the supervised service. If cfg.Checkpoints already
 // holds a checkpoint (a previous incarnation crashed), the service first
@@ -642,13 +711,15 @@ func (s *Service) deadErr() error {
 
 // run is the supervisor goroutine: it owns the device, serves the
 // admission queue, journals and applies operations, checkpoints, and
-// heals the device when it fail-stops.
+// heals the device when it fail-stops. Each iteration drains the queue
+// into one dispatch window (see gather), so a backlog is group-committed
+// instead of paying one sync per operation.
 func (s *Service) run() {
 	defer close(s.done)
 	for {
 		select {
 		case req := <-s.q:
-			if !s.serve(req) {
+			if !s.dispatch(req) {
 				s.drainKilled()
 				return
 			}
@@ -657,7 +728,7 @@ func (s *Service) run() {
 			for {
 				select {
 				case req := <-s.q:
-					if !s.serve(req) {
+					if !s.dispatch(req) {
 						s.drainKilled()
 						return
 					}
@@ -671,6 +742,319 @@ func (s *Service) run() {
 			}
 			return
 		}
+	}
+}
+
+// dispatch coalesces first with whatever else the queue holds and serves
+// the window. A window of one goes down the exact singleton path (same
+// code, same crash-hook cadence as before group commit existed); larger
+// windows take the group-commit path. Reports false when a crash
+// injection killed the service.
+func (s *Service) dispatch(first *svcReq) bool {
+	g := s.gather(first)
+	alive := true
+	if len(g) == 1 {
+		if g[0].kind != reqCheckpoint && s.State() == StateHealthy {
+			s.recordGroup(1)
+		}
+		alive = s.serve(g[0])
+	} else {
+		alive = s.serveGroup(g)
+	}
+	// The scratch backing is reused; drop request references so a window
+	// cannot pin payloads (or response channels) past its dispatch.
+	for i := range g {
+		g[i] = nil
+	}
+	return alive
+}
+
+// gather builds one dispatch window: the first request plus up to
+// MaxGroupSize-1 more drained without blocking (and, with GroupLinger,
+// waited for briefly once the queue runs dry). A checkpoint request
+// terminates the window as a trailing barrier — it commits after the
+// group it joined, never reordered before other requests. Degraded,
+// failed, and checkpoint-first requests are served alone: their paths
+// answer per request.
+func (s *Service) gather(first *svcReq) []*svcReq {
+	g := append(s.groupBuf[:0], first)
+	defer func() { s.groupBuf = g[:0] }()
+	if first.kind == reqCheckpoint || s.cfg.MaxGroupSize <= 1 || s.State() != StateHealthy {
+		return g
+	}
+	// Yield once before draining: clients admitted in the same instant as
+	// first may not have reached the queue yet (their sends readied this
+	// goroutine before their own enqueues ran — guaranteed on a single-P
+	// runtime, likely under any loaded scheduler). One scheduler pass is
+	// noise next to an ORAM access and lets a whole burst join the window.
+	runtime.Gosched()
+	for len(g) < s.cfg.MaxGroupSize {
+		select {
+		case req := <-s.q:
+			g = append(g, req)
+			if req.kind == reqCheckpoint {
+				return g
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.GroupLinger > 0 && len(g) < s.cfg.MaxGroupSize {
+		timer := time.NewTimer(s.cfg.GroupLinger)
+		defer timer.Stop()
+		for len(g) < s.cfg.MaxGroupSize {
+			select {
+			case req := <-s.q:
+				g = append(g, req)
+				if req.kind == reqCheckpoint {
+					return g
+				}
+			case <-timer.C:
+				return g
+			case <-s.closing:
+				return g
+			}
+		}
+	}
+	return g
+}
+
+// recordGroup accounts one dispatch window of n requests.
+func (s *Service) recordGroup(n int) {
+	b := groupSizeBucket(n)
+	s.bump(func(t *ServiceStats) {
+		t.Groups++
+		t.GroupedOps += uint64(n)
+		t.GroupSizes[b]++
+	})
+}
+
+// serveGroup commits one multi-request window: the active requests are
+// group-committed (one journal sync covers every write in the window,
+// one Device.Batch serves the window so Fork's scheduler merges across
+// it), then a trailing checkpoint barrier — if one closed the window —
+// commits after the group it joined.
+func (s *Service) serveGroup(g []*svcReq) bool {
+	active := g
+	var ckpt *svcReq
+	if g[len(g)-1].kind == reqCheckpoint {
+		ckpt = g[len(g)-1]
+		active = g[:len(g)-1]
+	}
+	if len(active) > 0 {
+		s.recordGroup(len(active))
+		if !s.commitGroup(active) {
+			if ckpt != nil {
+				ckpt.resp <- svcResp{err: errKilled}
+			}
+			return false
+		}
+	}
+	if ckpt != nil {
+		// serve handles every state the group may have left behind
+		// (healthy, degraded after an exhausted recovery budget, failed).
+		return s.serve(ckpt)
+	}
+	return true
+}
+
+// commitGroup is the group-commit pipeline for one window of non-
+// checkpoint requests:
+//
+//	validate each -> journal all writes in ONE frame batch -> ONE sync
+//	-> apply the whole window via ONE Device.Batch -> distribute.
+//
+// Invalid requests are answered immediately and excluded, so one
+// malformed op never poisons its neighbours. Acknowledgement keeps the
+// singleton invariant, widened to the group: a write is acked only
+// after the group's records are durable AND applied — ack ⇔ the group's
+// sync happened. Reports false when a crash injection killed the
+// service; every still-unanswered request is then answered errKilled.
+func (s *Service) commitGroup(g []*svcReq) bool {
+	live := s.liveBuf[:0]
+	recs := s.recsBuf[:0]
+	ops := s.opsBuf[:0]
+	spans := s.spanBuf[:0]
+	defer func() {
+		// The scratch is reused across windows: drop every payload and
+		// request reference so a window cannot pin client memory.
+		for i := range live {
+			live[i] = nil
+		}
+		for i := range recs {
+			recs[i].Payload = nil
+		}
+		for i := range ops {
+			ops[i].Data = nil
+		}
+		s.liveBuf, s.recsBuf = live[:0], recs[:0]
+		s.opsBuf, s.spanBuf = ops[:0], spans[:0]
+	}()
+
+	// Validate before journaling (the singleton rule, per request): a
+	// malformed op must not enter the WAL, and Device.Batch validates the
+	// combined op list wholesale, so anything invalid must be weeded out
+	// here or it would fail the entire window.
+	for _, req := range g {
+		if err := s.validateReq(req); err != nil {
+			req.resp <- svcResp{err: err}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return true
+	}
+
+	// Journal: one frame batch, one sync, covering every write in the
+	// window.
+	for _, req := range live {
+		switch req.kind {
+		case reqWrite:
+			recs = append(recs, wal.Record{Op: wal.OpWrite, Addr: req.addr, Payload: req.data})
+		case reqBatch:
+			for _, op := range req.ops {
+				if op.Write {
+					recs = append(recs, wal.Record{Op: wal.OpWrite, Addr: op.Addr, Payload: op.Data})
+				}
+			}
+		}
+	}
+	if len(recs) > 0 {
+		if err := s.log.AppendGroup(recs); err != nil {
+			return s.failGroup(live, err)
+		}
+		s.bump(func(t *ServiceStats) { t.WALRecords += uint64(len(recs)) })
+		if s.killed(CrashAfterAppend) || s.killed(CrashAfterGroupAppend) {
+			s.killGroup(live)
+			return false
+		}
+		if err := s.log.Sync(); err != nil {
+			return s.failGroup(live, err)
+		}
+		s.bump(func(t *ServiceStats) { t.WALSyncs++ })
+		if s.killed(CrashAfterSync) || s.killed(CrashAfterGroupSync) {
+			s.killGroup(live)
+			return false
+		}
+	}
+
+	// Apply: concatenate the window into one Device.Batch so the Fork
+	// scheduler's merge window spans every request in the group.
+	for _, req := range live {
+		start := len(ops)
+		switch req.kind {
+		case reqRead:
+			ops = append(ops, BatchOp{Addr: req.addr})
+		case reqWrite:
+			ops = append(ops, BatchOp{Addr: req.addr, Write: true, Data: req.data})
+		case reqBatch:
+			ops = append(ops, req.ops...)
+		}
+		spans = append(spans, reqSpan{start, len(ops)})
+	}
+	var out [][]byte
+	for len(ops) > 0 {
+		var err error
+		out, err = s.dev.Batch(ops)
+		if err == nil {
+			break
+		}
+		if s.dev.Poisoned() == nil {
+			// Unreachable by construction — every op was pre-validated —
+			// but fail the window defensively rather than panic.
+			return s.failGroup(live, err)
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				s.killGroup(live)
+				return false
+			}
+			for _, req := range live {
+				req.resp <- svcResp{err: rerr}
+			}
+			return true
+		}
+		// Recovery replayed the group's journaled writes; re-running the
+		// batch re-applies them idempotently and refreshes read results.
+	}
+	if s.killed(CrashAfterApply) {
+		s.killGroup(live)
+		return false
+	}
+
+	// Distribute by span and ack. Three-index slicing caps each batch
+	// response at its own region of the combined result, so one client
+	// appending to its result cannot reach a neighbour's.
+	muts := 0
+	for i, req := range live {
+		sp := spans[i]
+		switch req.kind {
+		case reqRead:
+			req.resp <- svcResp{data: out[sp.start]}
+			s.bump(func(t *ServiceStats) { t.Reads++ })
+		case reqWrite:
+			req.resp <- svcResp{}
+			s.bump(func(t *ServiceStats) { t.Writes++ })
+			muts++
+		case reqBatch:
+			req.resp <- svcResp{batch: out[sp.start:sp.end:sp.end]}
+			s.bump(func(t *ServiceStats) { t.Batches++ })
+			muts++
+		}
+	}
+	s.sinceCkpt += muts
+	if muts > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.commitCheckpoint(); errors.Is(err, errKilled) {
+			return false
+		}
+		// A failed periodic checkpoint is not fatal (see serve).
+	}
+	return true
+}
+
+// validateReq applies the singleton admission checks to one request
+// (mirrors serveWrite/serveBatch: nothing malformed enters the WAL).
+func (s *Service) validateReq(req *svcReq) error {
+	switch req.kind {
+	case reqRead:
+		return s.dev.checkAddr(req.addr)
+	case reqWrite:
+		if err := s.dev.checkAddr(req.addr); err != nil {
+			return err
+		}
+		if len(req.data) != s.dev.cfg.BlockSize {
+			return fmt.Errorf("forkoram: payload %d bytes, want %d", len(req.data), s.dev.cfg.BlockSize)
+		}
+	case reqBatch:
+		for i, op := range req.ops {
+			if err := s.dev.checkAddr(op.Addr); err != nil {
+				return fmt.Errorf("forkoram: batch op %d: %w", i, err)
+			}
+			if op.Write && len(op.Data) != s.dev.cfg.BlockSize {
+				return fmt.Errorf("forkoram: batch op %d: payload %d bytes, want %d",
+					i, len(op.Data), s.dev.cfg.BlockSize)
+			}
+		}
+	}
+	return nil
+}
+
+// failGroup answers every live request with err — none were acked, so
+// failing all is sound — then heals the journal exactly like the
+// singleton paths.
+func (s *Service) failGroup(live []*svcReq, err error) bool {
+	for _, req := range live {
+		req.resp <- svcResp{err: err}
+	}
+	return s.healJournal()
+}
+
+// killGroup answers every still-pending request in a killed window.
+func (s *Service) killGroup(live []*svcReq) {
+	for _, req := range live {
+		req.resp <- svcResp{err: errKilled}
 	}
 }
 
@@ -816,6 +1200,7 @@ func (s *Service) serveWrite(addr uint64, data []byte) (svcResp, bool) {
 	if err := s.log.Sync(); err != nil {
 		return svcResp{err: err}, s.healJournal()
 	}
+	s.bump(func(t *ServiceStats) { t.WALSyncs++ })
 	if s.killed(CrashAfterSync) {
 		return svcResp{}, false
 	}
@@ -871,6 +1256,7 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 		if err := s.log.Sync(); err != nil {
 			return svcResp{err: err}, s.healJournal()
 		}
+		s.bump(func(t *ServiceStats) { t.WALSyncs++ })
 		if s.killed(CrashAfterSync) {
 			return svcResp{}, false
 		}

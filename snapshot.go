@@ -475,6 +475,7 @@ func UnmarshalSnapshot(data []byte, from *Device) (*Snapshot, error) {
 	s.medium = from.store
 	s.cfg.Observer = from.cfg.Observer
 	s.cfg.Faults = from.cfg.Faults
+	s.cfg.CryptoWorkers = from.cfg.CryptoWorkers
 	return s, nil
 }
 

@@ -1,0 +1,241 @@
+package forkoram
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ServiceBenchConfig parameterizes RunServiceBench, the end-to-end
+// Service throughput benchmark: concurrent clients drive durable writes
+// through the admission queue over a real file-backed journal, once with
+// group commit enabled and once pinned to one-sync-per-op, so the
+// benefit of coalescing (fewer fsyncs per acknowledged write, wider
+// Fork merge windows) is measured rather than asserted.
+type ServiceBenchConfig struct {
+	// Blocks / BlockSize size the device (defaults 256 / 64).
+	Blocks    uint64
+	BlockSize int
+	// Clients is the number of concurrent writers (default 8). With a
+	// QueueDepth at least this large, the steady-state backlog is what
+	// the group-commit path coalesces.
+	Clients int
+	// Ops is the total acknowledged writes per run (default 2000),
+	// divided evenly among clients.
+	Ops int
+	// QueueDepth bounds the admission queue (default max(16, Clients)).
+	QueueDepth int
+	// Dir is where the journal files live ("" = a fresh temp directory,
+	// removed afterwards). Point it at the filesystem whose sync cost you
+	// care about.
+	Dir string
+	// Seed derives payloads and the device seed.
+	Seed uint64
+}
+
+func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
+	if c.Blocks == 0 {
+		c.Blocks = 256
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Ops == 0 {
+		c.Ops = 2000
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = c.Clients * 2
+	}
+	if c.QueueDepth < c.Clients {
+		c.QueueDepth = c.Clients
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5bc4
+	}
+	return c
+}
+
+// ServiceBenchRun is one measured configuration.
+type ServiceBenchRun struct {
+	Ops           int           `json:"ops"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	OpsPerSec     float64       `json:"ops_per_sec"`
+	P50Latency    time.Duration `json:"p50_latency_ns"`
+	P99Latency    time.Duration `json:"p99_latency_ns"`
+	WALSyncs      uint64        `json:"wal_syncs"`
+	WALSyncsPerOp float64       `json:"wal_syncs_per_op"`
+	Groups        uint64        `json:"groups"`
+	MeanGroupSize float64       `json:"mean_group_size"`
+	// GroupSizes histograms dispatch-window sizes: buckets 1, 2, 3–4,
+	// 5–8, 9–16, 17–32, 33–64, 65–128, 129+.
+	GroupSizes [9]uint64 `json:"group_size_hist"`
+}
+
+// ServiceBenchResult pairs the grouped run with its per-op-sync
+// baseline (MaxGroupSize=1 — the pre-group-commit pipeline).
+type ServiceBenchResult struct {
+	Grouped  ServiceBenchRun `json:"grouped"`
+	Baseline ServiceBenchRun `json:"baseline"`
+	// Speedup is Grouped.OpsPerSec / Baseline.OpsPerSec.
+	Speedup float64 `json:"speedup"`
+}
+
+// String renders the result for the CLI.
+func (r *ServiceBenchResult) String() string {
+	line := func(name string, run *ServiceBenchRun) string {
+		return fmt.Sprintf("  %-8s %9.0f ops/s, p50 %8s, p99 %8s, %.3f syncs/op, mean group %.1f\n",
+			name, run.OpsPerSec, run.P50Latency.Round(time.Microsecond),
+			run.P99Latency.Round(time.Microsecond), run.WALSyncsPerOp, run.MeanGroupSize)
+	}
+	return fmt.Sprintf("service group-commit bench (%d ops per run, file-backed journal):\n", r.Grouped.Ops) +
+		line("grouped", &r.Grouped) + line("baseline", &r.Baseline) +
+		fmt.Sprintf("  group-commit speedup: %.2fx\n", r.Speedup)
+}
+
+// RunServiceBench measures end-to-end Service write throughput over a
+// file-backed journal, grouped vs. per-op sync. Both runs use identical
+// workloads, device geometry, and journal medium; only MaxGroupSize
+// differs, so the ratio isolates what group commit buys.
+func RunServiceBench(cfg ServiceBenchConfig) (ServiceBenchResult, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "forkoram-svcbench")
+		if err != nil {
+			return ServiceBenchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	var res ServiceBenchResult
+	grouped, err := runSvcBench(cfg, filepath.Join(dir, "grouped.wal"), 0)
+	if err != nil {
+		return res, fmt.Errorf("forkoram: svc bench grouped run: %w", err)
+	}
+	baseline, err := runSvcBench(cfg, filepath.Join(dir, "baseline.wal"), 1)
+	if err != nil {
+		return res, fmt.Errorf("forkoram: svc bench baseline run: %w", err)
+	}
+	res.Grouped, res.Baseline = grouped, baseline
+	if baseline.OpsPerSec > 0 {
+		res.Speedup = grouped.OpsPerSec / baseline.OpsPerSec
+	}
+	return res, nil
+}
+
+// runSvcBench stands up one Service over a fresh file journal and times
+// the concurrent write workload through it.
+func runSvcBench(cfg ServiceBenchConfig, walPath string, maxGroup int) (ServiceBenchRun, error) {
+	var run ServiceBenchRun
+	st, err := OpenWALFile(walPath)
+	if err != nil {
+		return run, err
+	}
+	defer st.Close()
+	svc, err := NewService(ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    cfg.Blocks,
+			BlockSize: cfg.BlockSize,
+			QueueSize: 8,
+			Seed:      cfg.Seed,
+			Variant:   Fork,
+		},
+		QueueDepth: cfg.QueueDepth,
+		// Checkpoints clone the whole medium; keep them out of the timed
+		// window so both runs measure the journal-and-apply pipeline.
+		CheckpointEvery: 1 << 30,
+		MaxGroupSize:    maxGroup,
+		WAL:             st,
+		Checkpoints:     NewMemCheckpointStore(),
+	})
+	if err != nil {
+		return run, err
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	perClient := cfg.Ops / cfg.Clients
+	total := perClient * cfg.Clients
+	// Warmup: touch the device and journal once per client outside the
+	// timed window.
+	for i := 0; i < cfg.Clients; i++ {
+		if err := svc.Write(ctx, uint64(i)%cfg.Blocks, chaosPayload(cfg.BlockSize, cfg.Seed, uint64(i)+1)); err != nil {
+			return run, err
+		}
+	}
+	before := svc.Stats()
+
+	lats := make([][]time.Duration, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				n := uint64(c*perClient + i)
+				addr := (n * 2654435761) % cfg.Blocks
+				data := chaosPayload(cfg.BlockSize, cfg.Seed, n+1)
+				t0 := time.Now()
+				if err := svc.Write(ctx, addr, data); err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	run.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return run, err
+		}
+	}
+	after := svc.Stats()
+
+	all := make([]time.Duration, 0, total)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	run.Ops = total
+	if sec := run.Elapsed.Seconds(); sec > 0 {
+		run.OpsPerSec = float64(total) / sec
+	}
+	run.P50Latency = percentile(all, 50)
+	run.P99Latency = percentile(all, 99)
+	run.WALSyncs = after.WALSyncs - before.WALSyncs
+	run.WALSyncsPerOp = float64(run.WALSyncs) / float64(total)
+	run.Groups = after.Groups - before.Groups
+	if run.Groups > 0 {
+		run.MeanGroupSize = float64(after.GroupedOps-before.GroupedOps) / float64(run.Groups)
+	}
+	for i := range run.GroupSizes {
+		run.GroupSizes[i] = after.GroupSizes[i] - before.GroupSizes[i]
+	}
+	return run, nil
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank; zero for an empty slice).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}
