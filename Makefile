@@ -17,9 +17,11 @@ bench:
 	$(GO) test -bench BenchmarkAccessAllocs -benchtime 1000x ./internal/fork ./internal/pathoram
 
 # Service group-commit benchmark: concurrent clients over a file-backed
-# journal, coalesced vs. one-sync-per-op (smoke-sized for CI).
+# journal, coalesced vs. one-sync-per-op (smoke-sized for CI), single
+# then sharded.
 bench-svc:
 	$(GO) run ./cmd/orambench -svc -svc-ops 1200
+	$(GO) run ./cmd/orambench -svc -svc-ops 1200 -shards 4
 
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:
@@ -34,6 +36,7 @@ chaos:
 	$(GO) run ./cmd/forksim -faults -seed 1 -fault-schedules 1000
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 1000 -fault-rate 0.006
 	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 1000
+	$(GO) run ./cmd/forksim -crash-shards -seed 4 -crash-schedules 1000 -shards 3
 
 # Reduced-schedule campaign for CI smoke: same assertions, ~10% of the
 # schedules.
@@ -41,6 +44,7 @@ chaos-smoke:
 	$(GO) run ./cmd/forksim -faults -seed 1 -fault-schedules 100
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 100 -fault-rate 0.006
 	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 100
+	$(GO) run ./cmd/forksim -crash-shards -seed 4 -crash-schedules 100 -shards 3
 
 # Coverage-guided fuzzing of the Device against a map oracle, with and
 # without fault injection (see FuzzDeviceOps in fuzz_test.go).

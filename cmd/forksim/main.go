@@ -21,6 +21,13 @@
 //
 //	forksim -crash -seed 1 -crash-schedules 1000
 //
+// With -crash-shards, the same campaign runs against a ShardedService
+// fleet: kills land in individual shard supervisors, healthy siblings
+// are probed for reads and writes while a shard is down, and the dead
+// shard is restarted from its surviving per-shard stores:
+//
+//	forksim -crash-shards -seed 1 -crash-schedules 1000 -shards 3
+//
 // With -recover, forksim runs a self-healing demo: a Service under
 // continuous fault injection with device retries disabled, so every
 // fault poisons the device and the supervisor heals it live. It prints
@@ -74,6 +81,9 @@ func main() {
 		crash          = flag.Bool("crash", false, "run the crash-at-every-point campaign against the supervised Service")
 		crashSchedules = flag.Int("crash-schedules", 1000, "crash: independent crash schedules (each runs both variants)")
 
+		crashShards = flag.Bool("crash-shards", false, "run the per-shard crash campaign against a ShardedService fleet")
+		shards      = flag.Int("shards", 3, "crash-shards: fleet width")
+
 		recoverDemo = flag.Bool("recover", false, "run the supervised self-healing demo (faults injected, supervisor heals live)")
 		recoverOps  = flag.Int("recover-ops", 2000, "recover: client operations to drive through the healing service")
 
@@ -107,6 +117,15 @@ func main() {
 		runCrash(forkoram.CrashChaosConfig{
 			Seed:      *seed,
 			Schedules: *crashSchedules,
+			Faults:    true,
+		})
+		return
+	}
+	if *crashShards {
+		runShardedCrash(forkoram.ShardedCrashChaosConfig{
+			Seed:      *seed,
+			Schedules: *crashSchedules,
+			Shards:    *shards,
 			Faults:    true,
 		})
 		return
@@ -225,6 +244,14 @@ func runChaos(cfg forkoram.ChaosConfig) {
 
 func runCrash(cfg forkoram.CrashChaosConfig) {
 	rep := forkoram.RunCrashChaos(cfg)
+	fmt.Print(rep.String())
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func runShardedCrash(cfg forkoram.ShardedCrashChaosConfig) {
+	rep := forkoram.RunShardedCrashChaos(cfg)
 	fmt.Print(rep.String())
 	if !rep.Ok() {
 		os.Exit(1)

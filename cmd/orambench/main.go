@@ -10,6 +10,8 @@
 //	orambench -json                # also write BENCH_<date>.json
 //	orambench -paper               # Table 1 geometry (slow, memory-hungry)
 //	orambench -svc                 # only the Service group-commit bench
+//	orambench -svc -shards 8 -json # sharded fleet bench, recorded to json
+//	orambench -gomaxprocs 8        # pin the Go scheduler width for the run
 //	orambench -cpuprofile cpu.out  # profile the run for go tool pprof
 package main
 
@@ -32,7 +34,7 @@ type benchReport struct {
 	GoVersion   string             `json:"go_version"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Parallel    int                `json:"parallel"`
-	Experiments []experimentReport `json:"experiments"`
+	Experiments []experimentReport `json:"experiments,omitempty"`
 	WallSeconds float64            `json:"wall_seconds"`
 	SimRuns     uint64             `json:"sim_runs"`
 	RunsPerSec  float64            `json:"runs_per_sec"`
@@ -48,9 +50,11 @@ type benchReport struct {
 	RecoverHealsPerSec     float64 `json:"recover_heals_per_sec"`
 	RecoverReplayOpsPerSec float64 `json:"recover_replay_ops_per_sec"`
 	// Service group-commit bench (see RunServiceBench): end-to-end write
-	// throughput over a file-backed journal with coalescing on vs. pinned
+	// throughput over file-backed journals with coalescing on vs. pinned
 	// to one sync per op, plus latency percentiles and the dispatch-
-	// window shape the coalescer achieved.
+	// window shape the coalescer achieved. SvcShards is the fleet width
+	// the run used (1 = single supervised Service).
+	SvcShards             int       `json:"svc_shards"`
 	SvcOpsPerSec          float64   `json:"svc_ops_per_sec"`
 	SvcBaselineOpsPerSec  float64   `json:"svc_baseline_ops_per_sec"`
 	SvcGroupCommitSpeedup float64   `json:"svc_group_commit_speedup"`
@@ -69,6 +73,34 @@ type experimentReport struct {
 	Error   string  `json:"error,omitempty"`
 }
 
+// fillSvc copies a Service bench result into the report's svc_* fields.
+func (r *benchReport) fillSvc(res forkoram.ServiceBenchResult) {
+	r.SvcShards = res.Shards
+	r.SvcOpsPerSec = res.Grouped.OpsPerSec
+	r.SvcBaselineOpsPerSec = res.Baseline.OpsPerSec
+	r.SvcGroupCommitSpeedup = res.Speedup
+	r.SvcP50LatencyNS = res.Grouped.P50Latency.Nanoseconds()
+	r.SvcP99LatencyNS = res.Grouped.P99Latency.Nanoseconds()
+	r.WALSyncsPerOp = res.Grouped.WALSyncsPerOp
+	r.WALSyncsPerOpBaseline = res.Baseline.WALSyncsPerOp
+	r.SvcMeanGroupSize = res.Grouped.MeanGroupSize
+	r.SvcGroupSizeHist = res.Grouped.GroupSizes
+}
+
+// writeReport writes the BENCH_<date>.json perf record.
+func writeReport(rep benchReport) {
+	path := fmt.Sprintf("BENCH_%s.json", rep.Date)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orambench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "one experiment name (default: all)")
@@ -82,6 +114,8 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment names")
 		svcOnly    = flag.Bool("svc", false, "run only the Service group-commit benchmark")
 		svcOps     = flag.Int("svc-ops", 2000, "Service bench: acknowledged writes per run")
+		shards     = flag.Int("shards", 1, "Service bench: ShardedService fleet width (1 = plain Service)")
+		maxProcs   = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the whole run (0 = leave default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -92,6 +126,9 @@ func main() {
 			fmt.Println(e)
 		}
 		return
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
 	}
 	stopCPU, err := prof.StartCPU(*cpuProfile)
 	if err != nil {
@@ -105,13 +142,25 @@ func main() {
 		}
 	}()
 
+	svcCfg := forkoram.ServiceBenchConfig{Ops: *svcOps, Shards: *shards, Seed: *seed}
 	if *svcOnly {
-		res, err := forkoram.RunServiceBench(forkoram.ServiceBenchConfig{Ops: *svcOps, Seed: *seed})
+		start := time.Now()
+		res, err := forkoram.RunServiceBench(svcCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orambench: svc bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(res.String())
+		if *jsonOut {
+			rep := benchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			rep.fillSvc(res)
+			writeReport(rep)
+		}
 		return
 	}
 	o := forkoram.ExperimentOptions{
@@ -163,7 +212,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orambench: recovery probe: %v\n", err)
 		}
-		svcRes, err := forkoram.RunServiceBench(forkoram.ServiceBenchConfig{Ops: *svcOps, Seed: *seed})
+		svcRes, err := forkoram.RunServiceBench(svcCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orambench: svc bench: %v\n", err)
 		} else {
@@ -184,27 +233,9 @@ func main() {
 
 			RecoverHealsPerSec:     heals,
 			RecoverReplayOpsPerSec: replay,
-
-			SvcOpsPerSec:          svcRes.Grouped.OpsPerSec,
-			SvcBaselineOpsPerSec:  svcRes.Baseline.OpsPerSec,
-			SvcGroupCommitSpeedup: svcRes.Speedup,
-			SvcP50LatencyNS:       svcRes.Grouped.P50Latency.Nanoseconds(),
-			SvcP99LatencyNS:       svcRes.Grouped.P99Latency.Nanoseconds(),
-			WALSyncsPerOp:         svcRes.Grouped.WALSyncsPerOp,
-			WALSyncsPerOpBaseline: svcRes.Baseline.WALSyncsPerOp,
-			SvcMeanGroupSize:      svcRes.Grouped.MeanGroupSize,
-			SvcGroupSizeHist:      svcRes.Grouped.GroupSizes,
 		}
-		path := fmt.Sprintf("BENCH_%s.json", rep.Date)
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "orambench: writing %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", path)
+		rep.fillSvc(svcRes)
+		writeReport(rep)
 	}
 
 	if len(failed) > 0 {

@@ -139,6 +139,65 @@ func matchSeq(got, want []tree.Node, onChip func(n tree.Node) bool) error {
 	return nil
 }
 
+// Fleet monitors a statically sharded deployment: one Monitor per
+// shard, each observing only its own shard's bus. The shard an access
+// lands on is public by design (the addr→shard map is a fixed function
+// of the address, declared public like the request count), so the
+// security argument decomposes: each shard's trace must independently
+// satisfy the single-ORAM properties — uniform labels over the shard's
+// own leaves, Fork-consistent read/write suffixes — and nothing about
+// the trace of one shard may depend on another's secret accesses,
+// which per-shard consistency certifies (each trace is a deterministic
+// image of its own public label sequence).
+type Fleet struct {
+	ms []*Monitor
+}
+
+// NewFleet creates one monitor per shard geometry (shard trees may
+// differ in size when the address space does not divide evenly).
+func NewFleet(trees []tree.Tree) *Fleet {
+	f := &Fleet{ms: make([]*Monitor, len(trees))}
+	for i, tr := range trees {
+		f.ms[i] = NewMonitor(tr)
+	}
+	return f
+}
+
+// Shard returns shard i's monitor, for wiring an Observer to it.
+func (f *Fleet) Shard(i int) *Monitor { return f.ms[i] }
+
+// Len returns the total number of observations across all shards.
+func (f *Fleet) Len() int {
+	n := 0
+	for _, m := range f.ms {
+		n += m.Len()
+	}
+	return n
+}
+
+// CheckForkConsistency verifies every shard's trace independently: each
+// must be the deterministic image of its own label sequence under Fork
+// Path semantics. A failure names the offending shard.
+func (f *Fleet) CheckForkConsistency(onChip func(n tree.Node) bool) error {
+	for i, m := range f.ms {
+		if err := m.CheckForkConsistency(onChip); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckLabelUniformity runs the chi-square uniformity test per shard,
+// against each shard's own leaf range.
+func (f *Fleet) CheckLabelUniformity(cells int) error {
+	for i, m := range f.ms {
+		if err := m.CheckLabelUniformity(cells); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // OverlapHistogram returns the distribution of overlap degrees between
 // consecutive revealed labels — the public quantity scheduling maximizes.
 func (m *Monitor) OverlapHistogram() *stats.Histogram {

@@ -2,6 +2,7 @@ package adversary
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"forkoram/internal/block"
@@ -225,5 +226,68 @@ func TestNoDummyReplacementStillUniform(t *testing.T) {
 	}
 	if err := mon.CheckForkConsistency(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFleetPerShardChecksPass(t *testing.T) {
+	// Two shards with different tree sizes (uneven partition), each
+	// driven by its own engine over its own secret pattern: every
+	// per-shard trace must independently pass both checks.
+	ms := []*Monitor{
+		runEngine(t, 12, 4000, 11, func(i int) uint64 { return uint64(i) % 400 }),
+		runEngine(t, 11, 4000, 12, func(i int) uint64 { return 3 }),
+	}
+	fleet := NewFleet([]tree.Tree{tree.MustNew(12), tree.MustNew(11)})
+	for i, m := range ms {
+		for _, o := range m.obs {
+			fleet.Shard(i).Observe(o)
+		}
+	}
+	if fleet.Len() != 8000 {
+		t.Fatalf("fleet observed %d accesses, want 8000", fleet.Len())
+	}
+	if err := fleet.CheckForkConsistency(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.CheckLabelUniformity(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetNamesOffendingShardOnBrokenTrace(t *testing.T) {
+	// Shard 0 carries a valid trace, shard 1 a corrupted one: the fleet
+	// check must fail AND name shard 1.
+	good := runEngine(t, 10, 600, 13, func(i int) uint64 { return uint64(i*7) % 200 })
+	tr := tree.MustNew(6)
+	fleet := NewFleet([]tree.Tree{tree.MustNew(10), tr})
+	for _, o := range good.obs {
+		fleet.Shard(0).Observe(o)
+	}
+	fleet.Shard(1).Observe(Observation{Label: 9, ReadNodes: tr.Path(9, nil)})
+	fleet.Shard(1).Observe(Observation{Label: 9, ReadNodes: []tree.Node{1}}) // off-path read
+	err := fleet.CheckForkConsistency(nil)
+	if err == nil {
+		t.Fatal("fleet passed with a corrupted shard trace")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("error does not name the offending shard: %v", err)
+	}
+}
+
+func TestFleetNamesOffendingShardOnSkewedLabels(t *testing.T) {
+	uniform := runEngine(t, 10, 2000, 14, func(i int) uint64 { return uint64(i) % 300 })
+	fleet := NewFleet([]tree.Tree{tree.MustNew(10), tree.MustNew(10)})
+	for _, o := range uniform.obs {
+		fleet.Shard(0).Observe(o)
+	}
+	for i := 0; i < 2000; i++ {
+		fleet.Shard(1).Observe(Observation{Label: tree.Label(i % 3)}) // skewed
+	}
+	err := fleet.CheckLabelUniformity(16)
+	if err == nil {
+		t.Fatal("fleet passed with skewed labels on one shard")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("error does not name the offending shard: %v", err)
 	}
 }

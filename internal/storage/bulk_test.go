@@ -186,3 +186,116 @@ func TestBulkCorruptionSurfaces(t *testing.T) {
 		t.Fatalf("corruption surfaced as %v, want ErrCorrupt", err)
 	}
 }
+
+// TestBulkCutoffBoundary pins the serial-vs-parallel decision at the
+// exact bulkMinBytes edge: one bucket below the cutoff stays serial, the
+// exact cutoff fans out, SetBulkWorkers(1) pins serial at any volume,
+// and a single bucket never fans out. Both sides of the edge then
+// round-trip real payloads to show the branch choice is behaviorally
+// invisible.
+func TestBulkCutoffBoundary(t *testing.T) {
+	// Geometry whose bucket size divides the cutoff exactly: Z=4 blocks
+	// of 48-byte payload → 256-byte buckets, 16 of which are 4096 bytes.
+	geo := block.Geometry{Z: 4, PayloadSize: 48}
+	old := bulkMinBytes
+	bulkMinBytes = 16 * geo.BucketSize()
+	t.Cleanup(func() { bulkMinBytes = old })
+
+	newM := func() *Mem {
+		m, err := NewMem(tree.MustNew(4), geo, make([]byte, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := newM()
+	if m.bulkParallel(15) {
+		t.Fatal("one bucket below the cutoff took the parallel branch")
+	}
+	if !m.bulkParallel(16) {
+		t.Fatal("a call exactly at the cutoff stayed serial")
+	}
+	m.SetBulkWorkers(1)
+	if m.bulkParallel(32) {
+		t.Fatal("bulkWorkers=1 still fanned out")
+	}
+	m.SetBulkWorkers(0)
+	bulkMinBytes = 0
+	if m.bulkParallel(1) {
+		t.Fatal("a single bucket fanned out")
+	}
+	bulkMinBytes = 16 * geo.BucketSize()
+
+	// Behavioral check on both sides of the edge.
+	for _, n := range []int{15, 16} {
+		m := newM()
+		ns := make([]tree.Node, n)
+		bks := make([]block.Bucket, n)
+		for i := range ns {
+			ns[i] = tree.Node(i)
+			data := bytes.Repeat([]byte{byte(i + 1)}, geo.PayloadSize)
+			bks[i] = block.Bucket{Blocks: []block.Block{
+				{Addr: uint64(200 + i), Label: uint64(i) % m.tr.Leaves(), Data: data},
+			}}
+		}
+		if err := m.WriteBuckets(ns, bks); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		out := make([]block.Bucket, n)
+		if err := m.ReadBuckets(ns, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range ns {
+			if err := sameBucket(out[i], bks[i]); err != nil {
+				t.Fatalf("n=%d node %d: %v", n, ns[i], err)
+			}
+		}
+	}
+}
+
+// TestBulkWorkersOneMatchesPerBucketPath: with the volume cutoff forced
+// off, SetBulkWorkers(1) must make bulk calls behave exactly like the
+// per-bucket methods. Equivalence is checked on decoded plaintext —
+// ciphertexts are nonce-randomized, so byte-comparing the medium would
+// be meaningless.
+func TestBulkWorkersOneMatchesPerBucketPath(t *testing.T) {
+	forceBulkParallel(t) // only the workers==1 guard keeps these serial
+	solo, ref := newMem(t), newMem(t)
+	solo.SetBulkWorkers(1)
+	ns := []tree.Node{1, 2, 8, 19, 30}
+	for round := byte(1); round <= 2; round++ { // overwrite round reuses slots
+		bks := make([]block.Bucket, len(ns))
+		for i, n := range ns {
+			bks[i] = testBucket(uint64(50+i), uint64(n)%solo.tr.Leaves(), round+byte(i))
+			if err := ref.WriteBucket(n, &bks[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := solo.WriteBuckets(ns, bks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]block.Bucket, len(ns))
+	if err := solo.ReadBuckets(ns, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		want, err := ref.ReadBucket(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameBucket(out[i], want); err != nil {
+			t.Fatalf("bulk-serial read of node %d: %v", n, err)
+		}
+		got, err := solo.ReadBucket(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameBucket(got, want); err != nil {
+			t.Fatalf("singleton read off bulk-serial medium, node %d: %v", n, err)
+		}
+	}
+	if c := solo.Counters(); c.BucketWrites != uint64(2*len(ns)) {
+		t.Fatalf("bulk-serial writes counted %d, want %d", c.BucketWrites, 2*len(ns))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"testing"
@@ -533,5 +534,111 @@ func TestWALReplayIdempotence(t *testing.T) {
 	}
 	if err := s2.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCloseVsCommitRace(t *testing.T) {
+	// Regression for the Close-vs-commit window: Writes racing Close must
+	// each either be acknowledged AND durable across a reopen from the
+	// same journal + checkpoint stores, or be rejected with ErrClosed.
+	// An acked-then-dropped write or an ack issued after Close returned
+	// are both violations. Each writer owns one address and writes
+	// strictly increasing versions, so "last acked payload" is exact.
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	const writers = 4
+	payload := func(w, v int) []byte {
+		return chaosPayload(16, 0xc105e, uint64(w)<<32|uint64(v))
+	}
+	for round := 0; round < rounds; round++ {
+		walStore := wal.NewMemStore()
+		cks := NewMemCheckpointStore()
+		cfg := ServiceConfig{
+			Device: DeviceConfig{
+				Blocks:    16,
+				BlockSize: 16,
+				QueueSize: 4,
+				Seed:      uint64(round + 1),
+				Variant:   Fork,
+			},
+			QueueDepth:      writers * 2,
+			CheckpointEvery: 5, // commits land mid-race, not just at Close
+			WAL:             walStore,
+			Checkpoints:     cks,
+		}
+		svc, err := NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+
+		lastAcked := make([]int, writers) // 0 = none acked
+		var closeReturned atomic.Bool
+		var wg sync.WaitGroup
+		errCh := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for v := 1; ; v++ {
+					sawClose := closeReturned.Load()
+					err := svc.Write(ctx, uint64(w), payload(w, v))
+					if err == nil {
+						if sawClose {
+							errCh <- fmt.Errorf("round %d writer %d: ack after Close returned", round, w)
+							return
+						}
+						lastAcked[w] = v
+						continue
+					}
+					if !errors.Is(err, ErrClosed) {
+						errCh <- fmt.Errorf("round %d writer %d: %w", round, w, err)
+					}
+					return
+				}
+			}(w)
+		}
+		// Let the race develop for a moment, then close concurrently.
+		for i := 0; i < round%7; i++ {
+			runtime.Gosched()
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		closeReturned.Store(true)
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		// Post-close admission is rejected, not silently dropped.
+		if err := svc.Write(ctx, 0, payload(0, 1<<20)); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: post-close write returned %v, want ErrClosed", round, err)
+		}
+
+		// Reopen from the surviving stores: every acked write is there.
+		rcfg := cfg
+		svc2, err := NewService(rcfg)
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		for w := 0; w < writers; w++ {
+			if lastAcked[w] == 0 {
+				continue
+			}
+			got, err := svc2.Read(ctx, uint64(w))
+			if err != nil {
+				t.Fatalf("round %d: read back writer %d: %v", round, w, err)
+			}
+			if want := payload(w, lastAcked[w]); !bytes.Equal(got, want) {
+				t.Fatalf("round %d: writer %d acked v%d but reopen shows different data (lost acked write)",
+					round, w, lastAcked[w])
+			}
+		}
+		if err := svc2.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

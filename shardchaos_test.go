@@ -1,0 +1,44 @@
+package forkoram
+
+import "testing"
+
+// TestShardedCrashChaosReduced runs a reduced per-shard crash campaign
+// in the normal test suite; `make chaos` / forksim -crash-shards run
+// the full 1000-schedule one.
+func TestShardedCrashChaosReduced(t *testing.T) {
+	rep := RunShardedCrashChaos(ShardedCrashChaosConfig{Seed: 0x5a4d, Schedules: 25, Faults: true})
+	t.Logf("\n%s", rep.String())
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("campaign injected no crashes")
+	}
+	if rep.LostAcks != 0 || rep.SilentCorruptions != 0 {
+		t.Fatalf("lost acks %d, silent corruptions %d", rep.LostAcks, rep.SilentCorruptions)
+	}
+	if rep.DownEvents == 0 || rep.SiblingReads == 0 || rep.SiblingWrites == 0 {
+		t.Fatalf("isolation property never exercised: %d down events, %d sibling reads, %d sibling writes",
+			rep.DownEvents, rep.SiblingReads, rep.SiblingWrites)
+	}
+}
+
+// TestShardedCrashChaosKillsEveryShard checks a moderately sized
+// campaign kills every shard index at least once — otherwise the
+// per-shard claim silently degrades to "kills shard 0".
+func TestShardedCrashChaosKillsEveryShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a larger campaign")
+	}
+	rep := RunShardedCrashChaos(ShardedCrashChaosConfig{Seed: 0xfeed5, Schedules: 80, Faults: true})
+	if !rep.Ok() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	for i, n := range rep.ShardKills {
+		if n == 0 {
+			t.Errorf("shard %d never killed (kills: %v)", i, rep.ShardKills)
+		}
+	}
+}

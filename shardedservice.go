@@ -1,0 +1,468 @@
+package forkoram
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"forkoram/internal/rng"
+)
+
+// ErrShardDown marks operations refused because they route to a shard
+// whose supervisor has exited (crash-injected death in the chaos
+// harness, or a fail-stop that was never restarted). Sibling shards
+// keep serving their slices of the address space; RestartShard brings
+// the dead shard back from its durable stores.
+var ErrShardDown = errors.New("forkoram: shard down (supervisor exited)")
+
+// ShardedServiceConfig configures a ShardedService: S independent
+// supervised Service stacks behind an address-partitioning router.
+type ShardedServiceConfig struct {
+	// Shards is the number of partitions (default 1). Must not exceed
+	// Service.Device.Blocks — every shard owns at least one block.
+	Shards int
+	// Service is the per-shard template. Device.Blocks sizes the GLOBAL
+	// address space; the router splits it into per-shard devices of
+	// ~Blocks/Shards blocks each. Device.Seed derives a distinct label
+	// stream per shard; WAL and Checkpoints MUST be nil in the template
+	// (each shard needs its own stores — install them via PerShard).
+	Service ServiceConfig
+	// PerShard, when set, customizes one shard's config after the router
+	// has derived it (blocks, seed) and before the shard Service is
+	// built: install per-shard WAL/checkpoint stores, an Observer, a
+	// fault schedule. The config is the shard's own copy; mutate freely.
+	PerShard func(shard int, cfg *ServiceConfig)
+}
+
+// Validate checks the sharded configuration.
+func (c ShardedServiceConfig) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("forkoram: Shards must be positive")
+	}
+	s := c.Shards
+	if s == 0 {
+		s = 1
+	}
+	if uint64(s) > c.Service.Device.Blocks {
+		return fmt.Errorf("forkoram: %d shards over %d blocks (every shard needs at least one block)",
+			s, c.Service.Device.Blocks)
+	}
+	if c.Service.WAL != nil || c.Service.Checkpoints != nil {
+		return fmt.Errorf("forkoram: template WAL/Checkpoints must be nil (per-shard stores go through PerShard)")
+	}
+	return nil
+}
+
+// ShardStats is one shard's slice of a ShardedStats breakdown.
+type ShardStats struct {
+	// Shard is the partition index; Blocks the number of global
+	// addresses it owns (addr with addr % Shards == Shard).
+	Shard  int
+	Blocks uint64
+	// Stats is the shard Service's own counters, State included.
+	Stats ServiceStats
+}
+
+// ShardedStats aggregates a ShardedService: summed counters, a
+// router-level state summary, and the per-shard breakdown.
+type ShardedStats struct {
+	Shards int
+	// Total sums every shard's counters. Total.State is the router
+	// state: Healthy only when every shard is healthy, Closed/Failed
+	// only when every shard is, Degraded otherwise — a single impaired
+	// shard degrades only its residue class of the address space, and
+	// the summary says so without hiding it.
+	Total ServiceStats
+	// Healthy/Degraded/Failed/Closed/Down count shards per state (Down
+	// covers supervisors that exited outside an orderly Close).
+	Healthy, Degraded, Failed, Closed, Down int
+	// PerShard is the per-shard breakdown, indexed by shard.
+	PerShard []ShardStats
+}
+
+// ShardedService is a goroutine-safe front door over S independent
+// Service stacks (Device + fork scheduler + WAL + checkpoints +
+// supervisor), statically partitioning the logical address space:
+// global address a lives on shard a % S, as local address a / S.
+//
+// Routing invariant: the addr→shard map is a fixed public function of
+// the address alone — never of the data, the access history, or any
+// secret — so an adversary watching which shard serves a request learns
+// exactly the residue class of the address, which the deployment
+// declares public (the same way the total request count is public), and
+// nothing else: within a shard the access sequence is a full Fork Path
+// trace over that shard's own tree, carrying the usual guarantees.
+//
+// Failure isolation: each shard keeps its own group-commit pipeline,
+// journal, checkpoint cadence, recovery loop, and fault epoch. A
+// poisoned or recovering shard degrades only its slice of the address
+// space; siblings keep serving theirs. A shard whose supervisor exited
+// entirely answers ErrShardDown until RestartShard cold-starts it from
+// its durable stores.
+//
+// Durability: acknowledgement is per shard and means exactly what a
+// single Service's ack means — the write is durable in THAT shard's
+// journal and applied to THAT shard's device. A cross-shard Batch is
+// validated all-or-nothing before any shard is touched, but commits
+// per shard: on a mid-batch shard failure the error reports the batch
+// as failed while writes on surviving shards may already be durably
+// applied (resolve by re-reading, exactly like any in-flight write).
+type ShardedService struct {
+	shards    int
+	blocks    uint64
+	blockSize int
+
+	mu   sync.RWMutex // guards svcs slice swaps (RestartShard)
+	svcs []*Service
+	cfgs []ServiceConfig // materialized per-shard configs, for RestartShard
+}
+
+// NewShardedService builds S supervised shards behind the router. Each
+// shard's config is derived from the template: Device.Blocks becomes
+// the shard's share of the global space, Device.Seed is re-derived per
+// shard (distinct label streams), and nil WAL/Checkpoints default to
+// fresh in-memory stores that the router retains for RestartShard.
+func NewShardedService(cfg ShardedServiceConfig) (*ShardedService, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Service.Device.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.Shards
+	if s == 0 {
+		s = 1
+	}
+	r := &ShardedService{
+		shards:    s,
+		blocks:    cfg.Service.Device.Blocks,
+		blockSize: cfg.Service.Device.withDefaults().BlockSize,
+		svcs:      make([]*Service, s),
+		cfgs:      make([]ServiceConfig, s),
+	}
+	for i := 0; i < s; i++ {
+		sc := cfg.Service
+		sc.Device.Blocks = shardBlocks(r.blocks, s, i)
+		if s > 1 {
+			// Distinct per-shard label/engine randomness, deterministically
+			// derived so a fixed template seed still reproduces the fleet.
+			sc.Device.Seed = rng.SeedAt(sc.Device.Seed, 3000+uint64(i))
+			if sc.Device.Faults != nil {
+				fc := *sc.Device.Faults
+				fc.Seed = rng.SeedAt(fc.Seed, 4000+uint64(i))
+				sc.Device.Faults = &fc
+			}
+		}
+		if cfg.PerShard != nil {
+			cfg.PerShard(i, &sc)
+		}
+		// Materialize the stores now: withDefaults inside NewService would
+		// otherwise create them anonymously and RestartShard could never
+		// find the shard's surviving journal again.
+		if sc.WAL == nil {
+			sc.WAL = NewWALMemStore()
+		}
+		if sc.Checkpoints == nil {
+			sc.Checkpoints = NewMemCheckpointStore()
+		}
+		r.cfgs[i] = sc
+		svc, err := NewService(sc)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				r.svcs[j].Close()
+			}
+			return nil, fmt.Errorf("forkoram: shard %d: %w", i, err)
+		}
+		r.svcs[i] = svc
+	}
+	return r, nil
+}
+
+// shardBlocks returns how many global addresses land on shard i under
+// addr % shards striping of blocks addresses.
+func shardBlocks(blocks uint64, shards, i int) uint64 {
+	return (blocks + uint64(shards) - 1 - uint64(i)) / uint64(shards)
+}
+
+// Shards returns the shard count.
+func (r *ShardedService) Shards() int { return r.shards }
+
+// Blocks returns the global address-space size.
+func (r *ShardedService) Blocks() uint64 { return r.blocks }
+
+// ShardOf returns the shard serving global address addr — the routing
+// function, exported because it is public information by design.
+func (r *ShardedService) ShardOf(addr uint64) int {
+	return int(addr % uint64(r.shards))
+}
+
+// route splits a global address into (shard Service, local address).
+func (r *ShardedService) route(addr uint64) (*Service, uint64) {
+	r.mu.RLock()
+	svc := r.svcs[addr%uint64(r.shards)]
+	r.mu.RUnlock()
+	return svc, addr / uint64(r.shards)
+}
+
+// shard returns the current Service of one shard.
+func (r *ShardedService) shard(i int) *Service {
+	r.mu.RLock()
+	svc := r.svcs[i]
+	r.mu.RUnlock()
+	return svc
+}
+
+// checkAddr validates a global address at the router, so out-of-range
+// requests fail identically regardless of which shard they would hash
+// to (and before touching any shard).
+func (r *ShardedService) checkAddr(addr uint64) error {
+	if addr >= r.blocks {
+		return fmt.Errorf("forkoram: address %d out of range (blocks=%d)", addr, r.blocks)
+	}
+	return nil
+}
+
+// Read returns the contents of the global block at addr, served by its
+// shard. Safe for concurrent use; concurrency across shards is real
+// parallelism (independent supervisors, devices, and journals).
+func (r *ShardedService) Read(ctx context.Context, addr uint64) ([]byte, error) {
+	if err := r.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	svc, local := r.route(addr)
+	out, err := svc.Read(ctx, local)
+	return out, r.shardErr(addr, err)
+}
+
+// Write durably replaces the global block at addr with data (exactly
+// BlockSize bytes), with the single-Service ack contract applied to the
+// owning shard: nil means journaled durably and applied there.
+func (r *ShardedService) Write(ctx context.Context, addr uint64, data []byte) error {
+	if err := r.checkAddr(addr); err != nil {
+		return err
+	}
+	if len(data) != r.blockSize {
+		return fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), r.blockSize)
+	}
+	svc, local := r.route(addr)
+	return r.shardErr(addr, svc.Write(ctx, local, data))
+}
+
+// shardErr annotates a shard-death error with the shard that owns addr;
+// other errors pass through untouched.
+func (r *ShardedService) shardErr(addr uint64, err error) error {
+	if err != nil && errors.Is(err, errKilled) {
+		return fmt.Errorf("forkoram: shard %d: %w (%w)", r.ShardOf(addr), ErrShardDown, err)
+	}
+	return err
+}
+
+// shardSpan is one shard's slice of a cross-shard batch: the sub-ops
+// routed to it and, per sub-op, its position in the caller's op list.
+type shardSpan struct {
+	ops []BatchOp
+	pos []int
+}
+
+// Batch executes ops across shards: validated all-or-nothing at the
+// router (no shard is touched if any op is malformed), split by the
+// routing function with per-shard order preserved, fanned out to every
+// involved shard concurrently, and fanned back positionally. Each
+// shard's sub-batch keeps the full single-Service batch semantics
+// (group commit, Fork merge window, per-shard durability of writes).
+//
+// A nil error means every shard acknowledged its sub-batch. On error,
+// sub-batches on shards that did not fail may have been durably applied
+// — the per-shard ack contract; re-read to resolve, as with any write
+// left in flight by a failure.
+func (r *ShardedService) Batch(ctx context.Context, ops []BatchOp) ([][]byte, error) {
+	for i, op := range ops {
+		if err := r.checkAddr(op.Addr); err != nil {
+			return nil, fmt.Errorf("forkoram: batch op %d: %w", i, err)
+		}
+		if op.Write && len(op.Data) != r.blockSize {
+			return nil, fmt.Errorf("forkoram: batch op %d: payload %d bytes, want %d",
+				i, len(op.Data), r.blockSize)
+		}
+	}
+	if len(ops) == 0 {
+		return [][]byte{}, nil
+	}
+	spans := make(map[int]*shardSpan)
+	for i, op := range ops {
+		sh := r.ShardOf(op.Addr)
+		sp := spans[sh]
+		if sp == nil {
+			sp = &shardSpan{}
+			spans[sh] = sp
+		}
+		local := op
+		local.Addr = op.Addr / uint64(r.shards)
+		sp.ops = append(sp.ops, local)
+		sp.pos = append(sp.pos, i)
+	}
+	results := make([][]byte, len(ops))
+	if len(spans) == 1 {
+		// Single-shard batch: serve on the caller's goroutine.
+		for sh, sp := range spans {
+			out, err := r.shard(sh).Batch(ctx, sp.ops)
+			if err != nil {
+				return nil, r.wrapShard(sh, err)
+			}
+			for j, p := range sp.pos {
+				results[p] = out[j]
+			}
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, r.shards)
+	for sh, sp := range spans {
+		wg.Add(1)
+		go func(sh int, sp *shardSpan) {
+			defer wg.Done()
+			out, err := r.shard(sh).Batch(ctx, sp.ops)
+			if err != nil {
+				errs[sh] = r.wrapShard(sh, err)
+				return
+			}
+			for j, p := range sp.pos {
+				results[p] = out[j]
+			}
+		}(sh, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// wrapShard annotates a shard-local error with its shard index.
+func (r *ShardedService) wrapShard(sh int, err error) error {
+	if errors.Is(err, errKilled) {
+		return fmt.Errorf("forkoram: shard %d: %w (%w)", sh, ErrShardDown, err)
+	}
+	return fmt.Errorf("forkoram: shard %d: %w", sh, err)
+}
+
+// Checkpoint forces a checkpoint on every shard concurrently, each
+// quiescing and truncating its own journal. The first failure is
+// returned; other shards' checkpoints still commit.
+func (r *ShardedService) Checkpoint(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, r.shards)
+	for i := 0; i < r.shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := r.shard(i).Checkpoint(ctx); err != nil {
+				errs[i] = r.wrapShard(i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RestartShard cold-starts shard i from its durable stores (journal +
+// checkpoint), replacing the previous incarnation — the path back to
+// full service after a shard fail-stopped or its supervisor died. The
+// old incarnation is closed first (a no-op if it already exited); every
+// acknowledged write on the shard survives, by the single-Service
+// recovery contract. Safe to call concurrently with traffic: requests
+// racing the swap land on one incarnation or the other.
+func (r *ShardedService) RestartShard(i int) error {
+	if i < 0 || i >= r.shards {
+		return fmt.Errorf("forkoram: shard %d out of range (shards=%d)", i, r.shards)
+	}
+	old := r.shard(i)
+	old.Close()
+	svc, err := NewService(r.cfgs[i])
+	if err != nil {
+		return fmt.Errorf("forkoram: shard %d restart: %w", i, err)
+	}
+	r.mu.Lock()
+	r.svcs[i] = svc
+	r.mu.Unlock()
+	return nil
+}
+
+// Close stops every shard concurrently (drain, final checkpoint,
+// supervisor shutdown) and returns the joined per-shard errors.
+func (r *ShardedService) Close() error {
+	var wg sync.WaitGroup
+	errs := make([]error, r.shards)
+	for i := 0; i < r.shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := r.shard(i).Close(); err != nil {
+				errs[i] = r.wrapShard(i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// State returns the router-level state summary (see ShardedStats.Total).
+func (r *ShardedService) State() ServiceState {
+	return r.Stats().Total.State
+}
+
+// Stats snapshots every shard and aggregates.
+func (r *ShardedService) Stats() ShardedStats {
+	st := ShardedStats{Shards: r.shards, PerShard: make([]ShardStats, r.shards)}
+	for i := 0; i < r.shards; i++ {
+		svc := r.shard(i)
+		ss := svc.Stats()
+		st.PerShard[i] = ShardStats{Shard: i, Blocks: shardBlocks(r.blocks, r.shards, i), Stats: ss}
+		addStats(&st.Total, &ss)
+		switch ss.State {
+		case StateHealthy:
+			st.Healthy++
+		case StateDegraded:
+			st.Degraded++
+		case StateFailed:
+			st.Failed++
+		case StateClosed:
+			st.Closed++
+		default:
+			st.Down++
+		}
+	}
+	switch {
+	case st.Healthy == r.shards:
+		st.Total.State = StateHealthy
+	case st.Closed == r.shards:
+		st.Total.State = StateClosed
+	case st.Failed+st.Down == r.shards:
+		st.Total.State = StateFailed
+	default:
+		st.Total.State = StateDegraded
+	}
+	return st
+}
+
+// addStats folds one shard's counters into an aggregate.
+func addStats(dst, src *ServiceStats) {
+	dst.Reads += src.Reads
+	dst.Writes += src.Writes
+	dst.Batches += src.Batches
+	dst.Overloaded += src.Overloaded
+	dst.Recoveries += src.Recoveries
+	dst.FailedRecoveries += src.FailedRecoveries
+	dst.ReplayedOps += src.ReplayedOps
+	dst.Checkpoints += src.Checkpoints
+	dst.WALRecords += src.WALRecords
+	dst.WALSyncs += src.WALSyncs
+	dst.Groups += src.Groups
+	dst.GroupedOps += src.GroupedOps
+	for i := range dst.GroupSizes {
+		dst.GroupSizes[i] += src.GroupSizes[i]
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"forkoram/internal/wal"
 )
 
 // ServiceBenchConfig parameterizes RunServiceBench, the end-to-end
@@ -29,6 +31,11 @@ type ServiceBenchConfig struct {
 	Ops int
 	// QueueDepth bounds the admission queue (default max(16, Clients)).
 	QueueDepth int
+	// Shards runs the workload through a ShardedService of this width
+	// (default 1 = the plain single-Service pipeline). Each shard gets
+	// its own file-backed journal; addresses stripe across shards, so
+	// with enough cores the shard pipelines run in true parallel.
+	Shards int
 	// Dir is where the journal files live ("" = a fresh temp directory,
 	// removed afterwards). Point it at the filesystem whose sync cost you
 	// care about.
@@ -56,6 +63,9 @@ func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
 	if c.QueueDepth < c.Clients {
 		c.QueueDepth = c.Clients
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.Seed == 0 {
 		c.Seed = 0x5bc4
 	}
@@ -81,6 +91,8 @@ type ServiceBenchRun struct {
 // ServiceBenchResult pairs the grouped run with its per-op-sync
 // baseline (MaxGroupSize=1 — the pre-group-commit pipeline).
 type ServiceBenchResult struct {
+	// Shards is the fleet width both runs used (1 = plain Service).
+	Shards   int             `json:"shards"`
 	Grouped  ServiceBenchRun `json:"grouped"`
 	Baseline ServiceBenchRun `json:"baseline"`
 	// Speedup is Grouped.OpsPerSec / Baseline.OpsPerSec.
@@ -94,7 +106,8 @@ func (r *ServiceBenchResult) String() string {
 			name, run.OpsPerSec, run.P50Latency.Round(time.Microsecond),
 			run.P99Latency.Round(time.Microsecond), run.WALSyncsPerOp, run.MeanGroupSize)
 	}
-	return fmt.Sprintf("service group-commit bench (%d ops per run, file-backed journal):\n", r.Grouped.Ops) +
+	return fmt.Sprintf("service group-commit bench (%d ops per run, %d shard(s), file-backed journals):\n",
+		r.Grouped.Ops, r.Shards) +
 		line("grouped", &r.Grouped) + line("baseline", &r.Baseline) +
 		fmt.Sprintf("  group-commit speedup: %.2fx\n", r.Speedup)
 }
@@ -115,11 +128,12 @@ func RunServiceBench(cfg ServiceBenchConfig) (ServiceBenchResult, error) {
 		defer os.RemoveAll(dir)
 	}
 	var res ServiceBenchResult
-	grouped, err := runSvcBench(cfg, filepath.Join(dir, "grouped.wal"), 0)
+	res.Shards = cfg.Shards
+	grouped, err := runSvcBench(cfg, dir, "grouped", 0)
 	if err != nil {
 		return res, fmt.Errorf("forkoram: svc bench grouped run: %w", err)
 	}
-	baseline, err := runSvcBench(cfg, filepath.Join(dir, "baseline.wal"), 1)
+	baseline, err := runSvcBench(cfg, dir, "baseline", 1)
 	if err != nil {
 		return res, fmt.Errorf("forkoram: svc bench baseline run: %w", err)
 	}
@@ -130,16 +144,19 @@ func RunServiceBench(cfg ServiceBenchConfig) (ServiceBenchResult, error) {
 	return res, nil
 }
 
-// runSvcBench stands up one Service over a fresh file journal and times
-// the concurrent write workload through it.
-func runSvcBench(cfg ServiceBenchConfig, walPath string, maxGroup int) (ServiceBenchRun, error) {
+// svcBenchTarget abstracts the single and sharded service front doors
+// for the benchmark loop.
+type svcBenchTarget interface {
+	Write(ctx context.Context, addr uint64, data []byte) error
+	Close() error
+}
+
+// runSvcBench stands up one Service (or a ShardedService fleet, one
+// file journal per shard) over fresh file journals and times the
+// concurrent write workload through it.
+func runSvcBench(cfg ServiceBenchConfig, dir, name string, maxGroup int) (ServiceBenchRun, error) {
 	var run ServiceBenchRun
-	st, err := OpenWALFile(walPath)
-	if err != nil {
-		return run, err
-	}
-	defer st.Close()
-	svc, err := NewService(ServiceConfig{
+	tmpl := ServiceConfig{
 		Device: DeviceConfig{
 			Blocks:    cfg.Blocks,
 			BlockSize: cfg.BlockSize,
@@ -152,11 +169,60 @@ func runSvcBench(cfg ServiceBenchConfig, walPath string, maxGroup int) (ServiceB
 		// window so both runs measure the journal-and-apply pipeline.
 		CheckpointEvery: 1 << 30,
 		MaxGroupSize:    maxGroup,
-		WAL:             st,
-		Checkpoints:     NewMemCheckpointStore(),
-	})
-	if err != nil {
-		return run, err
+	}
+	var (
+		svc   svcBenchTarget
+		stats func() ServiceStats
+	)
+	if cfg.Shards > 1 {
+		// Per-shard file journals, opened inside PerShard (the hook
+		// cannot fail, so surface the first error afterwards).
+		stores := make([]*wal.FileStore, 0, cfg.Shards)
+		var openErr error
+		sh, err := NewShardedService(ShardedServiceConfig{
+			Shards:  cfg.Shards,
+			Service: tmpl,
+			PerShard: func(shard int, sc *ServiceConfig) {
+				st, err := OpenWALFile(filepath.Join(dir, fmt.Sprintf("%s.shard%d.wal", name, shard)))
+				if err != nil {
+					if openErr == nil {
+						openErr = err
+					}
+					return
+				}
+				stores = append(stores, st)
+				sc.WAL = st
+				sc.Checkpoints = NewMemCheckpointStore()
+			},
+		})
+		defer func() {
+			for _, st := range stores {
+				st.Close()
+			}
+		}()
+		if openErr != nil || err != nil {
+			if sh != nil {
+				sh.Close()
+			}
+			if openErr != nil {
+				return run, openErr
+			}
+			return run, err
+		}
+		svc, stats = sh, func() ServiceStats { return sh.Stats().Total }
+	} else {
+		st, err := OpenWALFile(filepath.Join(dir, name+".wal"))
+		if err != nil {
+			return run, err
+		}
+		defer st.Close()
+		tmpl.WAL = st
+		tmpl.Checkpoints = NewMemCheckpointStore()
+		s, err := NewService(tmpl)
+		if err != nil {
+			return run, err
+		}
+		svc, stats = s, s.Stats
 	}
 	defer svc.Close()
 
@@ -170,7 +236,7 @@ func runSvcBench(cfg ServiceBenchConfig, walPath string, maxGroup int) (ServiceB
 			return run, err
 		}
 	}
-	before := svc.Stats()
+	before := stats()
 
 	lats := make([][]time.Duration, cfg.Clients)
 	errs := make([]error, cfg.Clients)
@@ -202,7 +268,7 @@ func runSvcBench(cfg ServiceBenchConfig, walPath string, maxGroup int) (ServiceB
 			return run, err
 		}
 	}
-	after := svc.Stats()
+	after := stats()
 
 	all := make([]time.Duration, 0, total)
 	for _, l := range lats {
