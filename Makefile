@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-svc json chaos chaos-smoke fuzz fuzz-smoke
+.PHONY: build test race bench bench-svc bench-pipeline json chaos chaos-smoke fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 bench-svc:
 	$(GO) run ./cmd/orambench -svc -svc-ops 1200
 	$(GO) run ./cmd/orambench -svc -svc-ops 1200 -shards 4
+
+# Staged-pipeline depth sweep: the same grouped write storm at
+# PipelineDepth 1, 2, 4 with per-stage stall telemetry. Depth 1 is the
+# serial baseline; run on >=2 cores for the overlap to show as speedup.
+bench-pipeline:
+	$(GO) run ./cmd/orambench -pipeline-sweep -svc-ops 1200
 
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:

@@ -11,6 +11,8 @@
 //	orambench -paper               # Table 1 geometry (slow, memory-hungry)
 //	orambench -svc                 # only the Service group-commit bench
 //	orambench -svc -shards 8 -json # sharded fleet bench, recorded to json
+//	orambench -svc -pipeline-depth 4    # pipelined device under the svc bench
+//	orambench -pipeline-sweep -json     # depth sweep (1,2,4) comparison table
 //	orambench -gomaxprocs 8        # pin the Go scheduler width for the run
 //	orambench -cpuprofile cpu.out  # profile the run for go tool pprof
 package main
@@ -64,6 +66,23 @@ type benchReport struct {
 	WALSyncsPerOpBaseline float64   `json:"wal_syncs_per_op_baseline"`
 	SvcMeanGroupSize      float64   `json:"svc_mean_group_size"`
 	SvcGroupSizeHist      [9]uint64 `json:"svc_group_size_hist"`
+	// Staged intra-shard pipeline (see DeviceConfig.PipelineDepth and
+	// RunPipelineSweep): the depth the headline svc_pipeline_* numbers
+	// were measured at, its throughput and speedup over the depth-1
+	// serial run, and the stage counters — windows run, paths prefetched,
+	// refills retired by the writeback worker, and per-stage stall time.
+	SvcPipelineDepth           int     `json:"svc_pipeline_depth,omitempty"`
+	SvcPipelineOpsPerSec       float64 `json:"svc_pipeline_ops_per_sec,omitempty"`
+	SvcPipelineSpeedup         float64 `json:"svc_pipeline_speedup,omitempty"`
+	SvcPipelineWindows         uint64  `json:"svc_pipeline_windows,omitempty"`
+	SvcPipelinePrefetches      uint64  `json:"svc_pipeline_prefetches,omitempty"`
+	SvcPipelineWritebacks      uint64  `json:"svc_pipeline_writebacks,omitempty"`
+	SvcPipelineFetchWaitNS     uint64  `json:"svc_pipeline_fetch_wait_ns,omitempty"`
+	SvcPipelineEvictWaitNS     uint64  `json:"svc_pipeline_evict_wait_ns,omitempty"`
+	SvcPipelineWritebackWaitNS uint64  `json:"svc_pipeline_writeback_wait_ns,omitempty"`
+	// SvcPipelineSweep holds the full per-depth table when -pipeline-sweep
+	// ran (depth, throughput, latency, stall telemetry per entry).
+	SvcPipelineSweep []forkoram.PipelineSweepRun `json:"svc_pipeline_sweep,omitempty"`
 }
 
 type experimentReport struct {
@@ -85,6 +104,31 @@ func (r *benchReport) fillSvc(res forkoram.ServiceBenchResult) {
 	r.WALSyncsPerOpBaseline = res.Baseline.WALSyncsPerOp
 	r.SvcMeanGroupSize = res.Grouped.MeanGroupSize
 	r.SvcGroupSizeHist = res.Grouped.GroupSizes
+}
+
+// fillPipelineRun copies one pipelined run's stage counters into the
+// report's svc_pipeline_* fields.
+func (r *benchReport) fillPipelineRun(depth int, run forkoram.ServiceBenchRun, speedup float64) {
+	r.SvcPipelineDepth = depth
+	r.SvcPipelineOpsPerSec = run.OpsPerSec
+	r.SvcPipelineSpeedup = speedup
+	p := run.Pipeline
+	r.SvcPipelineWindows = p.Windows
+	r.SvcPipelinePrefetches = p.Prefetches
+	r.SvcPipelineWritebacks = p.Writebacks
+	r.SvcPipelineFetchWaitNS = p.FetchWaitNs
+	r.SvcPipelineEvictWaitNS = p.EvictWaitNs
+	r.SvcPipelineWritebackWaitNS = p.WritebackWaitNs
+}
+
+// fillPipelineSweep records the whole sweep and promotes its deepest
+// entry to the headline svc_pipeline_* fields.
+func (r *benchReport) fillPipelineSweep(res forkoram.PipelineSweepResult) {
+	r.SvcPipelineSweep = res.Depths
+	if n := len(res.Depths); n > 0 {
+		last := res.Depths[n-1]
+		r.fillPipelineRun(last.Depth, last.Run, last.Speedup)
+	}
 }
 
 // writeReport writes the BENCH_<date>.json perf record.
@@ -115,6 +159,8 @@ func main() {
 		svcOnly    = flag.Bool("svc", false, "run only the Service group-commit benchmark")
 		svcOps     = flag.Int("svc-ops", 2000, "Service bench: acknowledged writes per run")
 		shards     = flag.Int("shards", 1, "Service bench: ShardedService fleet width (1 = plain Service)")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "Service bench: staged-pipeline depth per device (0/1 = serial engine)")
+		pipeSweep  = flag.Bool("pipeline-sweep", false, "run only the pipeline depth sweep (depths 1, 2, 4)")
 		maxProcs   = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the whole run (0 = leave default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -142,7 +188,27 @@ func main() {
 		}
 	}()
 
-	svcCfg := forkoram.ServiceBenchConfig{Ops: *svcOps, Shards: *shards, Seed: *seed}
+	svcCfg := forkoram.ServiceBenchConfig{Ops: *svcOps, Shards: *shards, Seed: *seed, PipelineDepth: *pipeDepth}
+	if *pipeSweep {
+		start := time.Now()
+		res, err := forkoram.RunPipelineSweep(svcCfg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: pipeline sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *jsonOut {
+			rep := benchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			rep.fillPipelineSweep(res)
+			writeReport(rep)
+		}
+		return
+	}
 	if *svcOnly {
 		start := time.Now()
 		res, err := forkoram.RunServiceBench(svcCfg)
@@ -159,6 +225,11 @@ func main() {
 				WallSeconds: time.Since(start).Seconds(),
 			}
 			rep.fillSvc(res)
+			if *pipeDepth > 1 {
+				// No depth-1 baseline in this mode; speedup comes from
+				// -pipeline-sweep, which measures both.
+				rep.fillPipelineRun(*pipeDepth, res.Grouped, 0)
+			}
 			writeReport(rep)
 		}
 		return
@@ -235,6 +306,9 @@ func main() {
 			RecoverReplayOpsPerSec: replay,
 		}
 		rep.fillSvc(svcRes)
+		if *pipeDepth > 1 {
+			rep.fillPipelineRun(*pipeDepth, svcRes.Grouped, 0)
+		}
 		writeReport(rep)
 	}
 

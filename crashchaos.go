@@ -230,7 +230,12 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 	walStore.CrashTruncate = plan.truncateCrash
 	var fc *faults.Config
 	retries := 0
-	if cfg.Faults && idx%2 == 1 {
+	// Decorator matrix: even schedules verify integrity, schedules ≡1
+	// (mod 4) inject storage faults, and schedules ≡3 (mod 4) run the
+	// plain medium — the only configuration where the bulk interface is
+	// exposed and the intra-shard pipeline (PipelineDepth below) engages,
+	// so the mid-pipeline kill site is reachable.
+	if cfg.Faults && idx%4 == 1 {
 		p := 0.002 / 3
 		fc = &faults.Config{
 			Seed:           rng.SeedAt(seed, 2),
@@ -256,6 +261,10 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 				Integrity: idx%2 == 0,
 				Retries:   retries,
 				Faults:    fc,
+				// Exercise the overlapped fetch/writeback pipeline wherever
+				// it can engage (Fork variant, plain medium, multi-op
+				// windows); inert elsewhere.
+				PipelineDepth: 2,
 			},
 			QueueDepth:      8,
 			CheckpointEvery: 8, // frequent checkpoints: more save/truncate windows to kill in

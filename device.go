@@ -135,6 +135,20 @@ type DeviceConfig struct {
 	// Process-local tuning: not serialized in snapshots, re-applied from
 	// the host device on restore.
 	CryptoWorkers int
+	// PipelineDepth bounds the in-flight accesses of the intra-shard
+	// pipeline: during a Batch of more than one operation on the Fork
+	// variant over the plain medium, access N's writeback (re-encrypt +
+	// WriteBuckets) overlaps access N+1's path prefetch (ReadBuckets +
+	// decrypt), with stash mutation and eviction remaining a single
+	// serialized stage. Depth <= 1 (the default) is the serial path;
+	// depth d allows d-1 writebacks to queue behind the one in flight.
+	// The public access sequence is identical at every depth — the
+	// schedule is deterministic and prefetch only moves already-public
+	// traffic earlier in time. Like CryptoWorkers this is process-local
+	// tuning: not serialized in snapshots, re-applied from the host
+	// device on restore, and inert under the Integrity or Faults
+	// decorators (whose per-bucket semantics pin the serial path).
+	PipelineDepth int
 	// Observer, when set, receives the bus-visible trace of every ORAM
 	// tree traversal — exactly what an adversary probing the memory bus
 	// sees (revealed leaf label plus bucket read/write sequences), and
@@ -197,6 +211,9 @@ type DeviceStats struct {
 	Stash         stash.Stats
 	// PathLength is the number of buckets on a full path (L+1).
 	PathLength uint
+	// Pipeline counts the intra-shard pipeline's work and per-stage
+	// stalls (zero unless PipelineDepth > 1 engaged on some batch).
+	Pipeline pathoram.PipelineStats
 }
 
 // Device is an oblivious block store: external observers of its backing
@@ -226,6 +243,12 @@ type Device struct {
 	reads    uint64
 	writes   uint64
 	poisoned *PoisonedError
+
+	// midBatchKill, when set, is polled between accesses of a pipelined
+	// batch — after access N's refill entered writeback, before access
+	// N+1's fetch is consumed. Returning true aborts the batch with
+	// errKilled (crash-chaos hook modelling a shard dying mid-window).
+	midBatchKill func() bool
 
 	// busy is the cheap concurrent-misuse guard: CAS-acquired by every
 	// public operation, so a second goroutine entering mid-operation gets
@@ -574,6 +597,17 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 			next++
 		}
 	}
+	if len(ops) > 1 && d.cfg.PipelineDepth > 1 && d.ctl.StartPipeline(d.cfg.PipelineDepth) {
+		err := d.batchPipelined(ops, admit, &pendingCount, &next)
+		if serr := d.ctl.StopPipeline(); err == nil {
+			err = serr
+		}
+		if err != nil {
+			d.poison(err)
+			return nil, err
+		}
+		return results, nil
+	}
 	admit()
 	guard := 0
 	for pendingCount > 0 || next < len(ops) {
@@ -589,6 +623,57 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 		}
 	}
 	return results, nil
+}
+
+// batchPipelined drains one batch through the intra-shard pipeline.
+// The drive loop is the serial loop unrolled one phase deeper — Begin,
+// the WriteStep refill, Finish — with two pipeline hooks added at the
+// stage boundaries: FlushWriteback hands the finished access's refill to
+// the writeback worker, and Prefetch (after admission, when the engine
+// has committed its next schedule entry) starts fetching the next path.
+// The admission cadence — one admit() sweep after every completed
+// access — matches the serial loop exactly, so the engine sees the same
+// queue states and emits the same schedule at every depth.
+func (d *Device) batchPipelined(ops []BatchOp, admit func(), pendingCount, next *int) error {
+	admit()
+	guard := 0
+	for *pendingCount > 0 || *next < len(ops) {
+		a, err := d.eng.Begin()
+		if err != nil {
+			return err
+		}
+		for {
+			_, _, done, err := d.eng.WriteStep(a)
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		if err := d.eng.Finish(a); err != nil {
+			return err
+		}
+		if err := d.ctl.FlushWriteback(); err != nil {
+			return err
+		}
+		if d.cfg.Observer != nil {
+			d.cfg.Observer(a.Label, a.Dummy(), a.ReadNodes, a.WriteNodes)
+		}
+		admit()
+		if d.midBatchKill != nil && d.midBatchKill() {
+			return errKilled
+		}
+		if *pendingCount > 0 || *next < len(ops) {
+			if label, from, ok := d.eng.NextScheduled(); ok && from <= d.tr.LeafLevel() {
+				d.ctl.Prefetch(label, from)
+			}
+		}
+		if guard++; guard > 64*(len(ops)+d.cfg.QueueSize) {
+			return fmt.Errorf("forkoram: batch failed to drain (engine bug)")
+		}
+	}
+	return nil
 }
 
 // BatchOp is one operation of a Batch.
@@ -619,6 +704,7 @@ func (d *Device) Stats() DeviceStats {
 		Writes:     d.writes,
 		Stash:      d.ctl.Stash().Stats(),
 		PathLength: d.tr.Levels(),
+		Pipeline:   d.ctl.PipelineStats(),
 	}
 	c := d.store.Counters()
 	st.BucketReads, st.BucketWrites = c.BucketReads, c.BucketWrites

@@ -526,6 +526,33 @@ func (e *Engine) Finish(a *Access) error {
 	return nil
 }
 
+// NextScheduled reveals the next access's path — its label and the first
+// level its read phase will touch — once the schedule has committed to
+// it, so a pipelined driver can prefetch the path while this goroutine is
+// still between accesses. The ok result is true only in the window
+// between Finish and the next Begin: Finish reveals the fork point,
+// after which dummy-request replacement can no longer swap the pending
+// entry (Enqueue's replacement branch requires an in-flight access), so
+// label and fromLevel are exactly what Begin will compute. ok is false
+// when background eviction would preempt the pending entry (Begin would
+// then run a fresh random dummy instead).
+//
+// Security: the revealed label is the same label the adversary observes
+// moments later when the access runs; a deterministic schedule means
+// prefetching it early moves traffic in time but adds no information.
+func (e *Engine) NextScheduled() (label tree.Label, fromLevel uint, ok bool) {
+	if !e.pendingRevealed || e.pending == nil || e.hasCurrent {
+		return 0, 0, false
+	}
+	if e.cfg.BackgroundEvictThreshold > 0 && e.ctl.Stash().Len() > e.cfg.BackgroundEvictThreshold {
+		return 0, 0, false
+	}
+	if e.cfg.MergeEnabled && e.havePrev {
+		fromLevel = e.tr.Overlap(e.prevLabel, e.pending.label)
+	}
+	return e.pending.label, fromLevel, true
+}
+
 // Run executes one whole access synchronously (read, serve, full refill).
 // Convenience for functional use; the timing simulator drives the phases
 // separately via Begin/WriteStep/Finish.

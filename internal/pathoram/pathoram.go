@@ -89,6 +89,13 @@ type Controller struct {
 	bucketsBuf []block.Bucket  // bulk-read results / bulk-write staging
 	evictBufs  [][]block.Block // per-level eviction scratch for bulk writes
 
+	// pipe is non-nil while a pipelined dispatch window is active
+	// (StartPipeline..StopPipeline); ReadRange and WriteLevel then route
+	// through the overlapped fetch/writeback stages. pipeStats
+	// accumulates counters across completed windows.
+	pipe      *pipeline
+	pipeStats PipelineStats
+
 	retryStats RetryStats
 }
 
@@ -201,6 +208,9 @@ func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node
 	if c.err != nil {
 		return dst, c.err
 	}
+	if c.pipe != nil {
+		return c.pipe.readRange(label, fromLevel, dst)
+	}
 	if c.bulk != nil {
 		return c.readRangeBulk(label, fromLevel, dst)
 	}
@@ -312,6 +322,9 @@ func (c *Controller) writeRangeBulk(label tree.Label, fromLevel uint, dst []tree
 func (c *Controller) WriteLevel(label tree.Label, level uint) (tree.Node, error) {
 	if c.err != nil {
 		return 0, c.err
+	}
+	if c.pipe != nil {
+		return c.pipe.writeLevel(label, level)
 	}
 	n := c.tr.NodeAt(label, level)
 	c.evictBuf = c.stash.EvictAppend(c.evictBuf[:0], n, c.z)

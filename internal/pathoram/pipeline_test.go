@@ -1,0 +1,305 @@
+package pathoram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+	"forkoram/internal/tree"
+)
+
+// pipeHarness builds a controller over a fresh Mem backend and seeds its
+// stash with real blocks labelled from labels, so refills have something
+// to evict and reads something to find.
+func pipeHarness(t *testing.T, tr tree.Tree, geo block.Geometry, labels []tree.Label, seedBlocks int) *Controller {
+	t.Helper()
+	st, err := storage.NewMem(tr, geo, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(Config{Tree: tr, StashCapacity: 400, TrackData: true}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < seedBlocks; a++ {
+		c.stash.Put(block.Block{
+			Addr:  uint64(a),
+			Label: labels[a%len(labels)],
+			Data:  payload(geo.PayloadSize, byte(a)),
+		})
+	}
+	return c
+}
+
+// TestPipelineMatchesSerial drives two identically-seeded controllers
+// through the same fork-style access sequence — merged reads from the
+// overlap level, per-level leaf-to-root refills stopping at the overlap
+// with the next label — one serially and one inside a pipelined window
+// with prefetch hints. Every adversary-visible node sequence, the final
+// stash, and the final medium must match: the pipeline may overlap
+// stages in time, never change what they do.
+func TestPipelineMatchesSerial(t *testing.T) {
+	tr := tree.MustNew(6)
+	geo := block.Geometry{Z: 4, PayloadSize: 64}
+	const steps, seedBlocks = 120, 32
+
+	src := rng.New(99)
+	labels := make([]tree.Label, steps)
+	for i := range labels {
+		labels[i] = tree.Label(src.Uint64n(tr.Leaves()))
+	}
+
+	// drive runs the access sequence; prefetch toggles the pipelined
+	// hints (ignored by a serial controller). Returns the concatenated
+	// read-node trace.
+	drive := func(c *Controller, pipelined bool) []tree.Node {
+		var trace []tree.Node
+		var buf []tree.Node
+		for i, label := range labels {
+			from := uint(0)
+			if i > 0 {
+				from = tr.Overlap(labels[i-1], label)
+			}
+			if from <= tr.LeafLevel() {
+				var err error
+				buf, err = c.ReadRange(label, from, buf[:0])
+				if err != nil {
+					t.Fatalf("step %d: read: %v", i, err)
+				}
+				trace = append(trace, buf...)
+			}
+			stop := uint(0)
+			if i+1 < len(labels) {
+				stop = tr.Overlap(label, labels[i+1])
+			}
+			for lvl := int(tr.LeafLevel()); lvl >= int(stop); lvl-- {
+				if _, err := c.WriteLevel(label, uint(lvl)); err != nil {
+					t.Fatalf("step %d: write level %d: %v", i, lvl, err)
+				}
+			}
+			if pipelined {
+				if err := c.FlushWriteback(); err != nil {
+					t.Fatalf("step %d: flush: %v", i, err)
+				}
+				if i+1 < len(labels) {
+					nextFrom := tr.Overlap(label, labels[i+1])
+					if nextFrom <= tr.LeafLevel() {
+						c.Prefetch(labels[i+1], nextFrom)
+					}
+				}
+			}
+			c.EndAccess()
+		}
+		return trace
+	}
+
+	ref := pipeHarness(t, tr, geo, labels, seedBlocks)
+	refTrace := drive(ref, false)
+
+	pip := pipeHarness(t, tr, geo, labels, seedBlocks)
+	if !pip.StartPipeline(4) {
+		t.Fatal("StartPipeline refused on a bulk backend")
+	}
+	pipTrace := drive(pip, true)
+	if err := pip.StopPipeline(); err != nil {
+		t.Fatalf("StopPipeline: %v", err)
+	}
+
+	if len(refTrace) != len(pipTrace) {
+		t.Fatalf("trace lengths diverged: %d vs %d", len(refTrace), len(pipTrace))
+	}
+	for i := range refTrace {
+		if refTrace[i] != pipTrace[i] {
+			t.Fatalf("read trace diverged at %d: %d vs %d", i, refTrace[i], pipTrace[i])
+		}
+	}
+
+	st := pip.PipelineStats()
+	if st.Windows != 1 {
+		t.Fatalf("want 1 pipelined window, got %d", st.Windows)
+	}
+	if st.Prefetches == 0 || st.PrefetchedBuckets == 0 {
+		t.Fatalf("pipeline never prefetched: %+v", st)
+	}
+	if st.Writebacks == 0 {
+		t.Fatalf("pipeline never wrote back: %+v", st)
+	}
+
+	// Final stash: identical occupancy and identical blocks.
+	if w, g := ref.stash.Len(), pip.stash.Len(); w != g {
+		t.Fatalf("stash occupancy diverged: %d vs %d", w, g)
+	}
+	for a := uint64(0); a < seedBlocks; a++ {
+		rb, rok := ref.stash.Get(a)
+		pb, pok := pip.stash.Get(a)
+		if rok != pok {
+			t.Fatalf("stash presence of addr %d diverged", a)
+		}
+		if rok && (rb.Label != pb.Label || !bytes.Equal(rb.Data, pb.Data)) {
+			t.Fatalf("stash block %d diverged", a)
+		}
+	}
+
+	// Final medium: every bucket holds the same blocks (ciphertexts
+	// differ by nonce; contents must not).
+	for n := tree.Node(0); n < tree.Node(tr.Nodes()); n++ {
+		rb, err := ref.store.ReadBucket(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]block.Block(nil), rb.Blocks...)
+		for i := range want {
+			want[i].Data = append([]byte(nil), want[i].Data...)
+		}
+		pb, err := pip.store.ReadBucket(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(pb.Blocks) {
+			t.Fatalf("bucket %d occupancy diverged: %d vs %d", n, len(want), len(pb.Blocks))
+		}
+		for i := range want {
+			if want[i].Addr != pb.Blocks[i].Addr || want[i].Label != pb.Blocks[i].Label ||
+				!bytes.Equal(want[i].Data, pb.Blocks[i].Data) {
+				t.Fatalf("bucket %d block %d diverged", n, i)
+			}
+		}
+	}
+}
+
+// TestPipelineStartGates pins the conditions under which the pipeline
+// refuses to engage, leaving the serial path untouched.
+func TestPipelineStartGates(t *testing.T) {
+	tr := tree.MustNew(4)
+	geo := block.Geometry{Z: 4, PayloadSize: 32}
+	st, err := storage.NewMem(tr, geo, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := NewController(Config{Tree: tr, StashCapacity: 100}, noBulk{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.StartPipeline(4) {
+		t.Fatal("StartPipeline engaged without a bulk backend")
+	}
+
+	c, err := NewController(Config{Tree: tr, StashCapacity: 100}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StartPipeline(1) {
+		t.Fatal("StartPipeline engaged at depth 1 (serial by definition)")
+	}
+	if !c.StartPipeline(2) {
+		t.Fatal("StartPipeline refused a valid depth-2 request")
+	}
+	if c.StartPipeline(2) {
+		t.Fatal("StartPipeline engaged twice without StopPipeline")
+	}
+	if err := c.StopPipeline(); err != nil {
+		t.Fatalf("StopPipeline on idle pipeline: %v", err)
+	}
+	if st := c.PipelineStats(); st.Windows != 1 {
+		t.Fatalf("want 1 window recorded, got %d", st.Windows)
+	}
+
+	c.err = errors.New("already failed")
+	if c.StartPipeline(2) {
+		t.Fatal("StartPipeline engaged on a failed controller")
+	}
+}
+
+// failingBulk wraps a BulkBackend and fails WriteBuckets after a set
+// number of calls — the worker-side failure the pipeline must latch.
+type failingBulk struct {
+	storage.BulkBackend
+	remaining int
+}
+
+var errBulkWrite = errors.New("injected bulk write failure")
+
+func (f *failingBulk) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
+	if f.remaining <= 0 {
+		return errBulkWrite
+	}
+	f.remaining--
+	return f.BulkBackend.WriteBuckets(ns, bks)
+}
+
+// TestPipelineWritebackErrorFailStops verifies that a writeback failure
+// on the worker surfaces (at the latest) at StopPipeline and fail-stops
+// the controller — the planned evictions are lost, exactly like a serial
+// write failure.
+func TestPipelineWritebackErrorFailStops(t *testing.T) {
+	tr := tree.MustNew(5)
+	geo := block.Geometry{Z: 4, PayloadSize: 32}
+	st, err := storage.NewMem(tr, geo, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(Config{Tree: tr, StashCapacity: 200, TrackData: true}, &failingBulk{BulkBackend: st, remaining: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.StartPipeline(2) {
+		t.Fatal("StartPipeline refused")
+	}
+	var derr error
+	for i := 0; i < 8 && derr == nil; i++ {
+		label := tree.Label(uint64(i) % tr.Leaves())
+		if _, derr = c.ReadRange(label, 0, nil); derr != nil {
+			break
+		}
+		for lvl := int(tr.LeafLevel()); lvl >= 0 && derr == nil; lvl-- {
+			_, derr = c.WriteLevel(label, uint(lvl))
+		}
+		if derr == nil {
+			derr = c.FlushWriteback()
+		}
+		c.EndAccess()
+	}
+	serr := c.StopPipeline()
+	if derr == nil && serr == nil {
+		t.Fatal("injected writeback failure never surfaced")
+	}
+	if !errors.Is(c.Err(), errBulkWrite) {
+		t.Fatalf("controller error = %v, want the injected failure", c.Err())
+	}
+	if _, err := c.ReadRange(0, 0, nil); !errors.Is(err, errBulkWrite) {
+		t.Fatalf("controller kept serving after writeback failure: %v", err)
+	}
+}
+
+// TestPipelinePrefetchMismatchFaults verifies the engine-bug tripwire:
+// consuming a prefetch staged for a different (label, level) must fault
+// rather than silently serve the wrong path.
+func TestPipelinePrefetchMismatchFaults(t *testing.T) {
+	tr := tree.MustNew(5)
+	geo := block.Geometry{Z: 4, PayloadSize: 32}
+	st, err := storage.NewMem(tr, geo, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(Config{Tree: tr, StashCapacity: 200}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.StartPipeline(2) {
+		t.Fatal("StartPipeline refused")
+	}
+	c.Prefetch(3, 0)
+	if _, err := c.ReadRange(5, 0, nil); err == nil {
+		t.Fatal("mismatched prefetch consumed without error")
+	}
+	if c.Err() == nil {
+		t.Fatal("mismatch did not fail-stop the controller")
+	}
+	if err := c.StopPipeline(); err == nil {
+		t.Fatal("StopPipeline cleared a fail-stopped controller")
+	}
+}

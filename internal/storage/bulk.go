@@ -19,6 +19,11 @@ import (
 // implement it: their per-bucket retry and verification semantics are
 // defined one bucket at a time, and a controller that sees no
 // BulkBackend falls back to the per-bucket path.
+//
+// Concurrency: one ReadBuckets and one WriteBuckets call may run
+// concurrently, provided their node sets are disjoint (the pathoram
+// pipeline's hazard tracking enforces this). Two concurrent calls of
+// the same kind are not allowed.
 type BulkBackend interface {
 	Backend
 	// ReadBuckets fills out[i] with the contents of bucket ns[i].
@@ -51,47 +56,65 @@ func (m *Mem) bulkParallel(n int) bool {
 	return n*m.geo.BucketSize() >= bulkMinBytes
 }
 
-// bulkScratch returns n per-slot plaintext staging buffers, each sized
-// to one bucket, reused across calls so the steady state allocates
-// nothing.
-func (m *Mem) bulkScratch(n int) [][]byte {
-	if cap(m.bulkPt) < n {
+// growSlots sizes a per-slot staging slice to n buffers of size bytes,
+// reusing existing backing so the steady state allocates nothing. Each
+// bulk role (read, write) owns its own slots, so a concurrent reader
+// and writer never share staging memory.
+func growSlots(slots [][]byte, n, size int) [][]byte {
+	if cap(slots) < n {
 		grown := make([][]byte, n)
-		copy(grown, m.bulkPt)
-		m.bulkPt = grown
+		copy(grown, slots)
+		slots = grown
 	}
-	bufs := m.bulkPt[:n]
-	size := m.geo.BucketSize()
-	for i := range bufs {
-		if cap(bufs[i]) < size {
-			bufs[i] = make([]byte, size)
+	slots = slots[:n]
+	for i := range slots {
+		if cap(slots[i]) < size {
+			slots[i] = make([]byte, size)
 		}
-		bufs[i] = bufs[i][:size]
+		slots[i] = slots[i][:size]
 	}
-	m.bulkPt = m.bulkPt[:cap(m.bulkPt)]
-	return bufs
+	return slots
 }
 
-// ReadBuckets implements BulkBackend. Validation and access counting
-// happen serially up front; the Open+decode work — all of the CPU cost —
-// fans out across bulkWorkers. Decode results are independent per slot
-// (payloads are copied out of the per-slot staging buffer), so no two
-// workers share mutable state beyond the crypt.Engine, which is safe
-// for concurrent use.
+// growRefs sizes a ciphertext-reference slice to n entries.
+func growRefs(refs [][]byte, n int) [][]byte {
+	if cap(refs) < n {
+		refs = make([][]byte, n)
+	}
+	return refs[:n]
+}
+
+// ReadBuckets implements BulkBackend. The map and counters are touched
+// only under mu — validation, counting, and a snapshot of each node's
+// ciphertext reference — then the Open+decode work (all of the CPU
+// cost) runs outside the lock, fanned out across bulkWorkers. The
+// snapshot is safe against a concurrent disjoint bulk write: map values
+// are per-node backings, so a writer re-sealing OTHER nodes never
+// touches the bytes a reader snapshot points at.
 func (m *Mem) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
 	if len(ns) != len(out) {
 		return fmt.Errorf("storage: bulk read of %d nodes into %d slots", len(ns), len(out))
 	}
+	m.mu.Lock()
 	for _, n := range ns {
 		if !m.tr.ValidNode(n) {
+			m.mu.Unlock()
 			return fmt.Errorf("storage: node %d out of range", n)
 		}
 	}
 	m.cnt.BucketReads += uint64(len(ns))
+	m.rdCt = growRefs(m.rdCt, len(ns))
+	cts := m.rdCt
+	for i, n := range ns {
+		cts[i] = m.data[n] // nil = never written (all dummies)
+	}
+	m.mu.Unlock()
 	if !m.bulkParallel(len(ns)) {
-		for i, n := range ns {
+		m.rdPt = growSlots(m.rdPt, 1, m.geo.BucketSize())
+		pt := m.rdPt[0]
+		for i := range ns {
 			out[i] = block.Bucket{}
-			bk, err := m.readBucketBody(n, m.pt())
+			bk, err := m.decodeBucket(ns[i], cts[i], pt)
 			if err != nil {
 				return err
 			}
@@ -99,10 +122,11 @@ func (m *Mem) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
 		}
 		return nil
 	}
-	pts := m.bulkScratch(len(ns))
+	m.rdPt = growSlots(m.rdPt, len(ns), m.geo.BucketSize())
+	pts := m.rdPt
 	return par.ForEach(m.bulkWorkers, len(ns), func(i int) error {
 		out[i] = block.Bucket{}
-		bk, err := m.readBucketBody(ns[i], pts[i])
+		bk, err := m.decodeBucket(ns[i], cts[i], pts[i])
 		if err != nil {
 			return err
 		}
@@ -112,11 +136,18 @@ func (m *Mem) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
 }
 
 // readBucketBody is the counting-free core of ReadBucket: decrypt into
-// pt, decode, and plausibility-check. pt must be one bucket long and
-// owned by the caller for the duration of the call.
+// pt, decode, and plausibility-check. Caller holds mu (the map lookup
+// requires it). pt must be one bucket long and owned by the caller.
 func (m *Mem) readBucketBody(n tree.Node, pt []byte) (block.Bucket, error) {
-	ct, ok := m.data[n]
-	if !ok {
+	return m.decodeBucket(n, m.data[n], pt)
+}
+
+// decodeBucket opens and decodes one sealed bucket image. ct is the
+// node's ciphertext (nil = never written); pt is caller-owned staging.
+// Runs lock-free: the caller guarantees ct's backing is not being
+// concurrently re-sealed (disjointness contract).
+func (m *Mem) decodeBucket(n tree.Node, ct, pt []byte) (block.Bucket, error) {
+	if ct == nil {
 		return block.Bucket{}, nil // never-written bucket: all dummies
 	}
 	if err := m.eng.Open(pt, ct); err != nil {
@@ -135,35 +166,28 @@ func (m *Mem) readBucketBody(n tree.Node, pt []byte) (block.Bucket, error) {
 	return bk, nil
 }
 
-// WriteBuckets implements BulkBackend. The map is touched only in the
-// serial phases: ciphertext slots are claimed (and grown) up front, the
+// WriteBuckets implements BulkBackend. The map is touched only under
+// mu: ciphertext slots are claimed (and grown) up front, the
 // encode+Seal work fans out into those disjoint slots — ns must be
 // distinct, which path segments are by construction — and the results
-// are stored back serially.
+// are published back under the lock. Claiming reuses each node's
+// existing backing, so after the tree's first full traversal writes
+// stop allocating; a concurrent disjoint bulk read never observes
+// these backings (its nodes are different, hence different slices).
 func (m *Mem) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
 	if len(ns) != len(bks) {
 		return fmt.Errorf("storage: bulk write of %d nodes with %d buckets", len(ns), len(bks))
 	}
+	m.mu.Lock()
 	for _, n := range ns {
 		if !m.tr.ValidNode(n) {
+			m.mu.Unlock()
 			return fmt.Errorf("storage: node %d out of range", n)
 		}
 	}
 	m.cnt.BucketWrites += uint64(len(ns))
-	if !m.bulkParallel(len(ns)) {
-		for i := range ns {
-			if err := m.writeBucketBody(ns[i], &bks[i], m.pt()); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	pts := m.bulkScratch(len(ns))
-	// Claim every ciphertext slot serially so workers never touch the map.
-	if cap(m.bulkCt) < len(ns) {
-		m.bulkCt = make([][]byte, len(ns))
-	}
-	cts := m.bulkCt[:len(ns)]
+	m.wrCt = growRefs(m.wrCt, len(ns))
+	cts := m.wrCt
 	need := crypt.SealedSize(m.geo.BucketSize())
 	for i, n := range ns {
 		ct := m.data[n]
@@ -172,26 +196,46 @@ func (m *Mem) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
 		}
 		cts[i] = ct[:need]
 	}
-	err := par.ForEach(m.bulkWorkers, len(ns), func(i int) error {
-		if err := m.geo.EncodeBucket(pts[i], &bks[i]); err != nil {
-			return err
+	m.mu.Unlock()
+	var err error
+	if !m.bulkParallel(len(ns)) {
+		m.wrPt = growSlots(m.wrPt, 1, m.geo.BucketSize())
+		pt := m.wrPt[0]
+		for i := range ns {
+			if err = m.geo.EncodeBucket(pt, &bks[i]); err != nil {
+				break
+			}
+			if err = m.eng.Seal(cts[i], pt); err != nil {
+				break
+			}
 		}
-		return m.eng.Seal(cts[i], pts[i])
-	})
+	} else {
+		m.wrPt = growSlots(m.wrPt, len(ns), m.geo.BucketSize())
+		pts := m.wrPt
+		err = par.ForEach(m.bulkWorkers, len(ns), func(i int) error {
+			if err := m.geo.EncodeBucket(pts[i], &bks[i]); err != nil {
+				return err
+			}
+			return m.eng.Seal(cts[i], pts[i])
+		})
+	}
 	if err != nil {
 		// A subset of the slots may hold half-sealed bytes; publishing
 		// nothing keeps the map consistent with the last success, and the
 		// caller fail-stops anyway.
 		return err
 	}
+	m.mu.Lock()
 	for i, n := range ns {
 		m.data[n] = cts[i]
 	}
+	m.mu.Unlock()
 	return nil
 }
 
 // writeBucketBody is the counting-free core of WriteBucket: encode into
-// pt and re-seal into the bucket's existing ciphertext slot.
+// pt and re-seal into the bucket's existing ciphertext slot. Caller
+// holds mu.
 func (m *Mem) writeBucketBody(n tree.Node, b *block.Bucket, pt []byte) error {
 	if err := m.geo.EncodeBucket(pt, b); err != nil {
 		return err

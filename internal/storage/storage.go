@@ -16,6 +16,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"forkoram/internal/block"
 	"forkoram/internal/crypt"
@@ -57,18 +58,30 @@ type Counters struct {
 // Mem is a ciphertext-at-rest backend: every bucket is stored sealed with
 // probabilistic encryption, and re-sealed under a fresh nonce on every
 // write. Buckets never written are implicitly all-dummy.
+//
+// Concurrent bulk contract: at most one ReadBuckets and one WriteBuckets
+// call may run concurrently, and only over DISJOINT node sets (the
+// pathoram pipeline's hazard tracking guarantees this). mu guards the
+// ciphertext map and the counters; the crypto work itself runs outside
+// the lock over per-role staging (read vs. write), so a prefetch decrypt
+// genuinely overlaps a writeback encrypt. The per-bucket methods hold mu
+// for their whole body and may interleave with either bulk call under
+// the same disjointness rule.
 type Mem struct {
 	tr   tree.Tree
 	geo  block.Geometry
 	eng  *crypt.Engine
+	mu   sync.Mutex // guards data + cnt (see the concurrent bulk contract)
 	data map[tree.Node][]byte
 	cnt  Counters
 
-	ptBuf []byte // plaintext staging buffer, reused by every read and write
+	ptBuf []byte // plaintext staging buffer, reused by every per-bucket read and write
 
 	bulkWorkers int      // ReadBuckets/WriteBuckets fan-out (0 = GOMAXPROCS, 1 = serial)
-	bulkPt      [][]byte // per-slot plaintext staging for bulk calls
-	bulkCt      [][]byte // ciphertext slot refs claimed before a bulk write fans out
+	rdPt        [][]byte // per-slot plaintext staging for bulk reads
+	wrPt        [][]byte // per-slot plaintext staging for bulk writes
+	rdCt        [][]byte // ciphertext refs snapshotted under mu by a bulk read
+	wrCt        [][]byte // ciphertext slots claimed under mu by a bulk write
 }
 
 // NewMem creates a Mem backend for the given tree and bucket geometry,
@@ -89,6 +102,8 @@ func (m *Mem) ReadBucket(n tree.Node) (block.Bucket, error) {
 	if !m.tr.ValidNode(n) {
 		return block.Bucket{}, fmt.Errorf("storage: node %d out of range", n)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cnt.BucketReads++
 	// readBucketBody performs the decrypt + decode + plausibility check:
 	// every real block ever written carries a label naming a leaf of this
@@ -115,6 +130,8 @@ func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
 	if !m.tr.ValidNode(n) {
 		return fmt.Errorf("storage: node %d out of range", n)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cnt.BucketWrites++
 	// writeBucketBody re-seals into the bucket's existing ciphertext slot
 	// when possible: after the tree's first full traversal, writes stop
@@ -128,19 +145,29 @@ func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
 func (m *Mem) Geometry() block.Geometry { return m.geo }
 
 // Counters implements Backend.
-func (m *Mem) Counters() Counters { return m.cnt }
+func (m *Mem) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cnt
+}
 
 // Ciphertext returns the raw sealed image of bucket n as an adversary
 // would observe it, or nil if the bucket was never written. The returned
 // slice is the live storage cell: mutating it models medium corruption.
 // Test and fault-injection hook; controllers must not use it.
-func (m *Mem) Ciphertext(n tree.Node) []byte { return m.data[n] }
+func (m *Mem) Ciphertext(n tree.Node) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.data[n]
+}
 
 // SetCiphertext overwrites the raw sealed image of bucket n with a copy
 // of ct (nil deletes the cell, reverting the bucket to never-written).
 // Fault-injection hook modelling an active adversary or failing medium
 // replaying stale bytes; controllers must not use it.
 func (m *Mem) SetCiphertext(n tree.Node, ct []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if ct == nil {
 		delete(m.data, n)
 		return

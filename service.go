@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"forkoram/internal/pathoram"
 	"forkoram/internal/rng"
 	"forkoram/internal/wal"
 )
@@ -183,7 +184,16 @@ const (
 	// no operation of the group has been applied yet — replay must
 	// reconstruct every one of them.
 	CrashAfterGroupSync
-	numCrashPoints = int(CrashAfterGroupSync) + 1
+	// CrashMidPipeline: inside a pipelined dispatch window, between two
+	// accesses — the finished access's refill has entered the writeback
+	// stage (possibly not yet on the medium) and the next access's path
+	// may already be prefetched. The window's group is durable in the
+	// journal but unacknowledged; replay must reconstruct it over a
+	// medium holding an arbitrary prefix of the window's writebacks.
+	// Consulted only when the intra-shard pipeline engages
+	// (DeviceConfig.PipelineDepth > 1 on a multi-op window).
+	CrashMidPipeline
+	numCrashPoints = int(CrashMidPipeline) + 1
 )
 
 // String implements fmt.Stringer.
@@ -205,6 +215,8 @@ func (p CrashPoint) String() string {
 		return "after-group-append"
 	case CrashAfterGroupSync:
 		return "after-group-sync"
+	case CrashMidPipeline:
+		return "mid-pipeline"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -366,6 +378,11 @@ type ServiceStats struct {
 	// GroupSizes histograms the window sizes into buckets of
 	// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65–128, and 129+ requests.
 	GroupSizes [9]uint64
+	// Pipeline aggregates the intra-shard pipeline's work and per-stage
+	// stall counters (fetch-wait, evict-wait, writeback-wait) across
+	// every device this service has owned, recoveries included. Zero
+	// unless DeviceConfig.PipelineDepth > 1 engaged on some window.
+	Pipeline pathoram.PipelineStats
 	// State is the serving state at the time of the call.
 	State ServiceState
 }
@@ -452,6 +469,7 @@ type Service struct {
 	sinceCkpt  int
 	recoveries int    // consecutive, reset by a committed checkpoint
 	faultEpoch uint64 // derives a fresh fault seed per restore
+	pipeSeen   pathoram.PipelineStats // current device's pipeline counters already folded into stats
 
 	// Group-commit scratch, reused every dispatch window so coalescing
 	// allocates nothing in steady state.
@@ -529,7 +547,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			if err != nil {
 				return nil, err // config error: retrying cannot help
 			}
-			s.dev = d
+			s.armDevice(d)
 			snap, err := d.Snapshot()
 			if err == nil {
 				lastErr = s.persistCheckpoint(snap)
@@ -766,6 +784,7 @@ func (s *Service) dispatch(first *svcReq) bool {
 	for i := range g {
 		g[i] = nil
 	}
+	s.foldPipelineStats()
 	return alive
 }
 
@@ -960,6 +979,13 @@ func (s *Service) commitGroup(g []*svcReq) bool {
 		out, err = s.dev.Batch(ops)
 		if err == nil {
 			break
+		}
+		if errors.Is(err, errKilled) {
+			// Crash injection struck inside the pipelined window (the
+			// device's mid-batch kill hook): the service dies here, it does
+			// not heal — recovery happens on the next incarnation.
+			s.killGroup(live)
+			return false
 		}
 		if s.dev.Poisoned() == nil {
 			// Unreachable by construction — every op was pre-validated —
@@ -1269,6 +1295,11 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 			}
 			return svcResp{batch: out}, true
 		}
+		if errors.Is(err, errKilled) {
+			// Mid-pipeline crash injection kills the service, it is not a
+			// device fault to supervise away.
+			return svcResp{}, false
+		}
 		if s.dev.Poisoned() == nil {
 			return svcResp{err: err}, true
 		}
@@ -1431,9 +1462,39 @@ func (s *Service) restoreFrom(ck *Checkpoint, recs []wal.Record) error {
 		}
 		replayed++
 	}
-	s.dev = d
+	s.armDevice(d)
 	s.bump(func(t *ServiceStats) { t.ReplayedOps += replayed })
 	return nil
+}
+
+// armDevice installs d as the service's device: the chaos kill hook is
+// wired into the pipelined batch path (so crash injection can strike
+// between the fetch and writeback stages of a dispatch window), and the
+// pipeline-stat high-water mark resets — a fresh device's counters start
+// at zero, while ServiceStats.Pipeline keeps accumulating across
+// replacements.
+func (s *Service) armDevice(d *Device) {
+	if s.cfg.crashHook != nil {
+		d.midBatchKill = func() bool { return s.killed(CrashMidPipeline) }
+	}
+	s.dev = d
+	s.pipeSeen = pathoram.PipelineStats{}
+}
+
+// foldPipelineStats rolls the device's pipeline counters accumulated
+// since the last fold into the service statistics. Called once per
+// dispatch window (worker goroutine; pipeSeen is worker-owned).
+func (s *Service) foldPipelineStats() {
+	if s.dev == nil {
+		return
+	}
+	cur := s.dev.ctl.PipelineStats()
+	delta := cur.Delta(s.pipeSeen)
+	if delta == (pathoram.PipelineStats{}) {
+		return
+	}
+	s.pipeSeen = cur
+	s.bump(func(t *ServiceStats) { t.Pipeline.Add(delta) })
 }
 
 // commitCheckpoint quiesces the device, persists {snapshot, medium

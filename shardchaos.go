@@ -251,7 +251,11 @@ func runShardedCrashSchedule(rep *ShardedCrashReport, cfg ShardedCrashChaosConfi
 	}
 	var fc *faults.Config
 	retries := 0
-	if cfg.Faults && idx%2 == 1 {
+	// Same schedule matrix as the single-service campaign: even idx gets
+	// the Integrity decorator, idx ≡ 1 (mod 4) fault injection, and
+	// idx ≡ 3 (mod 4) a plain medium — the only decoration the staged
+	// pipeline engages over, so mid-pipeline kills fire on those.
+	if cfg.Faults && idx%4 == 1 {
 		p := 0.002 / 3
 		fc = &faults.Config{
 			Seed:           rng.SeedAt(seed, 2),
@@ -278,6 +282,9 @@ func runShardedCrashSchedule(rep *ShardedCrashReport, cfg ShardedCrashChaosConfi
 				Integrity: idx%2 == 0,
 				Retries:   retries,
 				Faults:    fc,
+				// Staged pipeline on plain-medium schedules (no-op under
+				// the decorators), so shard kills land mid-window too.
+				PipelineDepth: 2,
 			},
 			QueueDepth:      8,
 			CheckpointEvery: 8,

@@ -476,6 +476,7 @@ func UnmarshalSnapshot(data []byte, from *Device) (*Snapshot, error) {
 	s.cfg.Observer = from.cfg.Observer
 	s.cfg.Faults = from.cfg.Faults
 	s.cfg.CryptoWorkers = from.cfg.CryptoWorkers
+	s.cfg.PipelineDepth = from.cfg.PipelineDepth
 	return s, nil
 }
 

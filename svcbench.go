@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"forkoram/internal/pathoram"
 	"forkoram/internal/wal"
 )
 
@@ -42,6 +45,10 @@ type ServiceBenchConfig struct {
 	Dir string
 	// Seed derives payloads and the device seed.
 	Seed uint64
+	// PipelineDepth is forwarded to DeviceConfig.PipelineDepth: 0/1 runs
+	// the serial engine, >=2 lets grouped dispatch windows overlap path
+	// fetch, serve/evict, and writeback across accesses.
+	PipelineDepth int
 }
 
 func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
@@ -86,6 +93,10 @@ type ServiceBenchRun struct {
 	// GroupSizes histograms dispatch-window sizes: buckets 1, 2, 3–4,
 	// 5–8, 9–16, 17–32, 33–64, 65–128, 129+.
 	GroupSizes [9]uint64 `json:"group_size_hist"`
+	// Pipeline holds the staged-pipeline counter deltas for this run:
+	// windows, prefetches, writebacks, and the per-stage stall counts and
+	// nanoseconds (zero when PipelineDepth <= 1).
+	Pipeline pathoram.PipelineStats `json:"pipeline"`
 }
 
 // ServiceBenchResult pairs the grouped run with its per-op-sync
@@ -158,11 +169,12 @@ func runSvcBench(cfg ServiceBenchConfig, dir, name string, maxGroup int) (Servic
 	var run ServiceBenchRun
 	tmpl := ServiceConfig{
 		Device: DeviceConfig{
-			Blocks:    cfg.Blocks,
-			BlockSize: cfg.BlockSize,
-			QueueSize: 8,
-			Seed:      cfg.Seed,
-			Variant:   Fork,
+			Blocks:        cfg.Blocks,
+			BlockSize:     cfg.BlockSize,
+			QueueSize:     8,
+			Seed:          cfg.Seed,
+			Variant:       Fork,
+			PipelineDepth: cfg.PipelineDepth,
 		},
 		QueueDepth: cfg.QueueDepth,
 		// Checkpoints clone the whole medium; keep them out of the timed
@@ -290,7 +302,97 @@ func runSvcBench(cfg ServiceBenchConfig, dir, name string, maxGroup int) (Servic
 	for i := range run.GroupSizes {
 		run.GroupSizes[i] = after.GroupSizes[i] - before.GroupSizes[i]
 	}
+	run.Pipeline = after.Pipeline.Delta(before.Pipeline)
 	return run, nil
+}
+
+// PipelineSweepRun is one pipeline depth's measurement within a sweep.
+type PipelineSweepRun struct {
+	// Depth is the DeviceConfig.PipelineDepth this run used (1 = serial).
+	Depth int             `json:"depth"`
+	Run   ServiceBenchRun `json:"run"`
+	// Speedup is this depth's OpsPerSec over the depth-1 run's.
+	Speedup float64 `json:"speedup"`
+}
+
+// PipelineSweepResult holds a depth sweep over one workload: the same
+// grouped, file-journaled write storm at PipelineDepth 1, 2, 4, ...
+// Depth 1 is the serial baseline; deeper runs may only move crypto and
+// medium traffic in time, so any ops/sec delta is pipeline overlap.
+type PipelineSweepResult struct {
+	// Cores is runtime.GOMAXPROCS at measurement time. Overlap needs
+	// cores: on a single-CPU host the stages time-slice and the sweep
+	// measures scheduling overhead, not parallelism.
+	Cores  int                `json:"cores"`
+	Depths []PipelineSweepRun `json:"depths"`
+}
+
+// String renders the sweep as a comparison table for the CLI.
+func (r *PipelineSweepResult) String() string {
+	var b strings.Builder
+	ops := 0
+	if len(r.Depths) > 0 {
+		ops = r.Depths[0].Run.Ops
+	}
+	fmt.Fprintf(&b, "service pipeline depth sweep (%d ops per run, GOMAXPROCS=%d, grouped commit):\n", ops, r.Cores)
+	fmt.Fprintf(&b, "  %5s  %10s  %7s  %10s  %12s  %12s  %12s\n",
+		"depth", "ops/s", "speedup", "p99", "fetch-wait", "evict-wait", "wb-wait")
+	for _, d := range r.Depths {
+		p := d.Run.Pipeline
+		fmt.Fprintf(&b, "  %5d  %10.0f  %6.2fx  %10s  %12s  %12s  %12s\n",
+			d.Depth, d.Run.OpsPerSec, d.Speedup,
+			d.Run.P99Latency.Round(time.Microsecond),
+			time.Duration(p.FetchWaitNs).Round(time.Microsecond),
+			time.Duration(p.EvictWaitNs).Round(time.Microsecond),
+			time.Duration(p.WritebackWaitNs).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// RunPipelineSweep measures the same grouped Service write workload at
+// each pipeline depth (default 1, 2, 4) and reports per-depth throughput
+// plus stage-stall telemetry. Defaults skew crypto-heavy (larger blocks
+// than RunServiceBench) so the fetch and writeback stages carry enough
+// AES work for overlap to matter; pass explicit geometry to override.
+func RunPipelineSweep(cfg ServiceBenchConfig, depths []int) (PipelineSweepResult, error) {
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 512
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 1024
+	}
+	cfg = cfg.withDefaults()
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "forkoram-pipesweep")
+		if err != nil {
+			return PipelineSweepResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	res := PipelineSweepResult{Cores: runtime.GOMAXPROCS(0)}
+	var base float64
+	for _, depth := range depths {
+		dcfg := cfg
+		dcfg.PipelineDepth = depth
+		run, err := runSvcBench(dcfg, dir, fmt.Sprintf("depth%d", depth), 0)
+		if err != nil {
+			return res, fmt.Errorf("forkoram: pipeline sweep depth %d: %w", depth, err)
+		}
+		sr := PipelineSweepRun{Depth: depth, Run: run}
+		if depth == 1 || base == 0 {
+			base = run.OpsPerSec
+		}
+		if base > 0 {
+			sr.Speedup = run.OpsPerSec / base
+		}
+		res.Depths = append(res.Depths, sr)
+	}
+	return res, nil
 }
 
 // percentile returns the p-th percentile of sorted durations
