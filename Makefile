@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-svc bench-pipeline json chaos chaos-smoke fuzz fuzz-smoke
+.PHONY: build test race bench bench-svc bench-pipeline bench-reshard json chaos chaos-smoke chaos-reshard chaos-reshard-smoke fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ bench-svc:
 bench-pipeline:
 	$(GO) run ./cmd/orambench -pipeline-sweep -svc-ops 1200
 
+# Online reshard benchmark: one timed 2->4 split over file-backed
+# journals with concurrent client writers riding the dual-routed front
+# door (svc_reshard_* fields in the -json record).
+bench-reshard:
+	$(GO) run ./cmd/orambench -reshard
+	$(GO) run ./cmd/orambench -reshard -new-shards 3
+
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:
 	$(GO) run ./cmd/orambench -mixes 2 -requests 800 -json
@@ -51,6 +58,20 @@ chaos-smoke:
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 100 -fault-rate 0.006
 	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 100
 	$(GO) run ./cmd/forksim -crash-shards -seed 4 -crash-schedules 100 -shards 3
+
+# Mid-migration crash campaign: online splits (odd schedules merge
+# back) under concurrent traffic, router kills at every migration phase
+# (policy append, mid-stream, watermark advance, cutover commit,
+# post-cutover truncate), full rebuild + resume from the surviving
+# journals after each. Exits non-zero on any lost acked write or silent
+# corruption.
+chaos-reshard:
+	$(GO) run ./cmd/forksim -crash-reshard -seed 5 -crash-schedules 1000 -shards 2 -add-shards 2
+
+# Reduced-schedule variant for CI smoke (still covers every phase: the
+# kill focus rotates with period 5).
+chaos-reshard-smoke:
+	$(GO) run ./cmd/forksim -crash-reshard -seed 5 -crash-schedules 100 -shards 2 -add-shards 2
 
 # Coverage-guided fuzzing of the Device against a map oracle, with and
 # without fault injection (see FuzzDeviceOps in fuzz_test.go).

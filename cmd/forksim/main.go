@@ -28,6 +28,16 @@
 //
 //	forksim -crash-shards -seed 1 -crash-schedules 1000 -shards 3
 //
+// With -crash-reshard, the campaign targets an ONLINE reshard: every
+// schedule splits the fleet (odd schedules then merge back) while a
+// client workload runs, the router is killed at every migration phase
+// (policy append, mid-stream, watermark advance, cutover commit,
+// post-cutover truncate), the fleet is rebuilt from its surviving
+// journals, and the migration resumed — exiting non-zero if any
+// acknowledged write is lost or any read is silently wrong:
+//
+//	forksim -crash-reshard -seed 1 -crash-schedules 1000 -shards 2 -add-shards 2
+//
 // With -recover, forksim runs a self-healing demo: a Service under
 // continuous fault injection with device retries disabled, so every
 // fault poisons the device and the supervisor heals it live. It prints
@@ -82,7 +92,10 @@ func main() {
 		crashSchedules = flag.Int("crash-schedules", 1000, "crash: independent crash schedules (each runs both variants)")
 
 		crashShards = flag.Bool("crash-shards", false, "run the per-shard crash campaign against a ShardedService fleet")
-		shards      = flag.Int("shards", 3, "crash-shards: fleet width")
+		shards      = flag.Int("shards", 3, "crash-shards: fleet width / crash-reshard: starting width")
+
+		crashReshard = flag.Bool("crash-reshard", false, "run the mid-migration crash campaign against an online reshard")
+		addShards    = flag.Int("add-shards", 2, "crash-reshard: shards added by the split (odd schedules merge back)")
 
 		recoverDemo = flag.Bool("recover", false, "run the supervised self-healing demo (faults injected, supervisor heals live)")
 		recoverOps  = flag.Int("recover-ops", 2000, "recover: client operations to drive through the healing service")
@@ -127,6 +140,15 @@ func main() {
 			Schedules: *crashSchedules,
 			Shards:    *shards,
 			Faults:    true,
+		})
+		return
+	}
+	if *crashReshard {
+		runReshardCrash(forkoram.ReshardChaosConfig{
+			Seed:      *seed,
+			Schedules: *crashSchedules,
+			Shards:    *shards,
+			AddShards: *addShards,
 		})
 		return
 	}
@@ -252,6 +274,14 @@ func runCrash(cfg forkoram.CrashChaosConfig) {
 
 func runShardedCrash(cfg forkoram.ShardedCrashChaosConfig) {
 	rep := forkoram.RunShardedCrashChaos(cfg)
+	fmt.Print(rep.String())
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func runReshardCrash(cfg forkoram.ReshardChaosConfig) {
+	rep := forkoram.RunReshardCrashChaos(cfg)
 	fmt.Print(rep.String())
 	if !rep.Ok() {
 		os.Exit(1)

@@ -13,6 +13,7 @@
 //	orambench -svc -shards 8 -json # sharded fleet bench, recorded to json
 //	orambench -svc -pipeline-depth 4    # pipelined device under the svc bench
 //	orambench -pipeline-sweep -json     # depth sweep (1,2,4) comparison table
+//	orambench -reshard -json       # online reshard under concurrent writers
 //	orambench -gomaxprocs 8        # pin the Go scheduler width for the run
 //	orambench -cpuprofile cpu.out  # profile the run for go tool pprof
 package main
@@ -83,6 +84,20 @@ type benchReport struct {
 	// SvcPipelineSweep holds the full per-depth table when -pipeline-sweep
 	// ran (depth, throughput, latency, stall telemetry per entry).
 	SvcPipelineSweep []forkoram.PipelineSweepRun `json:"svc_pipeline_sweep,omitempty"`
+	// Online reshard bench (see RunReshardBench): one timed split over
+	// file-backed journals — migration copy throughput, journaled chunk
+	// count, summed write-barrier stall, and what concurrent client
+	// writers still pushed through the dual-routed front door.
+	SvcReshardFromShards      int     `json:"svc_reshard_from_shards,omitempty"`
+	SvcReshardToShards        int     `json:"svc_reshard_to_shards,omitempty"`
+	SvcReshardBlocks          uint64  `json:"svc_reshard_blocks,omitempty"`
+	SvcReshardElapsedNS       int64   `json:"svc_reshard_elapsed_ns,omitempty"`
+	SvcReshardBlocksPerSec    float64 `json:"svc_reshard_blocks_per_sec,omitempty"`
+	SvcReshardChunks          uint64  `json:"svc_reshard_chunks,omitempty"`
+	SvcReshardStallNS         uint64  `json:"svc_reshard_stall_ns,omitempty"`
+	SvcReshardEpoch           uint64  `json:"svc_reshard_epoch,omitempty"`
+	SvcReshardClientOpsPerSec float64 `json:"svc_reshard_client_ops_per_sec,omitempty"`
+	SvcReshardClientP99NS     int64   `json:"svc_reshard_client_p99_ns,omitempty"`
 }
 
 type experimentReport struct {
@@ -131,6 +146,21 @@ func (r *benchReport) fillPipelineSweep(res forkoram.PipelineSweepResult) {
 	}
 }
 
+// fillReshard copies a reshard bench result into the report's
+// svc_reshard_* fields.
+func (r *benchReport) fillReshard(res forkoram.ReshardBenchResult) {
+	r.SvcReshardFromShards = res.FromShards
+	r.SvcReshardToShards = res.ToShards
+	r.SvcReshardBlocks = res.Blocks
+	r.SvcReshardElapsedNS = res.Elapsed.Nanoseconds()
+	r.SvcReshardBlocksPerSec = res.BlocksPerSec
+	r.SvcReshardChunks = res.Chunks
+	r.SvcReshardStallNS = res.StallNs
+	r.SvcReshardEpoch = res.Epoch
+	r.SvcReshardClientOpsPerSec = res.ClientOpsPerSec
+	r.SvcReshardClientP99NS = res.ClientP99.Nanoseconds()
+}
+
 // writeReport writes the BENCH_<date>.json perf record.
 func writeReport(rep benchReport) {
 	path := fmt.Sprintf("BENCH_%s.json", rep.Date)
@@ -161,6 +191,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "Service bench: ShardedService fleet width (1 = plain Service)")
 		pipeDepth  = flag.Int("pipeline-depth", 0, "Service bench: staged-pipeline depth per device (0/1 = serial engine)")
 		pipeSweep  = flag.Bool("pipeline-sweep", false, "run only the pipeline depth sweep (depths 1, 2, 4)")
+		reshard    = flag.Bool("reshard", false, "run only the online reshard benchmark")
+		newShards  = flag.Int("new-shards", 4, "reshard bench: recipient fleet width")
 		maxProcs   = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the whole run (0 = leave default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -189,6 +221,30 @@ func main() {
 	}()
 
 	svcCfg := forkoram.ServiceBenchConfig{Ops: *svcOps, Shards: *shards, Seed: *seed, PipelineDepth: *pipeDepth}
+	reshardCfg := forkoram.ReshardBenchConfig{Seed: *seed, NewShards: *newShards}
+	if *shards > 1 {
+		reshardCfg.Shards = *shards
+	}
+	if *reshard {
+		start := time.Now()
+		res, err := forkoram.RunReshardBench(reshardCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: reshard bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *jsonOut {
+			rep := benchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			rep.fillReshard(res)
+			writeReport(rep)
+		}
+		return
+	}
 	if *pipeSweep {
 		start := time.Now()
 		res, err := forkoram.RunPipelineSweep(svcCfg, nil)
@@ -289,6 +345,12 @@ func main() {
 		} else {
 			fmt.Print(svcRes.String())
 		}
+		reshardRes, reshardErr := forkoram.RunReshardBench(reshardCfg)
+		if reshardErr != nil {
+			fmt.Fprintf(os.Stderr, "orambench: reshard bench: %v\n", reshardErr)
+		} else {
+			fmt.Print(reshardRes.String())
+		}
 		rep := benchReport{
 			Date:              time.Now().Format("2006-01-02"),
 			GoVersion:         runtime.Version(),
@@ -306,6 +368,9 @@ func main() {
 			RecoverReplayOpsPerSec: replay,
 		}
 		rep.fillSvc(svcRes)
+		if reshardErr == nil {
+			rep.fillReshard(reshardRes)
+		}
 		if *pipeDepth > 1 {
 			rep.fillPipelineRun(*pipeDepth, svcRes.Grouped, 0)
 		}

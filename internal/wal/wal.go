@@ -66,9 +66,34 @@ type Record struct {
 
 // Journal operations. The op byte is stored per record so the format can
 // grow (deletes, range ops, tombstones) without a version bump.
+//
+// OpWrite is the only op that appears in a shard Service's journal. The
+// OpPolicy/OpReshard* family lives exclusively in the sharded router's
+// own journal (ShardedServiceConfig.RouterWAL) and records routing-
+// policy transitions: replaying them reconstructs the exact dual-routing
+// state — old policy, new policy, migration watermark — at any crash
+// point of an online reshard.
 const (
 	// OpWrite sets Addr's block to Payload.
 	OpWrite uint8 = 1
+	// OpPolicy anchors the router journal: Payload is the encoded
+	// RoutingPolicy currently in force. Written once when the journal is
+	// fresh; any later OpPolicy record resets the routing state machine.
+	OpPolicy uint8 = 2
+	// OpReshardBegin opens a migration epoch: Payload encodes the donor
+	// policy followed by the recipient policy (see forkoram.ReshardPlan).
+	OpReshardBegin uint8 = 3
+	// OpReshardAdvance commits a migration watermark: every global
+	// address below Addr has been durably copied to the recipient shard
+	// set and is henceforth routed by the new policy.
+	OpReshardAdvance uint8 = 4
+	// OpReshardCutover commits the migration: the recipient policy is the
+	// routing policy. Durable cutover makes the new shard set
+	// authoritative for the whole address space.
+	OpReshardCutover uint8 = 5
+	// OpReshardFinal records that the donor shard set has been retired
+	// (services closed, journal stores truncated) after a cutover.
+	OpReshardFinal uint8 = 6
 )
 
 // Frame layout (little-endian):

@@ -1,0 +1,287 @@
+package forkoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"forkoram/internal/wal"
+)
+
+// RoutingPolicy is one immutable, versioned address-partitioning rule:
+// under policy p, global address a lives on shard a % p.Shards as local
+// address a / p.Shards. The map is a fixed public function of the
+// address alone — never of data, history, or secrets — so an adversary
+// watching which shard serves a request learns exactly the residue
+// class of the address, which the deployment declares public.
+//
+// Version totally orders the policies a fleet has lived under: a fleet
+// starts at Version 1 and every online reshard installs Version+1 with
+// a different Shards count. The version is what the router journals, so
+// a restart can tell "which epoch admitted this routing state" apart
+// from arithmetic that merely looks similar.
+type RoutingPolicy struct {
+	Version uint64
+	Shards  int
+}
+
+// ShardOf returns the shard index serving global address addr.
+func (p RoutingPolicy) ShardOf(addr uint64) int {
+	return int(addr % uint64(p.Shards))
+}
+
+// Local translates a global address into the owning shard's local
+// address space.
+func (p RoutingPolicy) Local(addr uint64) uint64 {
+	return addr / uint64(p.Shards)
+}
+
+// ShardBlocks returns how many of blocks global addresses land on shard
+// i under the policy's striping.
+func (p RoutingPolicy) ShardBlocks(blocks uint64, i int) uint64 {
+	return shardBlocks(blocks, p.Shards, i)
+}
+
+// Routing-policy wire format: a fixed 13-byte frame so the encoding is
+// deterministic (one valid encoding per policy — round-trips are exact,
+// which the fuzz harness pins).
+//
+//	byte  0     format version (routingPolicyFormat)
+//	bytes 1-8   Version, little-endian uint64
+//	bytes 9-12  Shards, little-endian uint32
+const (
+	routingPolicyFormat = 1
+	routingPolicyLen    = 13
+)
+
+// ErrBadPolicy marks a routing-policy (or reshard-plan) encoding that
+// failed strict validation. A journaled policy record that does not
+// decode bit-exactly is treated as corruption, never as "best effort"
+// routing — misrouting is silent data loss.
+var ErrBadPolicy = errors.New("forkoram: malformed routing policy encoding")
+
+// AppendBinary appends the policy's canonical encoding to dst.
+func (p RoutingPolicy) AppendBinary(dst []byte) []byte {
+	dst = append(dst, routingPolicyFormat)
+	dst = binary.LittleEndian.AppendUint64(dst, p.Version)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Shards))
+	return dst
+}
+
+// MarshalBinary returns the canonical 13-byte encoding.
+func (p RoutingPolicy) MarshalBinary() ([]byte, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p.AppendBinary(make([]byte, 0, routingPolicyLen)), nil
+}
+
+// validate checks the policy is encodable: real version, usable shard
+// count that survives the uint32 wire field.
+func (p RoutingPolicy) validate() error {
+	if p.Version == 0 {
+		return fmt.Errorf("%w: version 0", ErrBadPolicy)
+	}
+	if p.Shards < 1 || uint64(p.Shards) > math.MaxUint32 {
+		return fmt.Errorf("%w: %d shards", ErrBadPolicy, p.Shards)
+	}
+	return nil
+}
+
+// UnmarshalRoutingPolicy decodes a canonical policy encoding. It is
+// strict: exact length, known format byte, Version >= 1, Shards >= 1.
+// Every accepted input re-encodes to the identical bytes.
+func UnmarshalRoutingPolicy(data []byte) (RoutingPolicy, error) {
+	if len(data) != routingPolicyLen {
+		return RoutingPolicy{}, fmt.Errorf("%w: %d bytes, want %d", ErrBadPolicy, len(data), routingPolicyLen)
+	}
+	if data[0] != routingPolicyFormat {
+		return RoutingPolicy{}, fmt.Errorf("%w: format %d", ErrBadPolicy, data[0])
+	}
+	p := RoutingPolicy{
+		Version: binary.LittleEndian.Uint64(data[1:9]),
+		Shards:  int(binary.LittleEndian.Uint32(data[9:13])),
+	}
+	if err := p.validate(); err != nil {
+		return RoutingPolicy{}, err
+	}
+	return p, nil
+}
+
+// ReshardPlan is the payload of an OpReshardBegin record: the donor
+// policy and the recipient policy of one migration epoch. Encoded as
+// the two canonical policy frames concatenated (donor first).
+type ReshardPlan struct {
+	From, To RoutingPolicy
+}
+
+// MarshalBinary returns the canonical 26-byte plan encoding.
+func (pl ReshardPlan) MarshalBinary() ([]byte, error) {
+	if err := pl.validate(); err != nil {
+		return nil, err
+	}
+	dst := make([]byte, 0, 2*routingPolicyLen)
+	dst = pl.From.AppendBinary(dst)
+	dst = pl.To.AppendBinary(dst)
+	return dst, nil
+}
+
+// validate checks plan-level invariants on top of per-policy ones: the
+// recipient is the donor's direct successor and actually changes the
+// shard count.
+func (pl ReshardPlan) validate() error {
+	if err := pl.From.validate(); err != nil {
+		return err
+	}
+	if err := pl.To.validate(); err != nil {
+		return err
+	}
+	if pl.To.Version != pl.From.Version+1 {
+		return fmt.Errorf("%w: plan %d -> %d is not a successor epoch", ErrBadPolicy, pl.From.Version, pl.To.Version)
+	}
+	if pl.To.Shards == pl.From.Shards {
+		return fmt.Errorf("%w: plan keeps %d shards", ErrBadPolicy, pl.From.Shards)
+	}
+	return nil
+}
+
+// UnmarshalReshardPlan decodes a canonical plan encoding, with the same
+// strictness as UnmarshalRoutingPolicy.
+func UnmarshalReshardPlan(data []byte) (ReshardPlan, error) {
+	if len(data) != 2*routingPolicyLen {
+		return ReshardPlan{}, fmt.Errorf("%w: %d bytes, want %d", ErrBadPolicy, len(data), 2*routingPolicyLen)
+	}
+	from, err := UnmarshalRoutingPolicy(data[:routingPolicyLen])
+	if err != nil {
+		return ReshardPlan{}, err
+	}
+	to, err := UnmarshalRoutingPolicy(data[routingPolicyLen:])
+	if err != nil {
+		return ReshardPlan{}, err
+	}
+	pl := ReshardPlan{From: from, To: to}
+	if err := pl.validate(); err != nil {
+		return ReshardPlan{}, err
+	}
+	return pl, nil
+}
+
+// routingState is the routing truth reconstructed from a router
+// journal: the policy in force, the in-progress migration (if any), and
+// whether a committed cutover still owes donor retirement.
+type routingState struct {
+	cur RoutingPolicy
+	// next is non-nil while a migration epoch is open (begin journaled,
+	// cutover not yet): addresses below watermark route under *next,
+	// the rest under cur.
+	next      *RoutingPolicy
+	watermark uint64
+	// pendingFinal is true when a cutover committed (cur is already the
+	// recipient policy) but the donor retirement was not yet journaled —
+	// the rebuilder must retire donor stores and append OpReshardFinal.
+	pendingFinal bool
+	// donor remembers the pre-cutover policy while pendingFinal, so the
+	// rebuilder knows which per-shard stores to retire.
+	donor RoutingPolicy
+	// anchored reports whether the journal carried any records at all; a
+	// fresh journal needs the caller to append the anchor policy.
+	anchored bool
+}
+
+// replayRouterJournal folds a router journal (as decoded by wal.Open,
+// torn tail already truncated) into the routing state it proves. def is
+// the config-derived policy used only when the journal is empty — once
+// anchored, the journal is authoritative and the config's Shards field
+// is ignored, which is what lets a fleet be rebuilt with its original
+// config after it resharded.
+//
+// Any structural violation (policy record that does not decode, a begin
+// over the wrong donor, an advance outside a migration or moving
+// backwards) is corruption: the rebuild fails loudly instead of
+// misrouting.
+func replayRouterJournal(recs []wal.Record, def RoutingPolicy) (routingState, error) {
+	st := routingState{cur: def}
+	for i, r := range recs {
+		switch r.Op {
+		case wal.OpPolicy:
+			p, err := UnmarshalRoutingPolicy(r.Payload)
+			if err != nil {
+				return st, fmt.Errorf("forkoram: router journal rec %d: %w", i, err)
+			}
+			st = routingState{cur: p, anchored: true}
+		case wal.OpReshardBegin:
+			pl, err := UnmarshalReshardPlan(r.Payload)
+			if err != nil {
+				return st, fmt.Errorf("forkoram: router journal rec %d: %w", i, err)
+			}
+			if !st.anchored || st.next != nil || st.pendingFinal {
+				return st, fmt.Errorf("forkoram: router journal rec %d: begin in wrong state", i)
+			}
+			if pl.From != st.cur {
+				return st, fmt.Errorf("forkoram: router journal rec %d: begin from policy v%d/%d, current is v%d/%d",
+					i, pl.From.Version, pl.From.Shards, st.cur.Version, st.cur.Shards)
+			}
+			to := pl.To
+			st.next = &to
+			st.watermark = 0
+		case wal.OpReshardAdvance:
+			if st.next == nil {
+				return st, fmt.Errorf("forkoram: router journal rec %d: advance outside a migration", i)
+			}
+			if r.Addr <= st.watermark {
+				return st, fmt.Errorf("forkoram: router journal rec %d: watermark %d does not advance past %d",
+					i, r.Addr, st.watermark)
+			}
+			st.watermark = r.Addr
+		case wal.OpReshardCutover:
+			if st.next == nil {
+				return st, fmt.Errorf("forkoram: router journal rec %d: cutover outside a migration", i)
+			}
+			st.donor = st.cur
+			st.cur = *st.next
+			st.next = nil
+			st.watermark = 0
+			st.pendingFinal = true
+		case wal.OpReshardFinal:
+			if !st.pendingFinal {
+				return st, fmt.Errorf("forkoram: router journal rec %d: final without a pending cutover", i)
+			}
+			st.pendingFinal = false
+			st.donor = RoutingPolicy{}
+		default:
+			return st, fmt.Errorf("forkoram: router journal rec %d: unexpected op %d", i, r.Op)
+		}
+	}
+	return st, nil
+}
+
+// MigrationStats reports an online reshard's progress through
+// ShardedStats. Counters are in-memory (they reset when a fleet is
+// rebuilt from stores); the authoritative migration state lives in the
+// router journal.
+type MigrationStats struct {
+	// Active is true while a migration epoch is open (dual routing in
+	// force). Epoch is the routing-policy version currently serving — it
+	// becomes the recipient's version at cutover.
+	Active bool
+	Epoch  uint64
+	// FromShards/ToShards describe the open (or, if Active is false,
+	// the most recently observed) migration; zero when the fleet has
+	// never resharded in this incarnation.
+	FromShards, ToShards int
+	// Watermark is the journaled dual-routing boundary: addresses below
+	// it are served by the recipient set.
+	Watermark uint64
+	// BlocksMoved/Chunks count copy work done by this incarnation's
+	// migrator; Resumes counts migrations continued from a journaled
+	// epoch rather than begun fresh; Completed counts cutovers.
+	BlocksMoved uint64
+	Chunks      uint64
+	Resumes     uint64
+	Completed   uint64
+	// StallNs is the total time the migrator spent waiting for
+	// pre-barrier in-flight operations to drain before copying a chunk —
+	// the only moments client writes to the chunk wait.
+	StallNs uint64
+}

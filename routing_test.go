@@ -1,0 +1,196 @@
+package forkoram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"forkoram/internal/wal"
+)
+
+// TestRoutingPolicyRoundTrip pins the canonical encoding: deterministic
+// bytes, exact round trip, strict rejection of malformed inputs.
+func TestRoutingPolicyRoundTrip(t *testing.T) {
+	for _, p := range []RoutingPolicy{
+		{Version: 1, Shards: 1},
+		{Version: 1, Shards: 3},
+		{Version: 7, Shards: 4096},
+		{Version: 1<<63 + 5, Shards: 1<<32 - 1},
+	} {
+		enc, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if len(enc) != routingPolicyLen {
+			t.Fatalf("%+v encoded to %d bytes", p, len(enc))
+		}
+		got, err := UnmarshalRoutingPolicy(enc)
+		if err != nil || got != p {
+			t.Fatalf("round trip %+v -> %+v (err %v)", p, got, err)
+		}
+	}
+	bad := [][]byte{
+		nil,
+		{},
+		{routingPolicyFormat},
+		make([]byte, routingPolicyLen-1),
+		make([]byte, routingPolicyLen+1),
+		append([]byte{99}, make([]byte, 12)...), // unknown format
+		append([]byte{routingPolicyFormat}, make([]byte, 12)...), // version 0, shards 0
+	}
+	for _, b := range bad {
+		if _, err := UnmarshalRoutingPolicy(b); !errors.Is(err, ErrBadPolicy) {
+			t.Fatalf("accepted malformed policy %v (err %v)", b, err)
+		}
+	}
+	if _, err := (RoutingPolicy{Version: 0, Shards: 2}).MarshalBinary(); err == nil {
+		t.Fatal("encoded version-0 policy")
+	}
+	if _, err := (RoutingPolicy{Version: 1, Shards: 0}).MarshalBinary(); err == nil {
+		t.Fatal("encoded zero-shard policy")
+	}
+}
+
+// TestReshardPlanRoundTrip pins plan-level invariants: successor
+// version, changed width.
+func TestReshardPlanRoundTrip(t *testing.T) {
+	pl := ReshardPlan{From: RoutingPolicy{Version: 3, Shards: 2}, To: RoutingPolicy{Version: 4, Shards: 5}}
+	enc, err := pl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReshardPlan(enc)
+	if err != nil || got != pl {
+		t.Fatalf("round trip %+v -> %+v (err %v)", pl, got, err)
+	}
+	for _, bad := range []ReshardPlan{
+		{From: RoutingPolicy{Version: 3, Shards: 2}, To: RoutingPolicy{Version: 5, Shards: 4}}, // skipped epoch
+		{From: RoutingPolicy{Version: 3, Shards: 2}, To: RoutingPolicy{Version: 4, Shards: 2}}, // same width
+	} {
+		if _, err := bad.MarshalBinary(); err == nil {
+			t.Fatalf("encoded invalid plan %+v", bad)
+		}
+	}
+}
+
+// TestReplayRouterJournal walks the record state machine through a full
+// migration and checks each intermediate state plus the corruption
+// rejections.
+func TestReplayRouterJournal(t *testing.T) {
+	def := RoutingPolicy{Version: 1, Shards: 2}
+	anchor := wal.Record{Op: wal.OpPolicy, Payload: mustEncodePolicy(def)}
+	plan := ReshardPlan{From: def, To: RoutingPolicy{Version: 2, Shards: 4}}
+	planBytes, err := plan.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := wal.Record{Op: wal.OpReshardBegin, Payload: planBytes}
+	adv8 := wal.Record{Op: wal.OpReshardAdvance, Addr: 8}
+	adv16 := wal.Record{Op: wal.OpReshardAdvance, Addr: 16}
+	cut := wal.Record{Op: wal.OpReshardCutover}
+	fin := wal.Record{Op: wal.OpReshardFinal}
+
+	// Empty journal: default, unanchored.
+	st, err := replayRouterJournal(nil, def)
+	if err != nil || st.anchored || st.cur != def {
+		t.Fatalf("empty journal -> %+v (err %v)", st, err)
+	}
+	// Mid-migration.
+	st, err = replayRouterJournal([]wal.Record{anchor, begin, adv8, adv16}, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.next == nil || *st.next != plan.To || st.watermark != 16 || st.cur != def {
+		t.Fatalf("mid-migration state %+v", st)
+	}
+	// Cutover committed, retirement pending.
+	st, err = replayRouterJournal([]wal.Record{anchor, begin, adv8, cut}, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.next != nil || st.cur != plan.To || !st.pendingFinal || st.donor != def {
+		t.Fatalf("post-cutover state %+v", st)
+	}
+	// Fully settled.
+	st, err = replayRouterJournal([]wal.Record{anchor, begin, adv8, cut, fin}, def)
+	if err != nil || st.pendingFinal || st.cur != plan.To || st.next != nil {
+		t.Fatalf("settled state %+v (err %v)", st, err)
+	}
+
+	// Corruptions must fail loudly, never misroute.
+	for name, recs := range map[string][]wal.Record{
+		"advance outside migration": {anchor, adv8},
+		"begin over wrong donor": {anchor, begin, adv8, cut, fin,
+			{Op: wal.OpReshardBegin, Payload: planBytes}}, // cur is now v2/4, plan.From is v1/2
+		"watermark regression":  {anchor, begin, adv16, adv8},
+		"final without cutover": {anchor, fin},
+		"cutover without begin": {anchor, cut},
+		"garbled policy":        {{Op: wal.OpPolicy, Payload: []byte{1, 2, 3}}},
+		"garbled plan":          {anchor, {Op: wal.OpReshardBegin, Payload: []byte{0}}},
+		"foreign op":            {anchor, {Op: wal.OpWrite, Addr: 1}},
+	} {
+		if _, err := replayRouterJournal(recs, def); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzRoutingPolicy: any input either fails strict decoding or
+// round-trips to the identical bytes — a corrupted journaled policy can
+// never silently misparse into different routing.
+func FuzzRoutingPolicy(f *testing.F) {
+	seed, _ := RoutingPolicy{Version: 2, Shards: 3}.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:7])
+	f.Add(append([]byte{42}, seed[1:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalRoutingPolicy(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadPolicy) {
+				t.Fatalf("decode error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		if p.Version == 0 || p.Shards < 1 {
+			t.Fatalf("decoder accepted unusable policy %+v", p)
+		}
+		enc, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted policy %+v does not re-encode: %v", p, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip not exact: %x -> %+v -> %x", data, p, enc)
+		}
+	})
+}
+
+// FuzzReshardPlan: same exactness for the begin-record payload.
+func FuzzReshardPlan(f *testing.F) {
+	seed, _ := ReshardPlan{
+		From: RoutingPolicy{Version: 1, Shards: 2},
+		To:   RoutingPolicy{Version: 2, Shards: 4},
+	}.MarshalBinary()
+	f.Add(seed)
+	f.Add(seed[:routingPolicyLen])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := UnmarshalReshardPlan(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadPolicy) {
+				t.Fatalf("decode error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		if pl.To.Version != pl.From.Version+1 || pl.To.Shards == pl.From.Shards {
+			t.Fatalf("decoder accepted invalid plan %+v", pl)
+		}
+		enc, err := pl.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted plan %+v does not re-encode: %v", pl, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip not exact: %x -> %+v -> %x", data, pl, enc)
+		}
+	})
+}

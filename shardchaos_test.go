@@ -42,3 +42,35 @@ func TestShardedCrashChaosKillsEveryShard(t *testing.T) {
 		}
 	}
 }
+
+// TestReshardCrashChaosReduced runs a reduced mid-migration crash
+// campaign in the normal test suite; `make chaos-reshard` / forksim
+// -crash-reshard run the full 1000-schedule one. 25 schedules × 2
+// variants covers every ReshardCrashPoint focus (rotation period 5).
+func TestReshardCrashChaosReduced(t *testing.T) {
+	rep := RunReshardCrashChaos(ReshardChaosConfig{Seed: 0x4e5d, Schedules: 25})
+	t.Logf("\n%s", rep.String())
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if rep.LostAcks != 0 || rep.SilentCorruptions != 0 {
+		t.Fatalf("lost acks %d, silent corruptions %d", rep.LostAcks, rep.SilentCorruptions)
+	}
+	for p := 0; p < numReshardPoints; p++ {
+		if rep.PhaseHits[p] == 0 {
+			t.Errorf("no kill ever landed at %s (hits: %v)", ReshardCrashPoint(p), rep.PhaseHits)
+		}
+	}
+	if rep.Rebuilds == 0 || rep.Resumes == 0 {
+		t.Fatalf("rebuild-and-resume never exercised: %d rebuilds, %d resumes", rep.Rebuilds, rep.Resumes)
+	}
+	if rep.MigReads == 0 || rep.MigWrites == 0 {
+		t.Fatalf("no-full-stop property never exercised: %d reads, %d writes during migration",
+			rep.MigReads, rep.MigWrites)
+	}
+	if rep.Migrations < uint64(rep.Schedules) {
+		t.Fatalf("only %d cutovers committed across %d schedules", rep.Migrations, rep.Schedules)
+	}
+}

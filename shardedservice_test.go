@@ -178,7 +178,7 @@ func TestShardedBatchAllOrNothing(t *testing.T) {
 func TestShardedFailureIsolation(t *testing.T) {
 	cfg := shardedTestConfig(3, 30)
 	cfg.Service.MaxRecoveries = -1 // first in-service poisoning is terminal
-	cfg.PerShard = func(shard int, sc *ServiceConfig) {
+	cfg.PerShard = func(_ RoutingPolicy, shard int, sc *ServiceConfig) {
 		if shard == 1 {
 			sc.Device.Retries = -1
 			sc.Device.Faults = &faults.Config{Seed: 11, PTransientWrite: 1}
@@ -233,7 +233,7 @@ func TestShardedRestartShard(t *testing.T) {
 	cfg := shardedTestConfig(shards, blocks)
 	var armed, fired atomic.Bool
 	consult := 0
-	cfg.PerShard = func(shard int, sc *ServiceConfig) {
+	cfg.PerShard = func(_ RoutingPolicy, shard int, sc *ServiceConfig) {
 		if shard == 2 {
 			sc.crashHook = func(CrashPoint) bool {
 				if !armed.Load() || fired.Load() {
@@ -347,7 +347,7 @@ func TestShardedReopenFromStores(t *testing.T) {
 		ckpts[i] = NewMemCheckpointStore()
 	}
 	cfg := shardedTestConfig(shards, blocks)
-	cfg.PerShard = func(shard int, sc *ServiceConfig) {
+	cfg.PerShard = func(_ RoutingPolicy, shard int, sc *ServiceConfig) {
 		sc.WAL = wals[shard]
 		sc.Checkpoints = ckpts[shard]
 	}
@@ -406,7 +406,7 @@ func TestShardedPerShardTraces(t *testing.T) {
 	traces := make([]*shardTrace, shards)
 	cfg := shardedTestConfig(shards, blocks)
 	cfg.Service.CheckpointEvery = 1 << 30 // no mid-trace checkpoints; Close's final one drains through the same engine
-	cfg.PerShard = func(shard int, sc *ServiceConfig) {
+	cfg.PerShard = func(_ RoutingPolicy, shard int, sc *ServiceConfig) {
 		tr := &shardTrace{}
 		traces[shard] = tr
 		sc.Device.Observer = tr.observe
@@ -490,7 +490,7 @@ func TestShardedPerShardTraces(t *testing.T) {
 // shardTrees returns each shard device's tree geometry (in-package test
 // hook; geometry is public information).
 func shardTrees(r *ShardedService) []tree.Tree {
-	trees := make([]tree.Tree, r.shards)
+	trees := make([]tree.Tree, r.Shards())
 	for i := range trees {
 		trees[i] = r.shard(i).dev.tr
 	}

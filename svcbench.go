@@ -194,7 +194,7 @@ func runSvcBench(cfg ServiceBenchConfig, dir, name string, maxGroup int) (Servic
 		sh, err := NewShardedService(ShardedServiceConfig{
 			Shards:  cfg.Shards,
 			Service: tmpl,
-			PerShard: func(shard int, sc *ServiceConfig) {
+			PerShard: func(_ RoutingPolicy, shard int, sc *ServiceConfig) {
 				st, err := OpenWALFile(filepath.Join(dir, fmt.Sprintf("%s.shard%d.wal", name, shard)))
 				if err != nil {
 					if openErr == nil {
@@ -406,4 +406,229 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 		i--
 	}
 	return sorted[i]
+}
+
+// ReshardBenchConfig parameterizes RunReshardBench: one online split
+// over file-backed journals with concurrent client writers, measuring
+// migration throughput and what the dual-routed front door still
+// delivers to clients while it runs.
+type ReshardBenchConfig struct {
+	// Blocks / BlockSize size the global space (defaults 512 / 64).
+	Blocks    uint64
+	BlockSize int
+	// Shards / NewShards are the donor and recipient widths (defaults
+	// 2 → 4).
+	Shards    int
+	NewShards int
+	// ChunkBlocks is the migration chunk size (default 32).
+	ChunkBlocks int
+	// Clients is the number of concurrent writers running for the whole
+	// migration (default 4).
+	Clients int
+	// Dir is where the journal files live ("" = fresh temp directory).
+	Dir string
+	// Seed derives payloads and device seeds.
+	Seed uint64
+}
+
+func (c ReshardBenchConfig) withDefaults() ReshardBenchConfig {
+	if c.Blocks == 0 {
+		c.Blocks = 512
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.NewShards == 0 {
+		c.NewShards = 4
+	}
+	if c.ChunkBlocks == 0 {
+		c.ChunkBlocks = 32
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x4e5d
+	}
+	return c
+}
+
+// ReshardBenchResult is one measured online migration.
+type ReshardBenchResult struct {
+	FromShards int    `json:"from_shards"`
+	ToShards   int    `json:"to_shards"`
+	Blocks     uint64 `json:"blocks"`
+	// Elapsed/BlocksPerSec time the Reshard call itself; Chunks the
+	// journaled watermark advances; StallNs the summed write-barrier
+	// drain time (how long admissions were actually held).
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	BlocksPerSec float64       `json:"blocks_per_sec"`
+	Chunks       uint64        `json:"chunks"`
+	StallNs      uint64        `json:"stall_ns"`
+	// Epoch is the policy version in force after the cutover.
+	Epoch uint64 `json:"epoch"`
+	// ClientOps / ClientOpsPerSec / ClientP99 measure the writes clients
+	// pushed through the dual-routed front door DURING the migration.
+	ClientOps       int           `json:"client_ops"`
+	ClientOpsPerSec float64       `json:"client_ops_per_sec"`
+	ClientP99       time.Duration `json:"client_p99_ns"`
+}
+
+// String renders the result for the CLI.
+func (r *ReshardBenchResult) String() string {
+	return fmt.Sprintf("online reshard bench (%d blocks, %d→%d shards, file-backed journals):\n",
+		r.Blocks, r.FromShards, r.ToShards) +
+		fmt.Sprintf("  migration: %8s, %9.0f blocks/s in %d chunks, write-barrier stall %s\n",
+			r.Elapsed.Round(time.Millisecond), r.BlocksPerSec, r.Chunks,
+			time.Duration(r.StallNs).Round(time.Microsecond)) +
+		fmt.Sprintf("  clients:   %9.0f ops/s during migration (%d ops, p99 %s) — no full-stop window\n",
+			r.ClientOpsPerSec, r.ClientOps, r.ClientP99.Round(time.Microsecond))
+}
+
+// RunReshardBench stands a fleet up over per-(version, shard) file
+// journals and a file-backed router journal, prefills every block, then
+// times one online split to NewShards while Clients concurrent writers
+// keep hammering the front door. Client writes ride dual routing the
+// whole way: the only hold is the per-chunk write barrier, which the
+// StallNs figure exposes.
+func RunReshardBench(cfg ReshardBenchConfig) (ReshardBenchResult, error) {
+	cfg = cfg.withDefaults()
+	var res ReshardBenchResult
+	res.FromShards, res.ToShards, res.Blocks = cfg.Shards, cfg.NewShards, cfg.Blocks
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "forkoram-reshardbench")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	rstore, err := OpenWALFile(filepath.Join(dir, "router.wal"))
+	if err != nil {
+		return res, err
+	}
+	defer rstore.Close()
+	var (
+		mu      sync.Mutex
+		stores  []*wal.FileStore
+		openErr error
+	)
+	svc, err := NewShardedService(ShardedServiceConfig{
+		Shards: cfg.Shards,
+		Service: ServiceConfig{
+			Device: DeviceConfig{
+				Blocks:    cfg.Blocks,
+				BlockSize: cfg.BlockSize,
+				QueueSize: 8,
+				Seed:      cfg.Seed,
+				Variant:   Fork,
+			},
+			QueueDepth:      16,
+			CheckpointEvery: 1 << 30,
+		},
+		RouterWAL: rstore,
+		PerShard: func(p RoutingPolicy, shard int, sc *ServiceConfig) {
+			st, err := OpenWALFile(filepath.Join(dir, fmt.Sprintf("v%d.shard%d.wal", p.Version, shard)))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if openErr == nil {
+					openErr = err
+				}
+				return
+			}
+			stores = append(stores, st)
+			sc.WAL = st
+			sc.Checkpoints = NewMemCheckpointStore()
+		},
+	})
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	if openErr != nil || err != nil {
+		if svc != nil {
+			svc.Close()
+		}
+		if openErr != nil {
+			return res, openErr
+		}
+		return res, err
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	for addr := uint64(0); addr < cfg.Blocks; addr++ {
+		if err := svc.Write(ctx, addr, chaosPayload(cfg.BlockSize, cfg.Seed, addr+1)); err != nil {
+			return res, err
+		}
+	}
+
+	// Client writers run for the whole migration window.
+	stop := make(chan struct{})
+	lats := make([][]time.Duration, cfg.Clients)
+	cerrs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lat []time.Duration
+			for n := uint64(0); ; n++ {
+				select {
+				case <-stop:
+					lats[c] = lat
+					return
+				default:
+				}
+				addr := (n*2654435761 + uint64(c)) % cfg.Blocks
+				data := chaosPayload(cfg.BlockSize, cfg.Seed^uint64(c+1), n+1)
+				t0 := time.Now()
+				if err := svc.Write(ctx, addr, data); err != nil {
+					cerrs[c] = err
+					lats[c] = lat
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	rerr := svc.Reshard(ctx, ReshardConfig{NewShards: cfg.NewShards, ChunkBlocks: cfg.ChunkBlocks})
+	res.Elapsed = time.Since(start)
+	close(stop)
+	wg.Wait()
+	if rerr != nil {
+		return res, rerr
+	}
+	for _, err := range cerrs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	m := svc.Stats().Migration
+	res.Chunks = m.Chunks
+	res.StallNs = m.StallNs
+	res.Epoch = m.Epoch
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.BlocksPerSec = float64(m.BlocksMoved) / sec
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.ClientOps = len(all)
+		res.ClientOpsPerSec = float64(len(all)) / sec
+		res.ClientP99 = percentile(all, 99)
+	}
+	return res, nil
 }
