@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-svc bench-pipeline bench-reshard json chaos chaos-smoke chaos-reshard chaos-reshard-smoke fuzz fuzz-smoke
+.PHONY: build test race bench bench-svc bench-pipeline bench-reshard bench-tiers json chaos chaos-smoke chaos-reshard chaos-reshard-smoke chaos-disk chaos-disk-smoke scrub fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ bench-reshard:
 	$(GO) run ./cmd/orambench -reshard
 	$(GO) run ./cmd/orambench -reshard -new-shards 3
 
+# Storage-tier comparison: the same concurrent workload through mem,
+# disk, disk+RAM-tier, simulated-remote, and remote+tier backends
+# (svc_disk_* / svc_remote_* fields in the -json record).
+bench-tiers:
+	$(GO) run ./cmd/orambench -tiers -tier-ops 2000
+
 # Regenerate the perf-trajectory record (BENCH_<date>.json).
 json:
 	$(GO) run ./cmd/orambench -mixes 2 -requests 800 -json
@@ -58,6 +64,25 @@ chaos-smoke:
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 100 -fault-rate 0.006
 	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 100
 	$(GO) run ./cmd/forksim -crash-shards -seed 4 -crash-schedules 100 -shards 3
+
+# Disk-medium crash campaign: every schedule runs over a real disk
+# bucket store, so kills land inside frame writes (mid-bucket-write
+# tears at random byte offsets) and scrub slices (mid-scrub). Reopening
+# must detect every torn frame as a typed corruption and recover with
+# zero lost acked writes.
+chaos-disk:
+	$(GO) run ./cmd/forksim -crash -disk -seed 3 -crash-schedules 1000
+
+# Reduced-schedule variant for CI smoke.
+chaos-disk-smoke:
+	$(GO) run ./cmd/forksim -crash -disk -seed 3 -crash-schedules 100
+
+# Offline scrub-and-repair demo: builds a disk-backed device, injects
+# frame corruptions out-of-band, and verifies the scrub detects exactly
+# the injected set (exit 1 on any miss). Point it at a real image with:
+#   go run ./cmd/forksim -scrub -scrub-image buckets.oram [-scrub-key hex]
+scrub:
+	$(GO) run ./cmd/forksim -scrub -seed 9
 
 # Mid-migration crash campaign: online splits (odd schedules merge
 # back) under concurrent traffic, router kills at every migration phase

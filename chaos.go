@@ -445,12 +445,14 @@ func cloneMedium(d *Device) map[tree.Node][]byte {
 }
 
 // restoreMedium rewrites the medium to exactly the backed-up state.
-func restoreMedium(mem *storage.Mem, tr tree.Tree, backup map[tree.Node][]byte) {
+// Works on any Medium; on a Disk store this also clears torn frames
+// left by a mid-write kill (SetCiphertext(nil) zeroes the slot).
+func restoreMedium(med storage.Medium, tr tree.Tree, backup map[tree.Node][]byte) {
 	for n := uint64(0); n < tr.Nodes(); n++ {
 		if ct, ok := backup[n]; ok {
-			mem.SetCiphertext(n, ct)
+			med.SetCiphertext(n, ct)
 		} else {
-			mem.SetCiphertext(n, nil)
+			med.SetCiphertext(n, nil)
 		}
 	}
 }

@@ -90,6 +90,11 @@ func main() {
 
 		crash          = flag.Bool("crash", false, "run the crash-at-every-point campaign against the supervised Service")
 		crashSchedules = flag.Int("crash-schedules", 1000, "crash: independent crash schedules (each runs both variants)")
+		crashDisk      = flag.Bool("disk", false, "crash: run every schedule over the durable disk bucket store (kills mid-bucket-write and mid-scrub included)")
+
+		scrub      = flag.Bool("scrub", false, "one-shot scrub over a disk bucket image (-scrub-image), or a self-checking corruption demo without one")
+		scrubImage = flag.String("scrub-image", "", "scrub: path of the disk bucket store to audit")
+		scrubKey   = flag.String("scrub-key", "", "scrub: hex bucket key; empty audits frames only (epoch + CRC, no decrypt)")
 
 		crashShards = flag.Bool("crash-shards", false, "run the per-shard crash campaign against a ShardedService fleet")
 		shards      = flag.Int("shards", 3, "crash-shards: fleet width / crash-reshard: starting width")
@@ -131,7 +136,12 @@ func main() {
 			Seed:      *seed,
 			Schedules: *crashSchedules,
 			Faults:    true,
+			Disk:      *crashDisk,
 		})
+		return
+	}
+	if *scrub {
+		runScrub(*scrubImage, *scrubKey, *seed)
 		return
 	}
 	if *crashShards {

@@ -98,6 +98,23 @@ type benchReport struct {
 	SvcReshardEpoch           uint64  `json:"svc_reshard_epoch,omitempty"`
 	SvcReshardClientOpsPerSec float64 `json:"svc_reshard_client_ops_per_sec,omitempty"`
 	SvcReshardClientP99NS     int64   `json:"svc_reshard_client_p99_ns,omitempty"`
+	// Storage tier bench (see RunTierBench): the same mixed workload
+	// over the in-memory medium, the durable disk store (with and
+	// without the write-through RAM tier), and the simulated remote.
+	// Slowdowns are relative to the mem run; the remote counters show
+	// the injected transients the retry layer absorbed invisibly.
+	SvcMemOpsPerSec      float64 `json:"svc_mem_ops_per_sec,omitempty"`
+	SvcDiskOpsPerSec     float64 `json:"svc_disk_ops_per_sec,omitempty"`
+	SvcDiskSlowdown      float64 `json:"svc_disk_slowdown,omitempty"`
+	SvcDiskP99LatencyNS  int64   `json:"svc_disk_p99_latency_ns,omitempty"`
+	SvcDiskTierOpsPerSec float64 `json:"svc_disk_tier_ops_per_sec,omitempty"`
+	SvcDiskTierHitRate   float64 `json:"svc_disk_tier_hit_rate,omitempty"`
+	SvcRemoteOpsPerSec   float64 `json:"svc_remote_ops_per_sec,omitempty"`
+	SvcRemoteSlowdown    float64 `json:"svc_remote_slowdown,omitempty"`
+	SvcRemoteFaults      uint64  `json:"svc_remote_faults,omitempty"`
+	SvcRemoteRecovered   uint64  `json:"svc_remote_recovered,omitempty"`
+	// SvcTierRuns holds the full per-configuration table.
+	SvcTierRuns []forkoram.TierBenchRun `json:"svc_tier_runs,omitempty"`
 }
 
 type experimentReport struct {
@@ -143,6 +160,32 @@ func (r *benchReport) fillPipelineSweep(res forkoram.PipelineSweepResult) {
 	if n := len(res.Depths); n > 0 {
 		last := res.Depths[n-1]
 		r.fillPipelineRun(last.Depth, last.Run, last.Speedup)
+	}
+}
+
+// fillTiers copies a tier bench result into the report's svc_disk_* /
+// svc_remote_* fields.
+func (r *benchReport) fillTiers(res forkoram.TierBenchResult) {
+	r.SvcTierRuns = res.Runs
+	if run := res.Run("mem"); run != nil {
+		r.SvcMemOpsPerSec = run.OpsPerSec
+	}
+	if run := res.Run("disk"); run != nil {
+		r.SvcDiskOpsPerSec = run.OpsPerSec
+		r.SvcDiskSlowdown = run.Slowdown
+		r.SvcDiskP99LatencyNS = run.P99Latency.Nanoseconds()
+	}
+	if run := res.Run("disk+tier"); run != nil {
+		r.SvcDiskTierOpsPerSec = run.OpsPerSec
+		if tot := run.Storage.Tier.ReadHits + run.Storage.Tier.ReadMisses; tot > 0 {
+			r.SvcDiskTierHitRate = float64(run.Storage.Tier.ReadHits) / float64(tot)
+		}
+	}
+	if run := res.Run("remote"); run != nil {
+		r.SvcRemoteOpsPerSec = run.OpsPerSec
+		r.SvcRemoteSlowdown = run.Slowdown
+		r.SvcRemoteFaults = run.Storage.Remote.TransientReads + run.Storage.Remote.TransientWrites
+		r.SvcRemoteRecovered = run.Storage.Retry.Recovered
 	}
 }
 
@@ -192,6 +235,8 @@ func main() {
 		pipeDepth  = flag.Int("pipeline-depth", 0, "Service bench: staged-pipeline depth per device (0/1 = serial engine)")
 		pipeSweep  = flag.Bool("pipeline-sweep", false, "run only the pipeline depth sweep (depths 1, 2, 4)")
 		reshard    = flag.Bool("reshard", false, "run only the online reshard benchmark")
+		tiers      = flag.Bool("tiers", false, "run only the storage tier benchmark (mem vs disk vs remote)")
+		tierOps    = flag.Int("tier-ops", 500, "tier bench: acknowledged mixed ops per configuration (remote runs sleep real time)")
 		newShards  = flag.Int("new-shards", 4, "reshard bench: recipient fleet width")
 		maxProcs   = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the whole run (0 = leave default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -224,6 +269,27 @@ func main() {
 	reshardCfg := forkoram.ReshardBenchConfig{Seed: *seed, NewShards: *newShards}
 	if *shards > 1 {
 		reshardCfg.Shards = *shards
+	}
+	tierCfg := forkoram.TierBenchConfig{Ops: *tierOps, Seed: *seed}
+	if *tiers {
+		start := time.Now()
+		res, err := forkoram.RunTierBench(tierCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: tier bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *jsonOut {
+			rep := benchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			rep.fillTiers(res)
+			writeReport(rep)
+		}
+		return
 	}
 	if *reshard {
 		start := time.Now()
@@ -351,6 +417,12 @@ func main() {
 		} else {
 			fmt.Print(reshardRes.String())
 		}
+		tierRes, tierErr := forkoram.RunTierBench(tierCfg)
+		if tierErr != nil {
+			fmt.Fprintf(os.Stderr, "orambench: tier bench: %v\n", tierErr)
+		} else {
+			fmt.Print(tierRes.String())
+		}
 		rep := benchReport{
 			Date:              time.Now().Format("2006-01-02"),
 			GoVersion:         runtime.Version(),
@@ -370,6 +442,9 @@ func main() {
 		rep.fillSvc(svcRes)
 		if reshardErr == nil {
 			rep.fillReshard(reshardRes)
+		}
+		if tierErr == nil {
+			rep.fillTiers(tierRes)
 		}
 		if *pipeDepth > 1 {
 			rep.fillPipelineRun(*pipeDepth, svcRes.Grouped, 0)

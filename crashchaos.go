@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -41,6 +43,12 @@ type CrashChaosConfig struct {
 	// storage faults, composing supervised in-process recovery with
 	// process death.
 	Faults bool
+	// Disk runs EVERY schedule over a durable disk bucket store (one
+	// file per schedule in a temp dir, the handle shared across that
+	// schedule's incarnations like a WAL). Off, every fourth schedule
+	// still runs on disk so the disk-only kill sites (mid-bucket-write,
+	// mid-scrub) stay covered by the default campaign.
+	Disk bool
 }
 
 func (c CrashChaosConfig) withDefaults() CrashChaosConfig {
@@ -247,25 +255,56 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 		// controller's retry layer.
 		retries = -1
 	}
+	devCfg := DeviceConfig{
+		Blocks:    cfg.Blocks,
+		BlockSize: cfg.BlockSize,
+		QueueSize: 4,
+		Seed:      rng.SeedAt(seed, 3),
+		Variant:   variant,
+		Integrity: idx%2 == 0,
+		Retries:   retries,
+		Faults:    fc,
+		// Exercise the overlapped fetch/writeback pipeline wherever
+		// it can engage (Fork variant, plain medium, multi-op
+		// windows); inert elsewhere.
+		PipelineDepth: 2,
+	}
+	scrubEvery := 0
+	// Disk schedules (every even schedule, or all of them with
+	// cfg.Disk): the base medium is a real file, so kills can land
+	// inside a frame write (leaving a torn, CRC-detectable tail) and the
+	// background scrub walker runs — with a write-through RAM treetop as
+	// its repair source — reaching the mid-scrub kill site. Even
+	// schedules also verify integrity, so the disk tier runs under the
+	// Merkle layer.
+	if cfg.Disk || idx%2 == 0 {
+		dir, err := os.MkdirTemp("", "forkoram-chaos")
+		if err != nil {
+			rep.violate("schedule %d/%v: disk tempdir: %v", idx, variant, err)
+			return
+		}
+		defer os.RemoveAll(dir)
+		disk, err := NewDiskMedium(devCfg, filepath.Join(dir, "buckets.oram"))
+		if err != nil {
+			rep.violate("schedule %d/%v: open disk medium: %v", idx, variant, err)
+			return
+		}
+		defer disk.Close()
+		devCfg.Storage.Medium = disk
+		// Pipeline schedules (≡3 mod 4) keep the disk top-of-stack: the
+		// RAM tier does not speak the bulk interface, so layering it
+		// would disengage the pipeline and lose the bulk-write kill path.
+		if idx%4 != 3 {
+			devCfg.Storage.TierBytes = 1 << 14
+		}
+		scrubEvery = 2
+	}
 	st := &crashState{
 		rep: rep,
 		cfg: cfg,
 		id:  fmt.Sprintf("schedule %d/%v", idx, variant),
 		svcCfg: ServiceConfig{
-			Device: DeviceConfig{
-				Blocks:    cfg.Blocks,
-				BlockSize: cfg.BlockSize,
-				QueueSize: 4,
-				Seed:      rng.SeedAt(seed, 3),
-				Variant:   variant,
-				Integrity: idx%2 == 0,
-				Retries:   retries,
-				Faults:    fc,
-				// Exercise the overlapped fetch/writeback pipeline wherever
-				// it can engage (Fork variant, plain medium, multi-op
-				// windows); inert elsewhere.
-				PipelineDepth: 2,
-			},
+			Device:          devCfg,
 			QueueDepth:      8,
 			CheckpointEvery: 8, // frequent checkpoints: more save/truncate windows to kill in
 			MaxRecoveries:   50,
@@ -273,8 +312,15 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 			BackoffMax:      time.Nanosecond,
 			WAL:             walStore,
 			Checkpoints:     NewMemCheckpointStore(),
+			ScrubEvery:      scrubEvery,
+			ScrubFrames:     16,
 			crashHook:       plan.hook,
-			sleep:           func(time.Duration) {},
+			crashTear: func(frameLen int) int {
+				// A mid-write kill leaves anywhere from none to all of the
+				// frame's bytes behind.
+				return int(plan.wl.Uint64n(uint64(frameLen) + 1))
+			},
+			sleep: func(time.Duration) {},
 		},
 		plan:   plan,
 		oracle: make(map[uint64][]byte),

@@ -8,6 +8,7 @@ import (
 	"forkoram/internal/block"
 	"forkoram/internal/faults"
 	"forkoram/internal/fork"
+	"forkoram/internal/mac"
 	"forkoram/internal/pathoram"
 	"forkoram/internal/posmap"
 	"forkoram/internal/recursion"
@@ -149,6 +150,14 @@ type DeviceConfig struct {
 	// device on restore, and inert under the Integrity or Faults
 	// decorators (whose per-bucket semantics pin the serial path).
 	PipelineDepth int
+	// Storage selects and shapes the storage tiers under the controller:
+	// a durable disk medium instead of the default in-memory one, a
+	// simulated remote tier with latency/transients plus its retry
+	// layer, and a write-through RAM tier pinning the treetop. See
+	// StorageConfig. Like Observer and Faults, the live handles are
+	// process-local: not serialized in snapshots, re-applied from the
+	// host device on restore.
+	Storage StorageConfig
 	// Observer, when set, receives the bus-visible trace of every ORAM
 	// tree traversal — exactly what an adversary probing the memory bus
 	// sees (revealed leaf label plus bucket read/write sequences), and
@@ -214,6 +223,9 @@ type DeviceStats struct {
 	// Pipeline counts the intra-shard pipeline's work and per-stage
 	// stalls (zero unless PipelineDepth > 1 engaged on some batch).
 	Pipeline pathoram.PipelineStats
+	// Storage reports the storage-tier layers' activity (zero-valued
+	// for layers not configured).
+	Storage StorageStats
 }
 
 // Device is an oblivious block store: external observers of its backing
@@ -231,8 +243,11 @@ type DeviceStats struct {
 type Device struct {
 	cfg      DeviceConfig
 	tr       tree.Tree
-	store    *storage.Mem
+	store    storage.Medium // base medium (Mem or Disk)
+	remote   *storage.Remote
+	sretry   *storage.Retry
 	verifier *storage.Integrity
+	tier     *mac.Treetop // write-through RAM tier (nil unless configured)
 	inj      *faults.Injector
 	ctl      *pathoram.Controller
 	pos      *posmap.Map
@@ -243,6 +258,11 @@ type Device struct {
 	reads    uint64
 	writes   uint64
 	poisoned *PoisonedError
+
+	// scrubCursor is the background scrub walker's position in the node
+	// space; scrubStats accumulates what every ScrubSlice found.
+	scrubCursor uint64
+	scrubStats  storage.ScrubStats
 
 	// midBatchKill, when set, is polled between accesses of a pipelined
 	// batch — after access N's refill entered writeback, before access
@@ -266,14 +286,9 @@ func (d *Device) enter() error {
 
 func (d *Device) leave() { d.busy.Store(0) }
 
-// NewDevice creates an oblivious block store holding cfg.Blocks blocks of
-// cfg.BlockSize bytes, all initially zero.
-func NewDevice(cfg DeviceConfig) (*Device, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	// Size the tree at ~50% utilization: Z * 2^L >= Blocks.
+// planDeviceTree sizes the device tree for cfg at ~50% utilization:
+// Z * 2^L >= Blocks. cfg must already carry its defaults.
+func planDeviceTree(cfg DeviceConfig) (tree.Tree, error) {
 	_, tr, err := recursion.Plan(recursion.Config{
 		DataBlocks:     cfg.Blocks,
 		LabelsPerBlock: 2,          // no recursion in the device facade:
@@ -281,12 +296,61 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 		Z:              cfg.Z,
 		PayloadSize:    cfg.BlockSize,
 	})
+	return tr, err
+}
+
+// NewDiskMedium opens (creating if absent) a durable disk bucket store
+// at path, sized and keyed exactly as NewDevice would size a device for
+// cfg — ready to hand in via DeviceConfig.Storage.Medium. The caller
+// owns the handle: Close it after the device (or service) is done. Like
+// a WAL file, one handle is shared across service recovery incarnations.
+func NewDiskMedium(cfg DeviceConfig, path string) (*storage.Disk, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := planDeviceTree(cfg)
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.NewMem(tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.BlockSize}, cfg.Key)
+	return storage.OpenDisk(path, tr, block.Geometry{Z: cfg.Z, PayloadSize: cfg.BlockSize}, cfg.Key)
+}
+
+// NewDevice creates an oblivious block store holding cfg.Blocks blocks of
+// cfg.BlockSize bytes, all initially zero.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := planDeviceTree(cfg)
 	if err != nil {
 		return nil, err
+	}
+	geo := block.Geometry{Z: cfg.Z, PayloadSize: cfg.BlockSize}
+	var store storage.Medium
+	if cfg.Storage.Medium != nil {
+		store = cfg.Storage.Medium
+		if store.Tree() != tr {
+			return nil, fmt.Errorf("forkoram: supplied medium has %v, config wants %v", store.Tree(), tr)
+		}
+		if store.Geometry() != geo {
+			return nil, fmt.Errorf("forkoram: supplied medium has geometry %+v, config wants %+v",
+				store.Geometry(), geo)
+		}
+		// A new device starts from an empty tree; whatever the medium held
+		// before (a previous incarnation's frames, including torn ones) is
+		// dead state — durability of acknowledged writes flows from the
+		// WAL + checkpoint story, which restores the medium image
+		// explicitly (RestoreDevice), never from trusting frames in place.
+		if err := store.Reset(); err != nil {
+			return nil, fmt.Errorf("forkoram: reset supplied medium: %w", err)
+		}
+	} else {
+		store, err = storage.NewMem(tr, geo, cfg.Key)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var verifier *storage.Integrity
 	if cfg.Integrity {
@@ -297,13 +361,47 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 
 // assembleDevice wires the controller stack over an existing medium and
 // (optional) integrity layer — shared by NewDevice and RestoreDevice.
-func assembleDevice(cfg DeviceConfig, tr tree.Tree, store *storage.Mem,
+// Stack, bottom to top: base medium → simulated remote tier → retry
+// layer → Merkle verifier → write-through RAM tier → fault injector →
+// controller. The verifier's hashes are always computed from the raw
+// medium (out-of-band maintenance reads pay no remote latency and trip
+// no injected faults); its data path is rebased onto whatever stack
+// sits below it.
+func assembleDevice(cfg DeviceConfig, tr tree.Tree, store storage.Medium,
 	verifier *storage.Integrity, root *rng.Source) (*Device, error) {
 
 	store.SetBulkWorkers(cfg.CryptoWorkers)
+	if disk, ok := store.(*storage.Disk); ok {
+		disk.SetCrashWrite(nil) // hooks do not survive reassembly
+	}
 	var backend storage.Backend = store
+	var remote *storage.Remote
+	var sretry *storage.Retry
+	if cfg.Storage.Remote != nil {
+		remote = storage.NewRemote(store, *cfg.Storage.Remote)
+		backend = remote
+		rc := storage.RetryConfig{}
+		if cfg.Storage.Retry != nil {
+			rc = *cfg.Storage.Retry
+		}
+		// A remote tier always gets the retry front: bulk callers do not
+		// retry, so transients must be absorbed (or exhausted into a
+		// fail-stop) below the bulk surface.
+		sretry = storage.NewRetry(remote, rc)
+		backend = sretry
+	}
 	if verifier != nil {
+		verifier.Rebase(backend)
 		backend = verifier
+	}
+	var tier *mac.Treetop
+	if cfg.Storage.TierBytes > 0 {
+		var err error
+		tier, err = mac.NewWriteThroughTreetop(backend, tr, cfg.Storage.TierBytes)
+		if err != nil {
+			return nil, err
+		}
+		backend = tier
 	}
 	var inj *faults.Injector
 	if cfg.Faults != nil {
@@ -313,7 +411,8 @@ func assembleDevice(cfg DeviceConfig, tr tree.Tree, store *storage.Mem,
 		inj = faults.NewInjector(backend, store, *cfg.Faults)
 		backend = inj
 	}
-	d := &Device{cfg: cfg, tr: tr, store: store, verifier: verifier, inj: inj}
+	d := &Device{cfg: cfg, tr: tr, store: store, remote: remote, sretry: sretry,
+		verifier: verifier, tier: tier, inj: inj}
 	pcfg := pathoram.Config{Tree: tr, StashCapacity: cfg.StashCapacity, TrackData: true, Retries: cfg.Retries}
 	var err error
 	switch cfg.Variant {
@@ -714,5 +813,6 @@ func (d *Device) Stats() DeviceStats {
 	} else {
 		st.RealAccesses = d.reads + d.writes
 	}
+	st.Storage = d.storageStats()
 	return st
 }

@@ -74,8 +74,11 @@ func (k Kind) String() string {
 }
 
 // Medium is the raw-ciphertext view the injector needs to model medium
-// corruption. *storage.Mem implements it; metadata-only backends do not
-// (corruption faults are skipped when Medium is nil).
+// corruption. *storage.Mem and *storage.Disk implement it (it is a
+// subset of storage.Medium); metadata-only backends do not (corruption
+// faults are skipped when Medium is nil). Ciphertext may return either
+// the live cell or a copy, so every mutation is written back through
+// SetCiphertext.
 type Medium interface {
 	Ciphertext(n tree.Node) []byte
 	SetCiphertext(n tree.Node, ct []byte)
@@ -219,7 +222,9 @@ func (i *Injector) corrupt(n tree.Node) bool {
 	if len(ct) == 0 {
 		return false
 	}
+	ct = append([]byte(nil), ct...)
 	ct[i.rnd.Intn(len(ct))] ^= byte(1 + i.rnd.Intn(255))
+	i.medium.SetCiphertext(n, ct)
 	return true
 }
 

@@ -36,13 +36,43 @@ type Stats struct {
 	WriteMisses uint64 // writes that displaced a bucket to DRAM (or bypassed)
 }
 
+// Delta returns s - prev, field-wise.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		ReadHits:    s.ReadHits - prev.ReadHits,
+		ReadMisses:  s.ReadMisses - prev.ReadMisses,
+		WriteHits:   s.WriteHits - prev.WriteHits,
+		WriteMisses: s.WriteMisses - prev.WriteMisses,
+	}
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.ReadHits += o.ReadHits
+	s.ReadMisses += o.ReadMisses
+	s.WriteHits += o.WriteHits
+	s.WriteMisses += o.WriteMisses
+}
+
 // Treetop pins all buckets at levels [0, topLevel] on-chip.
+//
+// It runs in one of two modes. The paper mode (NewTreetop) is the
+// Phantom model: pinned levels live ONLY on chip — their writes never
+// reach the inner backend, so DRAM traffic below measures exactly what
+// the hardware scheme saves. The write-through mode
+// (NewWriteThroughTreetop) is the production RAM tier over a durable
+// medium: pinned levels are a cache, every write also lands on the
+// inner backend, cached buckets own deep copies of their bytes, and
+// misses at pinned levels fill from below. Write-through contents are
+// trusted healthy copies — the scrub walker repairs corrupt durable
+// frames from them (HealthyBucket).
 type Treetop struct {
-	inner    storage.Backend
-	tr       tree.Tree
-	topLevel int // -1 when capacity holds not even the root
-	pinned   map[tree.Node]block.Bucket
-	stats    Stats
+	inner        storage.Backend
+	tr           tree.Tree
+	topLevel     int // -1 when capacity holds not even the root
+	writeThrough bool
+	pinned       map[tree.Node]block.Bucket
+	stats        Stats
 }
 
 // TreetopLevels returns the deepest fully-pinnable level for a capacity in
@@ -73,14 +103,58 @@ func NewTreetop(inner storage.Backend, tr tree.Tree, capacityBytes int) (*Treeto
 	return &Treetop{inner: inner, tr: tr, topLevel: top, pinned: make(map[tree.Node]block.Bucket)}, nil
 }
 
+// NewWriteThroughTreetop wraps inner with a write-through RAM tier
+// pinning the top levels: reads at pinned levels are served from memory
+// after a one-time fill, writes always reach the durable medium too.
+func NewWriteThroughTreetop(inner storage.Backend, tr tree.Tree, capacityBytes int) (*Treetop, error) {
+	t, err := NewTreetop(inner, tr, capacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	t.writeThrough = true
+	return t, nil
+}
+
 // TopLevel returns the deepest pinned level.
 func (t *Treetop) TopLevel() int { return t.topLevel }
+
+// WriteThrough reports whether the tier writes through to the inner
+// backend (production RAM tier) or absorbs pinned writes (paper model).
+func (t *Treetop) WriteThrough() bool { return t.writeThrough }
+
+// copyBucket deep-copies a bucket, payload bytes included: a cached
+// tier copy must not alias caller-owned buffers that will be reused.
+func copyBucket(b *block.Bucket) block.Bucket {
+	cp := block.Bucket{Blocks: append([]block.Block(nil), b.Blocks...)}
+	for i := range cp.Blocks {
+		if cp.Blocks[i].Data != nil {
+			cp.Blocks[i].Data = append([]byte(nil), cp.Blocks[i].Data...)
+		}
+	}
+	return cp
+}
 
 // ReadBucket implements storage.Backend.
 func (t *Treetop) ReadBucket(n tree.Node) (block.Bucket, error) {
 	if int(t.tr.Level(n)) <= t.topLevel {
-		t.stats.ReadHits++
-		return t.pinned[n], nil
+		if !t.writeThrough {
+			t.stats.ReadHits++
+			return t.pinned[n], nil
+		}
+		if b, ok := t.pinned[n]; ok {
+			t.stats.ReadHits++
+			// Hand out a copy: the healthy tier copy must never alias
+			// buffers the controller will mutate in place.
+			return copyBucket(&b), nil
+		}
+		// Cold pinned level: fill from the durable medium.
+		t.stats.ReadMisses++
+		b, err := t.inner.ReadBucket(n)
+		if err != nil {
+			return block.Bucket{}, err
+		}
+		t.pinned[n] = copyBucket(&b)
+		return b, nil
 	}
 	t.stats.ReadMisses++
 	return t.inner.ReadBucket(n)
@@ -89,6 +163,14 @@ func (t *Treetop) ReadBucket(n tree.Node) (block.Bucket, error) {
 // WriteBucket implements storage.Backend.
 func (t *Treetop) WriteBucket(n tree.Node, b *block.Bucket) error {
 	if int(t.tr.Level(n)) <= t.topLevel {
+		if t.writeThrough {
+			if err := t.inner.WriteBucket(n, b); err != nil {
+				return err
+			}
+			t.stats.WriteHits++
+			t.pinned[n] = copyBucket(b)
+			return nil
+		}
 		t.stats.WriteHits++
 		cp := block.Bucket{Blocks: append([]block.Block(nil), b.Blocks...)}
 		t.pinned[n] = cp
@@ -96,6 +178,31 @@ func (t *Treetop) WriteBucket(n tree.Node, b *block.Bucket) error {
 	}
 	t.stats.WriteMisses++
 	return t.inner.WriteBucket(n, b)
+}
+
+// HealthyBucket returns the tier's cached copy of bucket n (deep copy)
+// and whether one exists — the scrub walker's repair source. Only
+// write-through tiers hold healthy copies of durable state.
+func (t *Treetop) HealthyBucket(n tree.Node) (block.Bucket, bool) {
+	if !t.writeThrough || int(t.tr.Level(n)) > t.topLevel {
+		return block.Bucket{}, false
+	}
+	b, ok := t.pinned[n]
+	if !ok {
+		return block.Bucket{}, false
+	}
+	return copyBucket(&b), true
+}
+
+// Invalidate drops all cached buckets so subsequent reads refill from
+// the durable medium. Only meaningful in write-through mode (in the
+// paper model the pinned map IS the storage); callers use it after
+// mutating the medium out-of-band (compaction, recovery).
+func (t *Treetop) Invalidate() {
+	if !t.writeThrough {
+		return
+	}
+	t.pinned = make(map[tree.Node]block.Bucket)
 }
 
 // Geometry implements storage.Backend.

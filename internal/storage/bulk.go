@@ -13,12 +13,15 @@ import (
 // set of DISTINCT buckets in one call, letting the implementation
 // spread the per-bucket AES work across cores. Semantics are exactly
 // those of the per-bucket methods applied to each index; only the
-// internal scheduling differs. Implementations must not return
-// ErrTransient (bulk callers do not retry) — which is why the
-// fault-injecting and integrity decorators deliberately do not
-// implement it: their per-bucket retry and verification semantics are
-// defined one bucket at a time, and a controller that sees no
-// BulkBackend falls back to the per-bucket path.
+// internal scheduling differs. Bulk callers do not retry: transient
+// faults must be absorbed below the bulk surface (the Retry layer does
+// this for a Remote tier), so an error that still wraps ErrTransient
+// after a bulk call means the retry budget is exhausted and the caller
+// fail-stops. The fault-injecting and integrity decorators deliberately
+// do not implement the interface: their per-bucket retry and
+// verification semantics are defined one bucket at a time, and a
+// controller that sees no BulkBackend on top of the stack falls back to
+// the per-bucket path.
 //
 // Concurrency: one ReadBuckets and one WriteBuckets call may run
 // concurrently, provided their node sets are disjoint (the pathoram
@@ -147,18 +150,25 @@ func (m *Mem) readBucketBody(n tree.Node, pt []byte) (block.Bucket, error) {
 // Runs lock-free: the caller guarantees ct's backing is not being
 // concurrently re-sealed (disjointness contract).
 func (m *Mem) decodeBucket(n tree.Node, ct, pt []byte) (block.Bucket, error) {
+	return decodeSealed(m.eng, m.geo, m.tr, n, ct, pt)
+}
+
+// decodeSealed is the shared open+decode+plausibility core behind Mem
+// and Disk reads. ct nil means never written (all dummies); pt is
+// caller-owned staging one bucket long.
+func decodeSealed(eng *crypt.Engine, geo block.Geometry, tr tree.Tree, n tree.Node, ct, pt []byte) (block.Bucket, error) {
 	if ct == nil {
 		return block.Bucket{}, nil // never-written bucket: all dummies
 	}
-	if err := m.eng.Open(pt, ct); err != nil {
+	if err := eng.Open(pt, ct); err != nil {
 		return block.Bucket{}, corruptf("storage: bucket %d unreadable (%v)", n, err)
 	}
-	bk, err := m.geo.DecodeBucket(pt)
+	bk, err := geo.DecodeBucket(pt)
 	if err != nil {
 		return block.Bucket{}, corruptf("storage: bucket %d undecodable (%v)", n, err)
 	}
 	for _, b := range bk.Blocks {
-		if !m.tr.ValidLabel(b.Label) {
+		if !tr.ValidLabel(b.Label) {
 			return block.Bucket{}, corruptf("storage: bucket %d holds implausible block (addr %d label %d)",
 				n, b.Addr, b.Label)
 		}

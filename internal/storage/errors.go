@@ -47,6 +47,26 @@ func (e *IntegrityError) Error() string {
 // Is makes errors.Is(err, ErrCorrupt) succeed for integrity failures.
 func (e *IntegrityError) Is(target error) bool { return target == ErrCorrupt }
 
+// FrameError reports a disk frame that failed its torn-write check: the
+// stored CRC does not cover the stored bytes (a write was cut mid-frame)
+// or the frame header itself is implausible. It wraps ErrCorrupt:
+// errors.Is(err, ErrCorrupt) is true.
+type FrameError struct {
+	Node   tree.Node
+	Level  uint
+	Epoch  uint64 // epoch recorded in the frame header (possibly garbage)
+	Reason string
+}
+
+// Error implements error.
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("storage: torn frame at bucket %d (level %d, epoch %d): %s",
+		e.Node, e.Level, e.Epoch, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) succeed for frame failures.
+func (e *FrameError) Is(target error) bool { return target == ErrCorrupt }
+
 // corruptf wraps ErrCorrupt with a formatted cause.
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)

@@ -7,7 +7,7 @@ import (
 	"forkoram/internal/tree"
 )
 
-// Integrity wraps a Mem backend with a Merkle tree over the bucket
+// Integrity wraps a base medium with a Merkle tree over the bucket
 // ciphertexts: node hash = H(ciphertext(n) || H(left child) || H(right
 // child)). The paper treats integrity verification as orthogonal to ORAM
 // (§2.2, combining with Merkle trees per its refs [18, 12]); this
@@ -17,22 +17,44 @@ import (
 // the buckets whose hashes a verification needs are exactly the path's
 // siblings, and writes already touch a whole path.
 //
+// Two handles back the decorator: `raw` is the base Medium whose
+// ciphertexts the hashes are computed over (always the local Mem or Disk
+// store — hashing reads are out-of-band maintenance, they must not pay
+// remote latency or trip fault injection), and `inner` is the Backend
+// data reads and writes flow through (usually the same medium, but the
+// remote/retry stack when one is configured — see Rebase).
+//
 // The root hash models the on-chip register a secure processor would
 // keep; Tamper detection is a hard error.
 type Integrity struct {
-	mem  *Mem
-	tr   tree.Tree
-	hash map[tree.Node][32]byte // hashes of non-empty subtrees
-	cnt  Counters
+	inner Backend
+	raw   Medium
+	tr    tree.Tree
+	hash  map[tree.Node][32]byte // hashes of non-empty subtrees
+	cnt   Counters
 
 	verifications uint64
 	failures      uint64
 }
 
-// NewIntegrity wraps mem with Merkle verification.
-func NewIntegrity(mem *Mem, tr tree.Tree) *Integrity {
-	return &Integrity{mem: mem, tr: tr, hash: make(map[tree.Node][32]byte)}
+// NewIntegrity wraps med with Merkle verification, routing data accesses
+// directly to it.
+func NewIntegrity(med Medium, tr tree.Tree) *Integrity {
+	return NewIntegrityOver(med, med, tr)
 }
+
+// NewIntegrityOver wraps inner (the data path) with Merkle verification
+// whose hashes are computed from raw — the base medium underneath any
+// latency/fault decorators on the data path.
+func NewIntegrityOver(inner Backend, raw Medium, tr tree.Tree) *Integrity {
+	return &Integrity{inner: inner, raw: raw, tr: tr, hash: make(map[tree.Node][32]byte)}
+}
+
+// Rebase redirects the data path to a different inner Backend (which
+// must be a view of the same raw medium). Recovery uses it: the verifier
+// is rebuilt over the bare medium first, the root checked, and only then
+// is the remote/retry stack spliced back underneath.
+func (g *Integrity) Rebase(inner Backend) { g.inner = inner }
 
 // zero is the hash of a never-written subtree.
 var zeroHash [32]byte
@@ -44,7 +66,7 @@ func (g *Integrity) nodeHash(n tree.Node) [32]byte {
 
 // computeHash hashes a node from its ciphertext and child hashes.
 func (g *Integrity) computeHash(n tree.Node) [32]byte {
-	ct := g.mem.Ciphertext(n)
+	ct := g.raw.Ciphertext(n)
 	if ct == nil && g.childrenZero(n) {
 		return zeroHash
 	}
@@ -105,7 +127,7 @@ func (g *Integrity) ReadBucket(n tree.Node) (block.Bucket, error) {
 	if err := g.verifyPath(n); err != nil {
 		return block.Bucket{}, err
 	}
-	b, err := g.mem.ReadBucket(n)
+	b, err := g.inner.ReadBucket(n)
 	if err != nil {
 		return block.Bucket{}, err
 	}
@@ -115,7 +137,7 @@ func (g *Integrity) ReadBucket(n tree.Node) (block.Bucket, error) {
 
 // WriteBucket implements Backend, refreshing the hash path.
 func (g *Integrity) WriteBucket(n tree.Node, b *block.Bucket) error {
-	if err := g.mem.WriteBucket(n, b); err != nil {
+	if err := g.inner.WriteBucket(n, b); err != nil {
 		return err
 	}
 	g.cnt.BucketWrites++
@@ -124,7 +146,7 @@ func (g *Integrity) WriteBucket(n tree.Node, b *block.Bucket) error {
 }
 
 // Geometry implements Backend.
-func (g *Integrity) Geometry() block.Geometry { return g.mem.Geometry() }
+func (g *Integrity) Geometry() block.Geometry { return g.raw.Geometry() }
 
 // Counters implements Backend.
 func (g *Integrity) Counters() Counters { return g.cnt }
@@ -157,27 +179,46 @@ func (g *Integrity) Rebuild() {
 // in buckets no request has touched yet.
 func (g *Integrity) VerifyAll() error {
 	for n := uint64(0); n < g.tr.Nodes(); n++ {
-		g.verifications++
-		if g.computeHash(n) != g.nodeHash(n) {
-			g.failures++
-			return &IntegrityError{Node: n, Level: g.tr.Level(n)}
+		if err := g.VerifyNode(n); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Mem exposes the wrapped medium (fault-injection and recovery plumbing).
-func (g *Integrity) Mem() *Mem { return g.mem }
+// VerifyNode recomputes the hash of one node from the medium and
+// compares it against the stored value — the per-frame audit step of the
+// background scrub walker. A mismatch means n's ciphertext (or a child
+// hash under it) no longer matches what the trusted tree covers.
+func (g *Integrity) VerifyNode(n tree.Node) error {
+	g.verifications++
+	if g.computeHash(n) != g.nodeHash(n) {
+		g.failures++
+		return &IntegrityError{Node: n, Level: g.tr.Level(n)}
+	}
+	return nil
+}
+
+// Refresh recomputes the hash path covering n after an out-of-band
+// medium repair (the scrub walker rewriting a bucket from the healthy
+// tier), re-admitting the repaired ciphertext into the trusted tree.
+func (g *Integrity) Refresh(n tree.Node) { g.updatePath(n) }
+
+// Medium exposes the raw base medium the hashes are computed over
+// (fault-injection and recovery plumbing).
+func (g *Integrity) Medium() Medium { return g.raw }
 
 // Tamper corrupts one byte of bucket n's stored ciphertext — test hook
 // playing the active adversary. Reports whether there was a ciphertext
 // to corrupt.
 func (g *Integrity) Tamper(n tree.Node) bool {
-	ct := g.mem.Ciphertext(n)
+	ct := g.raw.Ciphertext(n)
 	if len(ct) == 0 {
 		return false
 	}
+	ct = append([]byte(nil), ct...)
 	ct[len(ct)/2] ^= 0xFF
+	g.raw.SetCiphertext(n, ct)
 	return true
 }
 

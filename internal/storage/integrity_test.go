@@ -112,11 +112,11 @@ func TestIntegrityReplayDetected(t *testing.T) {
 	if err := g.WriteBucket(leaf, wrBucket(1)); err != nil {
 		t.Fatal(err)
 	}
-	old := append([]byte(nil), g.mem.Ciphertext(leaf)...)
+	old := append([]byte(nil), g.Medium().Ciphertext(leaf)...)
 	if err := g.WriteBucket(leaf, wrBucket(2)); err != nil {
 		t.Fatal(err)
 	}
-	copy(g.mem.Ciphertext(leaf), old) // adversary restores the stale image
+	g.Medium().SetCiphertext(leaf, old) // adversary restores the stale image
 	if _, err := g.ReadBucket(leaf); err == nil {
 		t.Fatal("replayed stale ciphertext accepted")
 	}

@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"forkoram/internal/block"
+	"forkoram/internal/rng"
+	"forkoram/internal/tree"
+)
+
+// TestRemoteFaultScheduleDeterministic checks the fault schedule is a
+// pure function of (seed, call index): replaying the same call sequence
+// against a fresh Remote with the same seed fails at exactly the same
+// positions, and the failures wrap ErrTransient.
+func TestRemoteFaultScheduleDeterministic(t *testing.T) {
+	run := func() ([]bool, RemoteStats) {
+		r := NewRemote(newMem(t), RemoteConfig{Seed: 0xfeed, PTransientRead: 0.4, PTransientWrite: 0.4})
+		fails := make([]bool, 40)
+		for i := range fails {
+			var err error
+			if i%2 == 0 {
+				bk := testBucket(uint64(i), 1, 0x10)
+				err = r.WriteBucket(tree.Node(i%7), &bk)
+			} else {
+				_, err = r.ReadBucket(tree.Node(i % 7))
+			}
+			if err != nil && !errors.Is(err, ErrTransient) {
+				t.Fatalf("call %d: fault %v does not wrap ErrTransient", i, err)
+			}
+			fails[i] = err != nil
+		}
+		return fails, r.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats diverge across identical runs: %+v vs %+v", sa, sb)
+	}
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d failed in one run but not the other", i)
+		}
+		some = some || a[i]
+	}
+	if !some {
+		t.Fatal("p=0.4 over 40 calls injected no faults — schedule wiring broken")
+	}
+	if sa.TransientReads+sa.TransientWrites == 0 {
+		t.Fatalf("fault counters did not move: %+v", sa)
+	}
+}
+
+// TestRemoteOneDrawPerCall pins the obliviousness-of-schedule property:
+// the number of rng draws per call is independent of configuration, so
+// enabling read faults does not shift which write calls fail.
+func TestRemoteOneDrawPerCall(t *testing.T) {
+	writeFails := func(pRead float64) []bool {
+		r := NewRemote(newMem(t), RemoteConfig{Seed: 7, PTransientRead: pRead, PTransientWrite: 0.5})
+		fails := make([]bool, 20)
+		for i := range fails {
+			if i%2 == 0 {
+				_, _ = r.ReadBucket(1) // interleaved reads draw too, deterministically
+				continue
+			}
+			bk := testBucket(uint64(i), 1, 0x20)
+			fails[i] = r.WriteBucket(2, &bk) != nil
+		}
+		return fails
+	}
+	a := writeFails(0)
+	b := writeFails(0) // same config twice: sanity
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write schedule not deterministic at call %d", i)
+		}
+	}
+	// The reference stream: a read call consumes exactly one draw, so the
+	// write at call i sees draw i.
+	src := rng.New(7)
+	for i := 0; i < 20; i++ {
+		want := src.Float64() < 0.5
+		if i%2 == 0 {
+			continue
+		}
+		if a[i] != want {
+			t.Fatalf("write call %d: got fail=%v, reference stream says %v (draws-per-call not 1)", i, a[i], want)
+		}
+	}
+}
+
+// TestRemoteMaxFaultsCap bounds the adversary: after MaxFaults injected
+// failures the stream keeps drawing but stops failing.
+func TestRemoteMaxFaultsCap(t *testing.T) {
+	r := NewRemote(newMem(t), RemoteConfig{Seed: 3, PTransientWrite: 1, MaxFaults: 2})
+	bk := testBucket(1, 1, 0x30)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if err := r.WriteBucket(1, &bk); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("p=1 with MaxFaults=2 injected %d faults", fails)
+	}
+	st := r.Stats()
+	if st.TransientWrites != 2 || st.WriteCalls != 10 {
+		t.Fatalf("stats %+v, want 2 transient writes over 10 calls", st)
+	}
+}
+
+// TestRemoteLatencyAccounting checks the latency model: fixed round-trip
+// cost per call plus per-bucket transfer, bulk paying the round trip
+// once, and a failed call still paying its latency.
+func TestRemoteLatencyAccounting(t *testing.T) {
+	var slept time.Duration
+	cfg := RemoteConfig{
+		ReadLatency:      10 * time.Millisecond,
+		WriteLatency:     20 * time.Millisecond,
+		PerBucketLatency: time.Millisecond,
+		Sleep:            func(d time.Duration) { slept += d },
+	}
+	r := NewRemote(newMem(t), cfg)
+	if _, err := r.ReadBucket(1); err != nil {
+		t.Fatal(err)
+	}
+	if want := 11 * time.Millisecond; slept != want {
+		t.Fatalf("single read slept %v, want %v", slept, want)
+	}
+	slept = 0
+	ns := []tree.Node{0, 1, 2, 3, 4}
+	bks := make([]block.Bucket, len(ns))
+	for i, n := range ns {
+		bks[i] = testBucket(uint64(i), 1, 0x40)
+		_ = n
+	}
+	if err := r.WriteBuckets(ns, bks); err != nil {
+		t.Fatal(err)
+	}
+	if want := 25 * time.Millisecond; slept != want {
+		t.Fatalf("bulk write of 5 slept %v, want %v (one round trip)", slept, want)
+	}
+	st := r.Stats()
+	if st.ReadCalls != 1 || st.WriteCalls != 1 || st.Buckets != 6 {
+		t.Fatalf("stats %+v, want 1 read + 1 write call moving 6 buckets", st)
+	}
+	if st.LatencyInjected != 36*time.Millisecond {
+		t.Fatalf("LatencyInjected %v, want 36ms", st.LatencyInjected)
+	}
+
+	// Failed calls still pay the round trip.
+	slept = 0
+	cfg.Seed, cfg.PTransientRead = 0, 1
+	rf := NewRemote(newMem(t), cfg)
+	if _, err := rf.ReadBucket(1); !errors.Is(err, ErrTransient) {
+		t.Fatalf("p=1 read returned %v", err)
+	}
+	if want := 11 * time.Millisecond; slept != want {
+		t.Fatalf("failed read slept %v, want %v", slept, want)
+	}
+}
+
+// TestRemotePassThrough checks a quiet remote (no latency, no faults) is
+// transparent: data round-trips through it bulk and singleton.
+func TestRemotePassThrough(t *testing.T) {
+	r := NewRemote(newMem(t), RemoteConfig{})
+	ns := []tree.Node{2, 5, 9}
+	bks := make([]block.Bucket, len(ns))
+	for i := range ns {
+		bks[i] = testBucket(uint64(i+1), 1, byte(i+1))
+	}
+	if err := r.WriteBuckets(ns, bks); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]block.Bucket, len(ns))
+	if err := r.ReadBuckets(ns, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ns {
+		if err := sameBucket(out[i], bks[i]); err != nil {
+			t.Fatalf("bucket %d: %v", ns[i], err)
+		}
+	}
+	got, err := r.ReadBucket(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameBucket(got, bks[1]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"forkoram/internal/block"
+	"forkoram/internal/tree"
+)
+
+// DefaultRemoteRetries is the bounded retry budget in front of a remote
+// tier (extra attempts after the first).
+const DefaultRemoteRetries = 3
+
+// RetryConfig bounds the retry/timeout/backoff layer fronting a remote
+// tier.
+type RetryConfig struct {
+	// Retries is the number of re-attempts after the first try (default
+	// DefaultRemoteRetries; negative disables retrying).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// up to BackoffMax. Zero retries immediately.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Timeout is the per-call deadline covering all attempts and
+	// backoff sleeps (0 = unbounded). When the budget is spent the last
+	// transient error is surfaced wrapped, so errors.Is(err,
+	// ErrTransient) still holds and the caller fail-stops.
+	Timeout time.Duration
+	// Sleep replaces time.Sleep — test hook.
+	Sleep func(time.Duration)
+}
+
+// withDefaults resolves zero values.
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Retries == 0 {
+		c.Retries = DefaultRemoteRetries
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 16 * c.Backoff
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// RetryStats counts retry-layer outcomes.
+type RetryStats struct {
+	Calls     uint64 // operations entering the layer
+	Retried   uint64 // re-attempts issued
+	Recovered uint64 // operations that succeeded after >= 1 retry
+	Exhausted uint64 // operations that ran out of retry budget
+	Deadlines uint64 // operations cut by the per-call timeout
+}
+
+// Delta returns s - prev, field-wise.
+func (s RetryStats) Delta(prev RetryStats) RetryStats {
+	return RetryStats{
+		Calls:     s.Calls - prev.Calls,
+		Retried:   s.Retried - prev.Retried,
+		Recovered: s.Recovered - prev.Recovered,
+		Exhausted: s.Exhausted - prev.Exhausted,
+		Deadlines: s.Deadlines - prev.Deadlines,
+	}
+}
+
+// Add accumulates o into s.
+func (s *RetryStats) Add(o RetryStats) {
+	s.Calls += o.Calls
+	s.Retried += o.Retried
+	s.Recovered += o.Recovered
+	s.Exhausted += o.Exhausted
+	s.Deadlines += o.Deadlines
+}
+
+// Retry fronts a failure-prone BulkBackend (the Remote tier) with
+// bounded oblivious retry, exponential backoff, and a per-call
+// deadline. Re-issuing a failed call is oblivious: it repeats bucket
+// accesses the adversary already observed, at positions determined by
+// public storage behaviour, never by secret state — the same argument
+// that justifies the controller's per-bucket retry (PR 2 taxonomy).
+//
+// Only errors wrapping ErrTransient are retried. When the budget or
+// deadline is exhausted the last error is surfaced still wrapping
+// ErrTransient, which the bulk caller treats as fatal: the device
+// poisons itself and the service supervisor heals by restore+replay —
+// the retry/poison ladder.
+type Retry struct {
+	inner BulkBackend
+	cfg   RetryConfig
+
+	mu    sync.Mutex
+	stats RetryStats
+}
+
+// NewRetry wraps inner with the retry layer.
+func NewRetry(inner BulkBackend, cfg RetryConfig) *Retry {
+	return &Retry{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// do runs op under the retry policy.
+func (t *Retry) do(op func() error) error {
+	t.mu.Lock()
+	t.stats.Calls++
+	t.mu.Unlock()
+	var start time.Time
+	if t.cfg.Timeout > 0 {
+		start = time.Now()
+	}
+	err := op()
+	if err == nil || !errors.Is(err, ErrTransient) {
+		return err
+	}
+	delay := t.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		if attempt > t.cfg.Retries {
+			t.mu.Lock()
+			t.stats.Exhausted++
+			t.mu.Unlock()
+			return fmt.Errorf("storage: retry budget exhausted after %d attempts: %w", attempt, err)
+		}
+		if t.cfg.Timeout > 0 && time.Since(start)+delay > t.cfg.Timeout {
+			t.mu.Lock()
+			t.stats.Deadlines++
+			t.mu.Unlock()
+			return fmt.Errorf("storage: retry deadline %v exceeded after %d attempts: %w", t.cfg.Timeout, attempt, err)
+		}
+		if delay > 0 {
+			t.cfg.Sleep(delay)
+			delay *= 2
+			if delay > t.cfg.BackoffMax {
+				delay = t.cfg.BackoffMax
+			}
+		}
+		t.mu.Lock()
+		t.stats.Retried++
+		t.mu.Unlock()
+		if err = op(); err == nil {
+			t.mu.Lock()
+			t.stats.Recovered++
+			t.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+}
+
+// ReadBucket implements Backend.
+func (t *Retry) ReadBucket(n tree.Node) (block.Bucket, error) {
+	var bk block.Bucket
+	err := t.do(func() error {
+		var err error
+		bk, err = t.inner.ReadBucket(n)
+		return err
+	})
+	return bk, err
+}
+
+// WriteBucket implements Backend.
+func (t *Retry) WriteBucket(n tree.Node, b *block.Bucket) error {
+	return t.do(func() error { return t.inner.WriteBucket(n, b) })
+}
+
+// ReadBuckets implements BulkBackend: a retry re-issues the identical
+// node set (public information already revealed), keeping the call
+// oblivious.
+func (t *Retry) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
+	return t.do(func() error { return t.inner.ReadBuckets(ns, out) })
+}
+
+// WriteBuckets implements BulkBackend.
+func (t *Retry) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
+	return t.do(func() error { return t.inner.WriteBuckets(ns, bks) })
+}
+
+// Geometry implements Backend.
+func (t *Retry) Geometry() block.Geometry { return t.inner.Geometry() }
+
+// Counters implements Backend, delegating to the wrapped tier.
+func (t *Retry) Counters() Counters { return t.inner.Counters() }
+
+// Stats returns a copy of the retry counters.
+func (t *Retry) Stats() RetryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+var _ BulkBackend = (*Retry)(nil)

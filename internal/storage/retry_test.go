@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"forkoram/internal/block"
+	"forkoram/internal/tree"
+)
+
+// flaky is a scripted BulkBackend: each call consumes the next error in
+// the script (nil = success), falling through to the wrapped medium.
+type flaky struct {
+	BulkBackend
+	script []error
+	calls  int
+}
+
+func (f *flaky) next() error {
+	i := f.calls
+	f.calls++
+	if i < len(f.script) {
+		return f.script[i]
+	}
+	return nil
+}
+
+func (f *flaky) ReadBucket(n tree.Node) (block.Bucket, error) {
+	if err := f.next(); err != nil {
+		return block.Bucket{}, err
+	}
+	return f.BulkBackend.ReadBucket(n)
+}
+
+func (f *flaky) WriteBucket(n tree.Node, b *block.Bucket) error {
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.BulkBackend.WriteBucket(n, b)
+}
+
+func (f *flaky) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.BulkBackend.ReadBuckets(ns, out)
+}
+
+func (f *flaky) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.BulkBackend.WriteBuckets(ns, bks)
+}
+
+func transientErr(i int) error {
+	return fmt.Errorf("blip %d: %w", i, ErrTransient)
+}
+
+// TestRetryRecoversFromTransients: two transients then success stays
+// within the default budget and the caller never sees an error.
+func TestRetryRecoversFromTransients(t *testing.T) {
+	f := &flaky{BulkBackend: newMem(t), script: []error{transientErr(0), transientErr(1), nil}}
+	r := NewRetry(f, RetryConfig{})
+	bk := testBucket(1, 1, 0x11)
+	if err := r.WriteBucket(3, &bk); err != nil {
+		t.Fatalf("write with 2 transients under budget 3: %v", err)
+	}
+	got, err := r.ReadBucket(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameBucket(got, bk); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	want := RetryStats{Calls: 2, Retried: 2, Recovered: 1}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+// TestRetryExhaustionStaysTransient: budget exhaustion surfaces an error
+// that still wraps ErrTransient — the signal the device layer uses to
+// fail-stop and let the supervisor heal by restore+replay.
+func TestRetryExhaustionStaysTransient(t *testing.T) {
+	script := make([]error, 10)
+	for i := range script {
+		script[i] = transientErr(i)
+	}
+	f := &flaky{BulkBackend: newMem(t), script: script}
+	r := NewRetry(f, RetryConfig{Retries: 2})
+	_, err := r.ReadBucket(1)
+	if err == nil {
+		t.Fatal("exhausted retry returned nil")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("exhaustion error %v lost the ErrTransient wrap", err)
+	}
+	if f.calls != 3 {
+		t.Fatalf("%d attempts issued, want 1 + 2 retries", f.calls)
+	}
+	st := r.Stats()
+	if st.Exhausted != 1 || st.Retried != 2 || st.Recovered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRetryDisabled: negative Retries means one attempt, error through.
+func TestRetryDisabled(t *testing.T) {
+	f := &flaky{BulkBackend: newMem(t), script: []error{transientErr(0)}}
+	r := NewRetry(f, RetryConfig{Retries: -1})
+	if _, err := r.ReadBucket(1); !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("%d attempts with retries disabled", f.calls)
+	}
+}
+
+// TestRetryNonTransientPassesThrough: corruption and other verdicts are
+// not retried — re-reading a torn frame cannot help, and the bounded
+// budget is reserved for faults that can clear.
+func TestRetryNonTransientPassesThrough(t *testing.T) {
+	hard := fmt.Errorf("bad frame: %w", ErrCorrupt)
+	f := &flaky{BulkBackend: newMem(t), script: []error{hard}}
+	r := NewRetry(f, RetryConfig{})
+	_, err := r.ReadBucket(1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("non-transient error retried (%d attempts)", f.calls)
+	}
+	if st := r.Stats(); st.Retried != 0 || st.Exhausted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRetryBackoffDoublesAndClamps pins the backoff ladder via the Sleep
+// hook: first retry waits Backoff, doubling per attempt, clamped at
+// BackoffMax.
+func TestRetryBackoffDoublesAndClamps(t *testing.T) {
+	script := make([]error, 6)
+	for i := range script {
+		script[i] = transientErr(i)
+	}
+	f := &flaky{BulkBackend: newMem(t), script: script}
+	var sleeps []time.Duration
+	r := NewRetry(f, RetryConfig{
+		Retries:    5,
+		Backoff:    time.Millisecond,
+		BackoffMax: 4 * time.Millisecond,
+		Sleep:      func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if _, err := r.ReadBucket(1); !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v", err)
+	}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		4 * time.Millisecond, // clamped
+		4 * time.Millisecond,
+	}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (ladder %v)", i, sleeps[i], want[i], sleeps)
+		}
+	}
+}
+
+// TestRetryDeadline: the per-call timeout covers backoff sleeps — a
+// backoff that would overshoot the deadline is not taken, and the error
+// still wraps ErrTransient.
+func TestRetryDeadline(t *testing.T) {
+	script := make([]error, 10)
+	for i := range script {
+		script[i] = transientErr(i)
+	}
+	f := &flaky{BulkBackend: newMem(t), script: script}
+	r := NewRetry(f, RetryConfig{
+		Retries: 8,
+		Backoff: time.Hour, // any backoff overshoots immediately
+		Timeout: time.Millisecond,
+		Sleep:   func(time.Duration) { t.Fatal("slept past the deadline") },
+	})
+	_, err := r.ReadBucket(1)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("%d attempts, want the deadline to cut before the first retry", f.calls)
+	}
+	if st := r.Stats(); st.Deadlines != 1 {
+		t.Fatalf("stats %+v, want one deadline cut", st)
+	}
+}
+
+// TestRetryOverRemoteEndToEnd stacks the real layers — Retry over Remote
+// over the in-memory medium — and checks a bounded fault burst is
+// absorbed invisibly.
+func TestRetryOverRemoteEndToEnd(t *testing.T) {
+	rem := NewRemote(newMem(t), RemoteConfig{
+		Seed:            42,
+		PTransientRead:  1,
+		PTransientWrite: 1,
+		MaxFaults:       3,
+		Sleep:           func(time.Duration) {},
+	})
+	r := NewRetry(rem, RetryConfig{}) // default budget 3 ≥ fault cap
+	bk := testBucket(9, 1, 0x55)
+	if err := r.WriteBucket(4, &bk); err != nil {
+		t.Fatalf("write through faulting remote: %v", err)
+	}
+	got, err := r.ReadBucket(4)
+	if err != nil {
+		t.Fatalf("read through faulting remote: %v", err)
+	}
+	if err := sameBucket(got, bk); err != nil {
+		t.Fatal(err)
+	}
+	if st := rem.Stats(); st.TransientReads+st.TransientWrites != 3 {
+		t.Fatalf("remote injected %d faults, want the MaxFaults cap of 3", st.TransientReads+st.TransientWrites)
+	}
+	if st := r.Stats(); st.Recovered == 0 || st.Exhausted != 0 {
+		t.Fatalf("retry stats %+v, want recoveries and no exhaustion", st)
+	}
+}

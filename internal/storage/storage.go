@@ -4,10 +4,19 @@
 //   - Mem keeps real encrypted bucket images (ciphertext bytes), exactly
 //     what an adversary snooping DRAM would observe. It is used by the
 //     functional correctness and security tests.
+//   - Disk keeps the same sealed bucket images in a preallocated file with
+//     a torn-write-detectable frame (epoch + CRC) around every bucket, so
+//     the medium survives process death and a kill mid-write surfaces as a
+//     typed ErrCorrupt instead of silent garbage (see disk.go).
 //   - Meta keeps only block metadata (address, label) with no payload and
 //     no encryption, lazily materializing buckets on first touch. It makes
 //     paper-scale trees (L = 24 and beyond) affordable for the timing and
 //     energy experiments, where payload bytes are never consulted.
+//
+// Mem and Disk additionally implement Medium — the full raw-ciphertext
+// view recovery, fault injection, and integrity hashing operate on. The
+// Remote and Retry decorators model a slow, failure-prone lower tier and
+// the bounded oblivious retry layer in front of it (remote.go, retry.go).
 //
 // Both backends model a tree that starts empty (all dummy blocks): data
 // blocks enter the tree through write-back from the stash, the standard
@@ -53,6 +62,32 @@ type Backend interface {
 type Counters struct {
 	BucketReads  uint64
 	BucketWrites uint64
+}
+
+// Medium is the full raw-ciphertext view of a base storage tier (Mem or
+// Disk): the Backend surface plus bulk IO, plus the out-of-band hooks the
+// recovery, fault-injection, and integrity layers need. A Medium is what
+// DeviceConfig.Storage plugs in; decorators (Remote, Retry, Integrity,
+// mac.Treetop, faults.Injector) stack on top of one.
+type Medium interface {
+	BulkBackend
+	// Tree returns the tree shape the medium was laid out for.
+	Tree() tree.Tree
+	// SetBulkWorkers bounds the crypto fan-out of bulk calls.
+	SetBulkWorkers(n int)
+	// Reset reverts every bucket to never-written (a freshly created
+	// device assumes an empty tree; stale frames from a previous
+	// incarnation are dead state, recovered — if at all — from a
+	// checkpoint, never trusted in place).
+	Reset() error
+	// Ciphertext returns the raw sealed image of bucket n as an adversary
+	// would observe it, or nil if never written. Implementations may
+	// return either the live cell or a copy — mutations that should reach
+	// the medium must go through SetCiphertext.
+	Ciphertext(n tree.Node) []byte
+	// SetCiphertext overwrites the raw sealed image of bucket n (nil
+	// reverts the bucket to never-written).
+	SetCiphertext(n tree.Node, ct []byte)
 }
 
 // Mem is a ciphertext-at-rest backend: every bucket is stored sealed with
@@ -144,6 +179,9 @@ func (m *Mem) WriteBucket(n tree.Node, b *block.Bucket) error {
 // Geometry implements Backend.
 func (m *Mem) Geometry() block.Geometry { return m.geo }
 
+// Tree implements Medium.
+func (m *Mem) Tree() tree.Tree { return m.tr }
+
 // Counters implements Backend.
 func (m *Mem) Counters() Counters {
 	m.mu.Lock()
@@ -152,13 +190,23 @@ func (m *Mem) Counters() Counters {
 }
 
 // Ciphertext returns the raw sealed image of bucket n as an adversary
-// would observe it, or nil if the bucket was never written. The returned
-// slice is the live storage cell: mutating it models medium corruption.
-// Test and fault-injection hook; controllers must not use it.
+// would observe it, or nil if the bucket was never written. For Mem the
+// returned slice is the live storage cell, but portable callers must not
+// rely on that (Disk returns a copy): mutations that model medium
+// corruption go through SetCiphertext. Test and fault-injection hook;
+// controllers must not use it.
 func (m *Mem) Ciphertext(n tree.Node) []byte {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.data[n]
+}
+
+// Reset implements Medium: every bucket reverts to never-written.
+func (m *Mem) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = make(map[tree.Node][]byte)
+	return nil
 }
 
 // SetCiphertext overwrites the raw sealed image of bucket n with a copy
@@ -266,4 +314,5 @@ func (m *Meta) Occupancy() uint64 {
 var (
 	_ Backend = (*Mem)(nil)
 	_ Backend = (*Meta)(nil)
+	_ Medium  = (*Mem)(nil)
 )

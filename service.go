@@ -10,6 +10,7 @@ import (
 
 	"forkoram/internal/pathoram"
 	"forkoram/internal/rng"
+	"forkoram/internal/storage"
 	"forkoram/internal/wal"
 )
 
@@ -193,7 +194,19 @@ const (
 	// Consulted only when the intra-shard pipeline engages
 	// (DeviceConfig.PipelineDepth > 1 on a multi-op window).
 	CrashMidPipeline
-	numCrashPoints = int(CrashMidPipeline) + 1
+	// CrashMidBucketWrite: inside the disk store's frame write — after
+	// the write was issued but before the full frame landed, so the slot
+	// may hold the old frame, the new frame, or a torn prefix of it
+	// (CRC-detectable garbage). Injected through Disk.SetCrashWrite, so
+	// it only fires when the base medium is a *storage.Disk; the next
+	// incarnation's recovery must restore the checkpoint image over the
+	// torn slot rather than trust it.
+	CrashMidBucketWrite
+	// CrashMidScrub: at the start of a background scrub slice, before
+	// any frame is audited — the scrub cadence counter is already reset,
+	// so recovery must not depend on scrub progress for correctness.
+	CrashMidScrub
+	numCrashPoints = int(CrashMidScrub) + 1
 )
 
 // String implements fmt.Stringer.
@@ -217,6 +230,10 @@ func (p CrashPoint) String() string {
 		return "after-group-sync"
 	case CrashMidPipeline:
 		return "mid-pipeline"
+	case CrashMidBucketWrite:
+		return "mid-bucket-write"
+	case CrashMidScrub:
+		return "mid-scrub"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -270,10 +287,25 @@ type ServiceConfig struct {
 	// Checkpoints persists recovery points (default a fresh
 	// MemCheckpointStore).
 	Checkpoints CheckpointStore
+	// ScrubEvery, when positive, runs a background scrub slice
+	// (Device.ScrubSlice) after every ScrubEvery acknowledged mutating
+	// operations: frames are audited for torn writes, decode failures,
+	// Merkle mismatches and RAM-tier divergence, repaired from the
+	// healthy tier when possible, and an unrepairable frame triggers the
+	// same supervised restore+replay as any other storage failure. Zero
+	// disables background scrubbing.
+	ScrubEvery int
+	// ScrubFrames bounds one scrub slice (default 32 frames). The walker
+	// keeps a cursor, so periodic slices cover the whole tree and wrap.
+	ScrubFrames int
 
 	// crashHook, when set, is consulted at every CrashPoint; returning
 	// true kills the service as a crash would (chaos harness hook).
 	crashHook func(CrashPoint) bool
+	// crashTear, when set alongside crashHook, picks how many bytes of
+	// the in-flight frame land before a CrashMidBucketWrite kill (chaos
+	// harness hook; 0 leaves the old frame intact).
+	crashTear func(frameLen int) int
 	// sleep overrides time.Sleep for recovery backoff (test hook).
 	sleep func(time.Duration)
 }
@@ -383,6 +415,11 @@ type ServiceStats struct {
 	// every device this service has owned, recoveries included. Zero
 	// unless DeviceConfig.PipelineDepth > 1 engaged on some window.
 	Pipeline pathoram.PipelineStats
+	// Storage aggregates the storage-tier counters (RAM tier, remote,
+	// retry, scrub) across every device this service has owned,
+	// recoveries included. Zero unless DeviceConfig.Storage configures
+	// the corresponding layer.
+	Storage StorageStats
 	// State is the serving state at the time of the call.
 	State ServiceState
 }
@@ -469,7 +506,9 @@ type Service struct {
 	sinceCkpt  int
 	recoveries int    // consecutive, reset by a committed checkpoint
 	faultEpoch uint64 // derives a fresh fault seed per restore
+	sinceScrub int    // acked mutating ops since the last scrub slice
 	pipeSeen   pathoram.PipelineStats // current device's pipeline counters already folded into stats
+	storSeen   StorageStats           // current device's storage counters already folded into stats
 
 	// Group-commit scratch, reused every dispatch window so coalescing
 	// allocates nothing in steady state.
@@ -554,6 +593,9 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 				break
 			}
 			lastErr = err
+			if errors.Is(err, errKilled) {
+				break // crash injection, not a fault to retry through
+			}
 			s.faultEpoch++
 			s.bump(func(t *ServiceStats) { t.FailedRecoveries++ })
 			cfg.sleep(s.backoff(attempt + 1))
@@ -586,6 +628,13 @@ func (s *Service) epochDeviceConfig() DeviceConfig {
 		fc := *dc.Faults
 		fc.Seed = rng.SeedAt(fc.Seed, 1000+s.faultEpoch)
 		dc.Faults = &fc
+	}
+	if dc.Storage.Remote != nil && s.faultEpoch > 0 {
+		// Same reasoning for the simulated remote's transient schedule: a
+		// rebuilt device must not hit the identical fault stream again.
+		rc := *dc.Storage.Remote
+		rc.Seed = rng.SeedAt(rc.Seed, 2000+s.faultEpoch)
+		dc.Storage.Remote = &rc
 	}
 	return dc
 }
@@ -785,7 +834,37 @@ func (s *Service) dispatch(first *svcReq) bool {
 		g[i] = nil
 	}
 	s.foldPipelineStats()
+	if alive {
+		alive = s.maybeScrub()
+	}
+	s.foldStorageStats()
 	return alive
+}
+
+// maybeScrub runs one background scrub slice when the cadence is due.
+// An unrepairable frame poisons the device; the supervisor heals it
+// like any other storage failure (restore + replay). Reports false when
+// crash injection killed the service.
+func (s *Service) maybeScrub() bool {
+	if s.cfg.ScrubEvery <= 0 || s.sinceScrub < s.cfg.ScrubEvery || s.State() != StateHealthy {
+		return true
+	}
+	s.sinceScrub = 0
+	if s.killed(CrashMidScrub) {
+		return false
+	}
+	if _, err := s.dev.ScrubSlice(s.cfg.ScrubFrames); err != nil {
+		if s.dev.Poisoned() == nil {
+			return true // device busy/closed: skip this slice
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			// errKilled: crash injection; otherwise the budget is spent and
+			// the state is already Degraded/Failed — either way the worker
+			// keeps running (or dying) exactly like a failed serve.
+			return !errors.Is(rerr, errKilled)
+		}
+	}
+	return true
 }
 
 // gather builds one dispatch window: the first request plus up to
@@ -1031,6 +1110,7 @@ func (s *Service) commitGroup(g []*svcReq) bool {
 		}
 	}
 	s.sinceCkpt += muts
+	s.sinceScrub += muts
 	if muts > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
 		if err := s.commitCheckpoint(); errors.Is(err, errKilled) {
 			return false
@@ -1147,6 +1227,7 @@ func (s *Service) serve(req *svcReq) bool {
 		// Mutations advance the checkpoint clock; reads have nothing to
 		// re-anchor. (sinceCkpt counts acked mutating ops.)
 		s.sinceCkpt++
+		s.sinceScrub++
 		if s.sinceCkpt >= s.cfg.CheckpointEvery {
 			if err := s.commitCheckpoint(); errors.Is(err, errKilled) {
 				return false
@@ -1327,6 +1408,12 @@ func (s *Service) supervise(cause error) error {
 	if p := s.dev.Poisoned(); p != nil {
 		cause = p
 	}
+	if errors.Is(cause, errKilled) {
+		// Crash injection (e.g. a mid-bucket-write kill poisoning the
+		// device) is simulated process death, not a fault to heal in
+		// place: recovery happens on the next incarnation.
+		return errKilled
+	}
 	for {
 		s.recoveries++
 		if s.recoveries > s.cfg.MaxRecoveries {
@@ -1442,6 +1529,11 @@ func (s *Service) restoreFrom(ck *Checkpoint, recs []wal.Record) error {
 		fc.Seed = rng.SeedAt(fc.Seed, 1000+s.faultEpoch)
 		snap.cfg.Faults = &fc
 	}
+	if snap.cfg.Storage.Remote != nil {
+		rc := *snap.cfg.Storage.Remote
+		rc.Seed = rng.SeedAt(rc.Seed, 2000+s.faultEpoch)
+		snap.cfg.Storage.Remote = &rc
+	}
 	d, err := RestoreDevice(snap)
 	if err != nil {
 		return fmt.Errorf("forkoram: recovery restore: %w", err)
@@ -1476,9 +1568,27 @@ func (s *Service) restoreFrom(ck *Checkpoint, recs []wal.Record) error {
 func (s *Service) armDevice(d *Device) {
 	if s.cfg.crashHook != nil {
 		d.midBatchKill = func() bool { return s.killed(CrashMidPipeline) }
+		// With a disk medium, crash injection can also strike inside a
+		// frame write, optionally leaving a torn (CRC-detectable) tail.
+		// The hook lives on the shared Disk handle; assembleDevice clears
+		// it on every new device, so recovery's restore+replay runs
+		// un-killable and arming re-installs it here, after replay.
+		if disk, ok := d.store.(*storage.Disk); ok {
+			disk.SetCrashWrite(func(frameLen int) (int, error) {
+				if s.killed(CrashMidBucketWrite) {
+					tear := 0
+					if s.cfg.crashTear != nil {
+						tear = s.cfg.crashTear(frameLen)
+					}
+					return tear, errKilled
+				}
+				return 0, nil
+			})
+		}
 	}
 	s.dev = d
 	s.pipeSeen = pathoram.PipelineStats{}
+	s.storSeen = StorageStats{}
 }
 
 // foldPipelineStats rolls the device's pipeline counters accumulated
@@ -1495,6 +1605,22 @@ func (s *Service) foldPipelineStats() {
 	}
 	s.pipeSeen = cur
 	s.bump(func(t *ServiceStats) { t.Pipeline.Add(delta) })
+}
+
+// foldStorageStats rolls the device's storage-tier counters accumulated
+// since the last fold into the service statistics (same high-water
+// pattern as foldPipelineStats; storSeen is worker-owned).
+func (s *Service) foldStorageStats() {
+	if s.dev == nil {
+		return
+	}
+	cur := s.dev.storageStats()
+	delta := cur.Delta(s.storSeen)
+	if delta.zero() {
+		return
+	}
+	s.storSeen = cur
+	s.bump(func(t *ServiceStats) { t.Storage.Add(delta) })
 }
 
 // commitCheckpoint quiesces the device, persists {snapshot, medium

@@ -28,7 +28,7 @@ import (
 type Snapshot struct {
 	cfg    DeviceConfig
 	tr     tree.Tree
-	medium *storage.Mem
+	medium storage.Medium
 
 	root    [32]byte
 	hasRoot bool
@@ -222,8 +222,15 @@ func (d *Device) compactMedium() error {
 		}
 		changed = true
 	}
-	if changed && d.verifier != nil {
-		d.verifier.Rebuild()
+	if changed {
+		if d.verifier != nil {
+			d.verifier.Rebuild()
+		}
+		// The walk wrote the base medium directly, so any write-through
+		// RAM tier copies are stale now; drop them and let reads refill.
+		if d.tier != nil {
+			d.tier.Invalidate()
+		}
 	}
 	return nil
 }
@@ -477,6 +484,10 @@ func UnmarshalSnapshot(data []byte, from *Device) (*Snapshot, error) {
 	s.cfg.Faults = from.cfg.Faults
 	s.cfg.CryptoWorkers = from.cfg.CryptoWorkers
 	s.cfg.PipelineDepth = from.cfg.PipelineDepth
+	// Storage holds live process-local handles (the medium, remote/retry
+	// shaping); like Observer and Faults it is re-bound from the host
+	// device, never serialized.
+	s.cfg.Storage = from.cfg.Storage
 	return s, nil
 }
 

@@ -1,0 +1,284 @@
+package forkoram
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"forkoram/internal/rng"
+	"forkoram/internal/storage"
+)
+
+// TierBenchConfig parameterizes RunTierBench, the storage-tier
+// comparison benchmark: the same concurrent mixed workload through one
+// Service per backend configuration — in-memory medium, durable disk
+// store, and disk behind a simulated remote tier (latency + transients
+// absorbed by the retry layer), each with and without the write-through
+// RAM tier where it applies.
+type TierBenchConfig struct {
+	// Blocks / BlockSize size the device (defaults 256 / 64).
+	Blocks    uint64
+	BlockSize int
+	// Clients is the number of concurrent workers (default 4).
+	Clients int
+	// Ops is the total acknowledged operations per run (default 2000),
+	// split evenly among clients; every other op is a read.
+	Ops int
+	// Dir hosts the journal and disk-store files ("" = fresh temp dir).
+	Dir string
+	// Seed derives payloads and the device seed.
+	Seed uint64
+	// RemoteReadLatency / RemoteWriteLatency shape the simulated remote
+	// round trip (defaults 20µs / 40µs).
+	RemoteReadLatency  time.Duration
+	RemoteWriteLatency time.Duration
+	// RemotePTransient is the per-call transient fault probability on
+	// the remote runs (default 0.002); the retry layer must absorb all
+	// of them for the run to count.
+	RemotePTransient float64
+	// TierBytes sizes the write-through RAM tier on the tiered runs
+	// (default 1<<16).
+	TierBytes int
+}
+
+func (c TierBenchConfig) withDefaults() TierBenchConfig {
+	if c.Blocks == 0 {
+		c.Blocks = 256
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x7e13
+	}
+	if c.RemoteReadLatency == 0 {
+		c.RemoteReadLatency = 5 * time.Microsecond
+	}
+	if c.RemoteWriteLatency == 0 {
+		c.RemoteWriteLatency = 10 * time.Microsecond
+	}
+	if c.RemotePTransient == 0 {
+		c.RemotePTransient = 0.002
+	}
+	if c.TierBytes == 0 {
+		c.TierBytes = 1 << 16
+	}
+	return c
+}
+
+// TierBenchRun is one backend configuration's measurement.
+type TierBenchRun struct {
+	// Tier names the configuration: "mem", "disk", "disk+tier",
+	// "remote", "remote+tier".
+	Tier       string        `json:"tier"`
+	Ops        int           `json:"ops"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	OpsPerSec  float64       `json:"ops_per_sec"`
+	P50Latency time.Duration `json:"p50_latency_ns"`
+	P99Latency time.Duration `json:"p99_latency_ns"`
+	// Slowdown is the mem run's OpsPerSec over this run's: the cost of
+	// durability (disk) or distance (remote) for this workload.
+	Slowdown float64 `json:"slowdown"`
+	// Storage is the run's storage-tier counter delta: RAM-tier hits,
+	// remote round trips and injected faults, retry outcomes, scrub work.
+	Storage StorageStats `json:"storage"`
+}
+
+// TierBenchResult is the full tier comparison.
+type TierBenchResult struct {
+	Runs []TierBenchRun `json:"runs"`
+}
+
+// Run returns the named run, or nil.
+func (r *TierBenchResult) Run(tier string) *TierBenchRun {
+	for i := range r.Runs {
+		if r.Runs[i].Tier == tier {
+			return &r.Runs[i]
+		}
+	}
+	return nil
+}
+
+// String renders the comparison table for the CLI.
+func (r *TierBenchResult) String() string {
+	var b strings.Builder
+	ops := 0
+	if len(r.Runs) > 0 {
+		ops = r.Runs[0].Ops
+	}
+	fmt.Fprintf(&b, "storage tier bench (%d mixed ops per run, file-backed journal):\n", ops)
+	fmt.Fprintf(&b, "  %-12s %10s %9s %10s %10s  %s\n", "tier", "ops/s", "slowdown", "p50", "p99", "tier-layer counters")
+	for _, run := range r.Runs {
+		extra := ""
+		st := run.Storage
+		if st.Tier.ReadHits+st.Tier.ReadMisses > 0 {
+			extra += fmt.Sprintf("ram %d hit/%d miss ", st.Tier.ReadHits, st.Tier.ReadMisses)
+		}
+		if st.Remote.ReadCalls+st.Remote.WriteCalls > 0 {
+			extra += fmt.Sprintf("remote %d rt/%d faults ", st.Remote.ReadCalls+st.Remote.WriteCalls,
+				st.Remote.TransientReads+st.Remote.TransientWrites)
+		}
+		if st.Retry.Retried > 0 {
+			extra += fmt.Sprintf("retry %d/%d recovered", st.Retry.Recovered, st.Retry.Retried)
+		}
+		fmt.Fprintf(&b, "  %-12s %10.0f %8.2fx %10s %10s  %s\n",
+			run.Tier, run.OpsPerSec, run.Slowdown,
+			run.P50Latency.Round(time.Microsecond), run.P99Latency.Round(time.Microsecond),
+			strings.TrimSpace(extra))
+	}
+	return b.String()
+}
+
+// RunTierBench measures the same concurrent mixed read/write workload
+// through a Service over each storage-tier configuration and reports
+// throughput, tail latency, and the tier-layer counters. Every remote
+// run must absorb its injected transients invisibly (retry layer); any
+// front-door error fails the bench.
+func RunTierBench(cfg TierBenchConfig) (TierBenchResult, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "forkoram-tierbench")
+		if err != nil {
+			return TierBenchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	var res TierBenchResult
+	for _, tier := range []string{"mem", "disk", "disk+tier", "remote", "remote+tier"} {
+		run, err := runTierBench(cfg, dir, tier)
+		if err != nil {
+			return res, fmt.Errorf("forkoram: tier bench %s run: %w", tier, err)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	mem := res.Run("mem")
+	for i := range res.Runs {
+		if res.Runs[i].OpsPerSec > 0 {
+			res.Runs[i].Slowdown = mem.OpsPerSec / res.Runs[i].OpsPerSec
+		}
+	}
+	return res, nil
+}
+
+// runTierBench stands up one Service over the named backend stack and
+// times the mixed workload through it.
+func runTierBench(cfg TierBenchConfig, dir, tier string) (TierBenchRun, error) {
+	run := TierBenchRun{Tier: tier}
+	sc := ServiceConfig{
+		Device: DeviceConfig{
+			Blocks:    cfg.Blocks,
+			BlockSize: cfg.BlockSize,
+			QueueSize: 8,
+			Seed:      cfg.Seed,
+			Variant:   Fork,
+		},
+		QueueDepth:      2 * cfg.Clients,
+		CheckpointEvery: 1 << 30,
+	}
+	useDisk := strings.HasPrefix(tier, "disk") || strings.HasPrefix(tier, "remote")
+	if useDisk {
+		disk, err := NewDiskMedium(sc.Device, filepath.Join(dir, tier+".oram"))
+		if err != nil {
+			return run, err
+		}
+		defer disk.Close()
+		sc.Device.Storage.Medium = disk
+	}
+	if strings.HasPrefix(tier, "remote") {
+		sc.Device.Storage.Remote = &storage.RemoteConfig{
+			Seed:            rng.SeedAt(cfg.Seed, 11),
+			ReadLatency:     cfg.RemoteReadLatency,
+			WriteLatency:    cfg.RemoteWriteLatency,
+			PTransientRead:  cfg.RemotePTransient,
+			PTransientWrite: cfg.RemotePTransient,
+		}
+	}
+	if strings.HasSuffix(tier, "+tier") {
+		sc.Device.Storage.TierBytes = cfg.TierBytes
+	}
+	walStore, err := OpenWALFile(filepath.Join(dir, tier+".wal"))
+	if err != nil {
+		return run, err
+	}
+	defer walStore.Close()
+	sc.WAL = walStore
+	sc.Checkpoints = NewMemCheckpointStore()
+	svc, err := NewService(sc)
+	if err != nil {
+		return run, err
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	perClient := cfg.Ops / cfg.Clients
+	total := perClient * cfg.Clients
+	for i := 0; i < cfg.Clients; i++ { // warmup outside the timed window
+		if err := svc.Write(ctx, uint64(i)%cfg.Blocks, chaosPayload(cfg.BlockSize, cfg.Seed, uint64(i)+1)); err != nil {
+			return run, err
+		}
+	}
+	before := svc.Stats().Storage
+
+	lats := make([][]time.Duration, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				n := uint64(c*perClient + i)
+				addr := (n * 2654435761) % cfg.Blocks
+				t0 := time.Now()
+				var err error
+				if n%2 == 0 {
+					err = svc.Write(ctx, addr, chaosPayload(cfg.BlockSize, cfg.Seed, n+1))
+				} else {
+					_, err = svc.Read(ctx, addr)
+				}
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	run.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return run, err
+		}
+	}
+	run.Storage = svc.Stats().Storage.Delta(before)
+
+	all := make([]time.Duration, 0, total)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	run.Ops = total
+	if sec := run.Elapsed.Seconds(); sec > 0 {
+		run.OpsPerSec = float64(total) / sec
+	}
+	run.P50Latency = percentile(all, 50)
+	run.P99Latency = percentile(all, 99)
+	return run, nil
+}

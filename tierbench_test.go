@@ -1,0 +1,48 @@
+package forkoram
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTierBenchSmoke runs the tier comparison at a toy scale: every
+// configuration must complete with zero front-door errors, the remote
+// runs must show retry-absorbed transients (or none injected), and the
+// RAM-tier runs must serve reads from memory.
+func TestTierBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier bench smoke is seconds-long")
+	}
+	res, err := RunTierBench(TierBenchConfig{
+		Ops:                200,
+		Clients:            2,
+		RemoteReadLatency:  time.Microsecond,
+		RemoteWriteLatency: 2 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 5 {
+		t.Fatalf("got %d runs", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if run.Ops == 0 || run.OpsPerSec <= 0 {
+			t.Fatalf("run %s measured nothing: %+v", run.Tier, run)
+		}
+	}
+	for _, tier := range []string{"disk+tier", "remote+tier"} {
+		if run := res.Run(tier); run.Storage.Tier.ReadHits == 0 {
+			t.Errorf("%s run never hit the RAM tier", tier)
+		}
+	}
+	for _, tier := range []string{"remote", "remote+tier"} {
+		st := res.Run(tier).Storage
+		if st.Remote.ReadCalls+st.Remote.WriteCalls == 0 {
+			t.Errorf("%s run never touched the remote", tier)
+		}
+		if injected := st.Remote.TransientReads + st.Remote.TransientWrites; injected > 0 &&
+			st.Retry.Recovered == 0 {
+			t.Errorf("%s run injected %d transients but the retry layer recovered none", tier, injected)
+		}
+	}
+}
