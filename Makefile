@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-svc bench-pipeline bench-reshard bench-tiers json chaos chaos-smoke chaos-reshard chaos-reshard-smoke chaos-disk chaos-disk-smoke scrub fuzz fuzz-smoke
+.PHONY: build test race bench bench-svc bench-pipeline bench-pipeline-mc bench-reshard bench-tiers json chaos chaos-smoke chaos-reshard chaos-reshard-smoke chaos-disk chaos-disk-smoke scrub fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,16 @@ bench-svc:
 # serial baseline; run on >=2 cores for the overlap to show as speedup.
 bench-pipeline:
 	$(GO) run ./cmd/orambench -pipeline-sweep -svc-ops 1200
+
+# Multi-core serve-stage baseline: the same grouped write storm across
+# a gomaxprocs × pipeline-depth × serve-workers grid over a simulated
+# remote tier (fixed per-bulk-call RTT), every entry stamped with the
+# GOMAXPROCS it actually ran under. -require-mc exits nonzero unless a
+# GOMAXPROCS>=4 concurrent cell clears 1.3x over that scheduler width's
+# own depth-1 serial baseline, so a sweep produced at GOMAXPROCS=1 can
+# never claim a multi-core speedup.
+bench-pipeline-mc:
+	$(GO) run ./cmd/orambench -mc-sweep -svc-ops 1200 -require-mc
 
 # Online reshard benchmark: one timed 2->4 split over file-backed
 # journals with concurrent client writers riding the dual-routed front
@@ -64,6 +74,10 @@ chaos-smoke:
 	$(GO) run ./cmd/forksim -faults -fault-corruption -seed 2 -fault-schedules 100 -fault-rate 0.006
 	$(GO) run ./cmd/forksim -crash -seed 3 -crash-schedules 100
 	$(GO) run ./cmd/forksim -crash-shards -seed 4 -crash-schedules 100 -shards 3
+	# Race-checked crash pass: every fourth schedule runs the concurrent
+	# serve stage (PipelineDepth 4, ServeWorkers 2), so mid-serve kills
+	# land inside worker goroutines under the race detector.
+	$(GO) run -race ./cmd/forksim -crash -seed 3 -crash-schedules 60
 
 # Disk-medium crash campaign: every schedule runs over a real disk
 # bucket store, so kills land inside frame writes (mid-bucket-write

@@ -12,7 +12,10 @@
 //	orambench -svc                 # only the Service group-commit bench
 //	orambench -svc -shards 8 -json # sharded fleet bench, recorded to json
 //	orambench -svc -pipeline-depth 4    # pipelined device under the svc bench
+//	orambench -svc -serve-workers 4     # concurrent serve/evict stage
 //	orambench -pipeline-sweep -json     # depth sweep (1,2,4) comparison table
+//	orambench -mc-sweep -json           # gomaxprocs × depth × workers baseline
+//	orambench -mc-sweep -require-mc     # fail unless GOMAXPROCS>=4 hits 1.3x
 //	orambench -reshard -json       # online reshard under concurrent writers
 //	orambench -gomaxprocs 8        # pin the Go scheduler width for the run
 //	orambench -cpuprofile cpu.out  # profile the run for go tool pprof
@@ -31,42 +34,44 @@ import (
 )
 
 // benchReport is the perf-trajectory record -json writes: enough to
-// compare harness throughput and hot-path cost across commits.
+// compare harness throughput and hot-path cost across commits. Every
+// section a partial run might leave unmeasured carries omitempty, so
+// writeReport can merge the day's runs instead of zeroing each other.
 type benchReport struct {
 	Date        string             `json:"date"`
 	GoVersion   string             `json:"go_version"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Parallel    int                `json:"parallel"`
+	Parallel    int                `json:"parallel,omitempty"`
 	Experiments []experimentReport `json:"experiments,omitempty"`
 	WallSeconds float64            `json:"wall_seconds"`
-	SimRuns     uint64             `json:"sim_runs"`
-	RunsPerSec  float64            `json:"runs_per_sec"`
+	SimRuns     uint64             `json:"sim_runs,omitempty"`
+	RunsPerSec  float64            `json:"runs_per_sec,omitempty"`
 	// Speedup is aggregate simulation busy time / wall time: the
 	// effective parallelism the worker pool achieved.
-	Speedup float64 `json:"speedup"`
+	Speedup float64 `json:"speedup,omitempty"`
 	// Fork-engine access-loop microbenchmark (see AccessLoopStats).
-	AccessAllocsPerOp float64 `json:"access_allocs_per_op"`
-	AccessNSPerOp     float64 `json:"access_ns_per_op"`
+	AccessAllocsPerOp float64 `json:"access_allocs_per_op,omitempty"`
+	AccessNSPerOp     float64 `json:"access_ns_per_op,omitempty"`
 	// Supervised-recovery latency probe (see RecoveryLoopStats): full
 	// heals per second, and journal records replayed per second while
 	// healing.
-	RecoverHealsPerSec     float64 `json:"recover_heals_per_sec"`
-	RecoverReplayOpsPerSec float64 `json:"recover_replay_ops_per_sec"`
+	RecoverHealsPerSec     float64 `json:"recover_heals_per_sec,omitempty"`
+	RecoverReplayOpsPerSec float64 `json:"recover_replay_ops_per_sec,omitempty"`
 	// Service group-commit bench (see RunServiceBench): end-to-end write
 	// throughput over file-backed journals with coalescing on vs. pinned
 	// to one sync per op, plus latency percentiles and the dispatch-
 	// window shape the coalescer achieved. SvcShards is the fleet width
 	// the run used (1 = single supervised Service).
-	SvcShards             int       `json:"svc_shards"`
-	SvcOpsPerSec          float64   `json:"svc_ops_per_sec"`
-	SvcBaselineOpsPerSec  float64   `json:"svc_baseline_ops_per_sec"`
-	SvcGroupCommitSpeedup float64   `json:"svc_group_commit_speedup"`
-	SvcP50LatencyNS       int64     `json:"svc_p50_latency_ns"`
-	SvcP99LatencyNS       int64     `json:"svc_p99_latency_ns"`
-	WALSyncsPerOp         float64   `json:"wal_syncs_per_op"`
-	WALSyncsPerOpBaseline float64   `json:"wal_syncs_per_op_baseline"`
-	SvcMeanGroupSize      float64   `json:"svc_mean_group_size"`
-	SvcGroupSizeHist      [9]uint64 `json:"svc_group_size_hist"`
+	SvcShards             int      `json:"svc_shards,omitempty"`
+	SvcOpsPerSec          float64  `json:"svc_ops_per_sec,omitempty"`
+	SvcBaselineOpsPerSec  float64  `json:"svc_baseline_ops_per_sec,omitempty"`
+	SvcGroupCommitSpeedup float64  `json:"svc_group_commit_speedup,omitempty"`
+	SvcP50LatencyNS       int64    `json:"svc_p50_latency_ns,omitempty"`
+	SvcP99LatencyNS       int64    `json:"svc_p99_latency_ns,omitempty"`
+	WALSyncsPerOp         float64  `json:"wal_syncs_per_op,omitempty"`
+	WALSyncsPerOpBaseline float64  `json:"wal_syncs_per_op_baseline,omitempty"`
+	SvcMeanGroupSize      float64  `json:"svc_mean_group_size,omitempty"`
+	SvcGroupSizeHist      []uint64 `json:"svc_group_size_hist,omitempty"`
 	// Staged intra-shard pipeline (see DeviceConfig.PipelineDepth and
 	// RunPipelineSweep): the depth the headline svc_pipeline_* numbers
 	// were measured at, its throughput and speedup over the depth-1
@@ -84,6 +89,19 @@ type benchReport struct {
 	// SvcPipelineSweep holds the full per-depth table when -pipeline-sweep
 	// ran (depth, throughput, latency, stall telemetry per entry).
 	SvcPipelineSweep []forkoram.PipelineSweepRun `json:"svc_pipeline_sweep,omitempty"`
+	// Concurrent serve/evict stage and multi-core baseline (see
+	// DeviceConfig.ServeWorkers and RunMCSweep): the serve-worker count
+	// behind the headline svc_pipeline_* numbers, plus the full
+	// gomaxprocs × depth × workers grid with per-entry GOMAXPROCS/NumCPU
+	// stamps so single-core runs cannot masquerade as multi-core wins.
+	SvcServeWorkers      int                   `json:"svc_serve_workers,omitempty"`
+	SvcMCNumCPU          int                   `json:"svc_mc_num_cpu,omitempty"`
+	SvcMCRemoteLatencyNS int64                 `json:"svc_mc_remote_latency_ns,omitempty"`
+	SvcMCBestSpeedup     float64               `json:"svc_mc_best_speedup,omitempty"`
+	SvcMCBestGomaxprocs  int                   `json:"svc_mc_best_gomaxprocs,omitempty"`
+	SvcMCBestDepth       int                   `json:"svc_mc_best_depth,omitempty"`
+	SvcMCBestWorkers     int                   `json:"svc_mc_best_workers,omitempty"`
+	SvcMCRuns            []forkoram.MCSweepRun `json:"svc_mc_runs,omitempty"`
 	// Online reshard bench (see RunReshardBench): one timed split over
 	// file-backed journals — migration copy throughput, journaled chunk
 	// count, summed write-barrier stall, and what concurrent client
@@ -135,7 +153,7 @@ func (r *benchReport) fillSvc(res forkoram.ServiceBenchResult) {
 	r.WALSyncsPerOp = res.Grouped.WALSyncsPerOp
 	r.WALSyncsPerOpBaseline = res.Baseline.WALSyncsPerOp
 	r.SvcMeanGroupSize = res.Grouped.MeanGroupSize
-	r.SvcGroupSizeHist = res.Grouped.GroupSizes
+	r.SvcGroupSizeHist = append([]uint64(nil), res.Grouped.GroupSizes[:]...)
 }
 
 // fillPipelineRun copies one pipelined run's stage counters into the
@@ -161,6 +179,49 @@ func (r *benchReport) fillPipelineSweep(res forkoram.PipelineSweepResult) {
 		last := res.Depths[n-1]
 		r.fillPipelineRun(last.Depth, last.Run, last.Speedup)
 	}
+}
+
+// fillMCSweep records the multi-core serve-stage sweep and promotes
+// its best concurrent cell measured at GOMAXPROCS >= 4 to the headline
+// svc_pipeline_* fields (the speedup is against that scheduler width's
+// own depth-1 serial baseline).
+func (r *benchReport) fillMCSweep(res forkoram.MCSweepResult) {
+	r.SvcMCNumCPU = res.NumCPU
+	r.SvcMCRemoteLatencyNS = res.RemoteLatencyNs
+	r.SvcMCBestSpeedup = res.BestSpeedup
+	r.SvcMCBestGomaxprocs = res.BestGomaxprocs
+	r.SvcMCBestDepth = res.BestDepth
+	r.SvcMCBestWorkers = res.BestWorkers
+	r.SvcMCRuns = res.Runs
+	var best *forkoram.MCSweepRun
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.Workers < 2 || run.Gomaxprocs < 4 {
+			continue
+		}
+		if best == nil || run.Speedup > best.Speedup {
+			best = run
+		}
+	}
+	if best != nil {
+		r.SvcServeWorkers = best.Workers
+		r.fillPipelineRun(best.Depth, best.Run, best.Speedup)
+	}
+}
+
+// requireMCPass enforces the multi-core honesty bar: some concurrent
+// cell (workers >= 2) measured at GOMAXPROCS >= 4 must clear 1.3x over
+// that scheduler width's depth-1 serial baseline. A sweep produced
+// entirely at GOMAXPROCS=1 therefore cannot claim a multi-core
+// speedup, whatever its numbers say.
+func requireMCPass(res forkoram.MCSweepResult) error {
+	for _, run := range res.Runs {
+		if run.Workers >= 2 && run.Gomaxprocs >= 4 && run.Speedup >= 1.3 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no concurrent cell at GOMAXPROCS >= 4 reached 1.3x (best %.2fx at gomaxprocs=%d depth=%d workers=%d)",
+		res.BestSpeedup, res.BestGomaxprocs, res.BestDepth, res.BestWorkers)
 }
 
 // fillTiers copies a tier bench result into the report's svc_disk_* /
@@ -204,10 +265,30 @@ func (r *benchReport) fillReshard(res forkoram.ReshardBenchResult) {
 	r.SvcReshardClientP99NS = res.ClientP99.Nanoseconds()
 }
 
-// writeReport writes the BENCH_<date>.json perf record.
+// writeReport writes the BENCH_<date>.json perf record, merging into
+// any record already written for the day: optional sections carry
+// omitempty, so a partial run (-svc, -tiers, -mc-sweep, ...) emits only
+// the fields it measured and leaves the rest of the day's record
+// standing instead of overwriting it with zeroes.
 func writeReport(rep benchReport) {
 	path := fmt.Sprintf("BENCH_%s.json", rep.Date)
-	data, err := json.MarshalIndent(rep, "", "  ")
+	merged := make(map[string]json.RawMessage)
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: %s exists but is not valid json (%v); rewriting\n", path, err)
+			merged = make(map[string]json.RawMessage)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err == nil {
+		var cur map[string]json.RawMessage
+		if err = json.Unmarshal(data, &cur); err == nil {
+			for k, v := range cur {
+				merged[k] = v
+			}
+			data, err = json.MarshalIndent(merged, "", "  ")
+		}
+	}
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
 	}
@@ -233,7 +314,12 @@ func main() {
 		svcOps     = flag.Int("svc-ops", 2000, "Service bench: acknowledged writes per run")
 		shards     = flag.Int("shards", 1, "Service bench: ShardedService fleet width (1 = plain Service)")
 		pipeDepth  = flag.Int("pipeline-depth", 0, "Service bench: staged-pipeline depth per device (0/1 = serial engine)")
+		serveWork  = flag.Int("serve-workers", 0, "Service bench: concurrent serve/evict workers per device (0/1 = serial serve stage)")
+		wbQueue    = flag.Int("wb-queue", 0, "Service bench: writeback queue depth for the concurrent serve stage (0 = depth-1)")
 		pipeSweep  = flag.Bool("pipeline-sweep", false, "run only the pipeline depth sweep (depths 1, 2, 4)")
+		mcSweep    = flag.Bool("mc-sweep", false, "run only the multi-core serve-stage sweep (gomaxprocs × depth × workers)")
+		mcLatency  = flag.Duration("mc-latency", 0, "mc sweep: simulated remote round-trip per bulk call (0 = 200µs default)")
+		requireMC  = flag.Bool("require-mc", false, "mc sweep: exit nonzero unless a GOMAXPROCS>=4 concurrent cell clears 1.3x")
 		reshard    = flag.Bool("reshard", false, "run only the online reshard benchmark")
 		tiers      = flag.Bool("tiers", false, "run only the storage tier benchmark (mem vs disk vs remote)")
 		tierOps    = flag.Int("tier-ops", 500, "tier bench: acknowledged mixed ops per configuration (remote runs sleep real time)")
@@ -265,7 +351,14 @@ func main() {
 		}
 	}()
 
-	svcCfg := forkoram.ServiceBenchConfig{Ops: *svcOps, Shards: *shards, Seed: *seed, PipelineDepth: *pipeDepth}
+	svcCfg := forkoram.ServiceBenchConfig{
+		Ops:            *svcOps,
+		Shards:         *shards,
+		Seed:           *seed,
+		PipelineDepth:  *pipeDepth,
+		ServeWorkers:   *serveWork,
+		WritebackQueue: *wbQueue,
+	}
 	reshardCfg := forkoram.ReshardBenchConfig{Seed: *seed, NewShards: *newShards}
 	if *shards > 1 {
 		reshardCfg.Shards = *shards
@@ -311,6 +404,35 @@ func main() {
 		}
 		return
 	}
+	if *mcSweep {
+		start := time.Now()
+		mcCfg := svcCfg
+		mcCfg.RemoteLatency = *mcLatency
+		res, err := forkoram.RunMCSweep(mcCfg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orambench: mc sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *jsonOut {
+			rep := benchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			rep.fillMCSweep(res)
+			writeReport(rep)
+		}
+		if *requireMC {
+			if err := requireMCPass(res); err != nil {
+				fmt.Fprintf(os.Stderr, "orambench: mc guard: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("mc guard: ok")
+		}
+		return
+	}
 	if *pipeSweep {
 		start := time.Now()
 		res, err := forkoram.RunPipelineSweep(svcCfg, nil)
@@ -349,8 +471,9 @@ func main() {
 			rep.fillSvc(res)
 			if *pipeDepth > 1 {
 				// No depth-1 baseline in this mode; speedup comes from
-				// -pipeline-sweep, which measures both.
+				// -pipeline-sweep or -mc-sweep, which measure both.
 				rep.fillPipelineRun(*pipeDepth, res.Grouped, 0)
+				rep.SvcServeWorkers = *serveWork
 			}
 			writeReport(rep)
 		}
@@ -448,6 +571,7 @@ func main() {
 		}
 		if *pipeDepth > 1 {
 			rep.fillPipelineRun(*pipeDepth, svcRes.Grouped, 0)
+			rep.SvcServeWorkers = *serveWork
 		}
 		writeReport(rep)
 	}

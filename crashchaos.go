@@ -132,7 +132,13 @@ func (r *CrashReport) String() string {
 // "at the Nth hook consultation" (rather than at a fixed point) spreads
 // kills uniformly over every CrashPoint the write path consults,
 // including the recovery-path points reachable only while healing.
+// mu serializes hook consultations: with the concurrent serve stage
+// engaged, CrashMidServe (serve workers) and CrashMidBucketWrite
+// (overlapped writeback goroutines) consult the plan concurrently. The
+// journal itself is quiescent during a dispatch window — the service
+// worker is blocked inside Batch — so serializing the plan suffices.
 type crashPlan struct {
+	mu        sync.Mutex
 	wl        *rng.Source
 	store     *wal.MemStore
 	remaining int
@@ -151,6 +157,8 @@ func newCrashPlan(seed uint64, store *wal.MemStore, maxCrashes int, span uint64)
 // the journal's unsynced buffer at a random byte boundary, modelling the
 // arbitrary prefix a real crash can leave behind an unfinished write.
 func (p *crashPlan) hook(pt CrashPoint) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.count++
 	if p.remaining <= 0 || p.count < p.next {
 		return false
@@ -170,6 +178,8 @@ func (p *crashPlan) hook(pt CrashPoint) bool {
 // Whether the truncation persisted is itself random — both outcomes
 // must recover identically, since only garbage bytes are ever dropped.
 func (p *crashPlan) truncateCrash(int) (error, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.count++
 	if p.remaining <= 0 || p.count < p.next {
 		return nil, false
@@ -268,6 +278,15 @@ func runCrashSchedule(rep *CrashReport, cfg CrashChaosConfig, idx uint64, varian
 		// it can engage (Fork variant, plain medium, multi-op
 		// windows); inert elsewhere.
 		PipelineDepth: 2,
+	}
+	if idx%4 == 3 {
+		// Concurrent serve stage schedules: deepen the window and fan
+		// the serve stage across workers, so kills land on a worker
+		// mid-access while sibling accesses are genuinely in flight
+		// (CrashMidServe) and bucket-write kills land inside overlapped
+		// writeback goroutines.
+		devCfg.PipelineDepth = 4
+		devCfg.ServeWorkers = 2
 	}
 	scrubEvery := 0
 	// Disk schedules (every even schedule, or all of them with

@@ -150,6 +150,22 @@ type DeviceConfig struct {
 	// device on restore, and inert under the Integrity or Faults
 	// decorators (whose per-bucket semantics pin the serial path).
 	PipelineDepth int
+	// ServeWorkers sizes the concurrent serve/evict stage of the
+	// pipeline (DESIGN.md §15): >= 2 executes independent in-flight
+	// accesses' stash phases across that many workers, with
+	// dependency-tracked scheduling keeping every dependent pair in
+	// program order — results, snapshots, and the public access
+	// sequence are identical at every worker count. <= 1 (the default)
+	// keeps the single-goroutine serve stage of DESIGN.md §12. Only
+	// meaningful with PipelineDepth > 1; process-local tuning like
+	// PipelineDepth (not serialized in snapshots, inert under the
+	// Integrity or Faults decorators).
+	ServeWorkers int
+	// WritebackQueue bounds refill jobs queued behind the in-flight
+	// writeback(s) of a pipelined batch. 0 (the default) sizes it to
+	// PipelineDepth-1, the DESIGN.md §12 sizing; larger values only add
+	// slack. Process-local tuning like PipelineDepth.
+	WritebackQueue int
 	// Storage selects and shapes the storage tiers under the controller:
 	// a durable disk medium instead of the default in-memory one, a
 	// simulated remote tier with latency/transients plus its retry
@@ -269,6 +285,13 @@ type Device struct {
 	// N+1's fetch is consumed. Returning true aborts the batch with
 	// errKilled (crash-chaos hook modelling a shard dying mid-window).
 	midBatchKill func() bool
+
+	// midServeKill, when set, is polled by the concurrent serve stage's
+	// workers before each access's stash phase (so the kill lands while
+	// other accesses are genuinely in flight). A non-nil error aborts
+	// the batch with it (crash-chaos hook modelling a shard dying
+	// mid-serve). Only armed when ServeWorkers >= 2.
+	midServeKill func() error
 
 	// busy is the cheap concurrent-misuse guard: CAS-acquired by every
 	// public operation, so a second goroutine entering mid-operation gets
@@ -682,6 +705,19 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 			addr := op.Addr
 			it := &fork.Item{ID: d.nextID, Addr: addr, OldLabel: old, NewLabel: newLabel}
 			it.Serve = func() error {
+				// Concurrent serve stage: record the stash work on the
+				// in-flight access instead of executing it here; the
+				// result lands via the callback when the access's turn
+				// executes. pendingCount still falls NOW — the engine's
+				// admission arithmetic must not depend on worker timing.
+				if d.ctl.DeferServe(pop, addr, newLabel, data, func(o []byte, _ error) {
+					if !op.Write {
+						results[i] = o
+					}
+				}) {
+					pendingCount--
+					return nil
+				}
 				o, err := d.ctl.FetchBlock(pop, addr, newLabel, data)
 				if !op.Write {
 					results[i] = o
@@ -696,8 +732,8 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 			next++
 		}
 	}
-	if len(ops) > 1 && d.cfg.PipelineDepth > 1 && d.ctl.StartPipeline(d.cfg.PipelineDepth) {
-		err := d.batchPipelined(ops, admit, &pendingCount, &next)
+	if len(ops) > 1 && d.cfg.PipelineDepth > 1 && d.ctl.StartPipelineOpts(d.pipelineOpts()) {
+		err := d.batchPipelined(ops, admit, &pendingCount, &next, d.cfg.ServeWorkers >= 2)
 		if serr := d.ctl.StopPipeline(); err == nil {
 			err = serr
 		}
@@ -724,6 +760,23 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 	return results, nil
 }
 
+// pipelineOpts shapes one pipelined dispatch window from the device
+// config. With ServeWorkers >= 2 the Observer is delivered by the
+// stage at retire time (program order) instead of by the drive loop,
+// and the mid-serve chaos kill point is armed.
+func (d *Device) pipelineOpts() pathoram.PipelineOpts {
+	o := pathoram.PipelineOpts{
+		Depth:          d.cfg.PipelineDepth,
+		ServeWorkers:   d.cfg.ServeWorkers,
+		WritebackQueue: d.cfg.WritebackQueue,
+	}
+	if o.ServeWorkers >= 2 {
+		o.Observer = d.cfg.Observer
+		o.Kill = d.midServeKill
+	}
+	return o
+}
+
 // batchPipelined drains one batch through the intra-shard pipeline.
 // The drive loop is the serial loop unrolled one phase deeper — Begin,
 // the WriteStep refill, Finish — with two pipeline hooks added at the
@@ -733,7 +786,13 @@ func (d *Device) batch(ops []BatchOp) ([][]byte, error) {
 // The admission cadence — one admit() sweep after every completed
 // access — matches the serial loop exactly, so the engine sees the same
 // queue states and emits the same schedule at every depth.
-func (d *Device) batchPipelined(ops []BatchOp, admit func(), pendingCount, next *int) error {
+// With concurrent=true (ServeWorkers >= 2) the drive loop is the same
+// — the engine still runs serially here and emits the identical
+// schedule — but each finished access is sealed into the concurrent
+// stage via CommitAccess (cross-checked against the engine's reported
+// footprint) instead of having already executed inline, and the
+// Observer fires at retire time inside the stage rather than here.
+func (d *Device) batchPipelined(ops []BatchOp, admit func(), pendingCount, next *int, concurrent bool) error {
 	admit()
 	guard := 0
 	for *pendingCount > 0 || *next < len(ops) {
@@ -753,11 +812,24 @@ func (d *Device) batchPipelined(ops []BatchOp, admit func(), pendingCount, next 
 		if err := d.eng.Finish(a); err != nil {
 			return err
 		}
-		if err := d.ctl.FlushWriteback(); err != nil {
-			return err
-		}
-		if d.cfg.Observer != nil {
-			d.cfg.Observer(a.Label, a.Dummy(), a.ReadNodes, a.WriteNodes)
+		if concurrent {
+			deps := d.eng.LastDeps()
+			if err := d.ctl.CommitAccess(pathoram.AccessDeps{
+				Key:      deps.Key,
+				Label:    deps.Label,
+				ReadFrom: deps.ReadFrom,
+				Stop:     deps.Stop,
+				Dummy:    deps.Dummy,
+			}); err != nil {
+				return err
+			}
+		} else {
+			if err := d.ctl.FlushWriteback(); err != nil {
+				return err
+			}
+			if d.cfg.Observer != nil {
+				d.cfg.Observer(a.Label, a.Dummy(), a.ReadNodes, a.WriteNodes)
+			}
 		}
 		admit()
 		if d.midBatchKill != nil && d.midBatchKill() {

@@ -85,6 +85,7 @@ type Access struct {
 	WriteNodes []tree.Node
 
 	writeLevel int  // next level to write (descending); -1 when finished
+	readFrom   uint // first level the read phase touched (L+1 = fully merged)
 	inWrite    bool // at least one WriteStep taken
 	finished   bool
 }
@@ -428,6 +429,7 @@ func (e *Engine) Begin() (*Access, error) {
 	if e.cfg.MergeEnabled && e.havePrev {
 		readFrom = e.tr.Overlap(e.prevLabel, cur.label)
 	}
+	acc.readFrom = readFrom
 	var err error
 	if readFrom <= e.tr.LeafLevel() {
 		acc.ReadNodes, err = e.ctl.ReadRange(cur.label, readFrom, acc.ReadNodes)
@@ -551,6 +553,42 @@ func (e *Engine) NextScheduled() (label tree.Label, fromLevel uint, ok bool) {
 		fromLevel = e.tr.Overlap(e.prevLabel, e.pending.label)
 	}
 	return e.pending.label, fromLevel, true
+}
+
+// Deps is the dependency footprint of one completed access: everything a
+// concurrent serve stage needs to decide whether two in-flight accesses
+// commute. Label plus the [ReadFrom, L] read range and [Stop, L] write
+// range fix the access's tree-node sets and its stash-eviction
+// eligibility window; Key is the per-address program-ordering key (0 for
+// dummies). Two accesses A (older) and B with o = Overlap(A.Label,
+// B.Label) are node-disjoint and stash-commutative when o <= min of all
+// four range bounds and neither access's relabeled blocks can enter the
+// other's eviction window — the scheduling rule internal/pathoram's
+// concurrent stage enforces (DESIGN.md §15).
+type Deps struct {
+	Key      uint64 // ordering key of the served item; 0 for dummies
+	Label    tree.Label
+	ReadFrom uint // first level read; L+1 when the read was fully merged
+	Stop     uint // first level NOT written; L+1 when nothing was written
+	Dummy    bool
+}
+
+// LastDeps reports the dependency footprint of the most recently
+// finished access. Valid only in the window between Finish and the next
+// Begin (the same window as NextScheduled); the values describe the
+// access whose Finish most recently completed.
+func (e *Engine) LastDeps() Deps {
+	a := &e.acc
+	d := Deps{
+		Label:    a.Label,
+		ReadFrom: a.readFrom,
+		Stop:     uint(a.writeLevel + 1),
+		Dummy:    a.Item == nil,
+	}
+	if a.Item != nil {
+		d.Key = a.Item.OrderKey()
+	}
+	return d
 }
 
 // Run executes one whole access synchronously (read, serve, full refill).

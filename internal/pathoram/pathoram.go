@@ -89,11 +89,16 @@ type Controller struct {
 	bucketsBuf []block.Bucket  // bulk-read results / bulk-write staging
 	evictBufs  [][]block.Block // per-level eviction scratch for bulk writes
 
-	// pipe is non-nil while a pipelined dispatch window is active
-	// (StartPipeline..StopPipeline); ReadRange and WriteLevel then route
-	// through the overlapped fetch/writeback stages. pipeStats
-	// accumulates counters across completed windows.
+	// pipe is non-nil while a pipelined dispatch window with the serial
+	// serve stage is active (StartPipeline..StopPipeline); ReadRange and
+	// WriteLevel then route through the overlapped fetch/writeback
+	// stages. cs is its concurrent-serve counterpart (ServeWorkers >= 2):
+	// ReadRange/WriteLevel/DeferServe then only *record* the access and
+	// CommitAccess hands it to the dependency-tracked scheduler. At most
+	// one of the two is non-nil. pipeStats accumulates counters across
+	// completed windows of either kind.
 	pipe      *pipeline
+	cs        *cserve
 	pipeStats PipelineStats
 
 	retryStats RetryStats
@@ -207,6 +212,9 @@ func (c *Controller) Stash() *stash.Stash { return c.stash }
 func (c *Controller) ReadRange(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
 	if c.err != nil {
 		return dst, c.err
+	}
+	if c.cs != nil {
+		return c.cs.readRange(label, fromLevel, dst)
 	}
 	if c.pipe != nil {
 		return c.pipe.readRange(label, fromLevel, dst)
@@ -323,6 +331,9 @@ func (c *Controller) WriteLevel(label tree.Label, level uint) (tree.Node, error)
 	if c.err != nil {
 		return 0, c.err
 	}
+	if c.cs != nil {
+		return c.cs.writeLevel(label, level)
+	}
 	if c.pipe != nil {
 		return c.pipe.writeLevel(label, level)
 	}
@@ -344,6 +355,13 @@ func (c *Controller) FetchBlock(op Op, addr uint64, newLabel tree.Label, data []
 	if c.err != nil {
 		return nil, c.err
 	}
+	return c.applyFetch(op, addr, newLabel, data)
+}
+
+// applyFetch is the stash-side core of FetchBlock, free of controller
+// error-state reads so the concurrent serve stage's workers can run it
+// under the stash lock (errors are latched by the scheduler instead).
+func (c *Controller) applyFetch(op Op, addr uint64, newLabel tree.Label, data []byte) ([]byte, error) {
 	if addr == block.DummyAddr {
 		return nil, fmt.Errorf("pathoram: reserved address")
 	}
@@ -377,8 +395,59 @@ func (c *Controller) FetchBlock(op Op, addr uint64, newLabel tree.Label, data []
 	return out, nil
 }
 
-// EndAccess records stash statistics for one completed request.
-func (c *Controller) EndAccess() { c.stash.EndAccess() }
+// DeferServe registers one request's stash work (the FetchBlock of Step
+// 4) on the access currently being recorded by the concurrent serve
+// stage, instead of executing it now. done is invoked with FetchBlock's
+// results when the access's turn executes on a serve worker (program
+// order per address is preserved by the dependency scheduler). It
+// reports false — and does nothing — when no concurrent window is
+// active; the caller then performs FetchBlock itself.
+func (c *Controller) DeferServe(op Op, addr uint64, newLabel tree.Label, data []byte, done func([]byte, error)) bool {
+	if c.cs == nil {
+		return false
+	}
+	c.cs.deferServe(op, addr, newLabel, data, done)
+	return true
+}
+
+// AccessDeps is the engine-reported dependency footprint of a finished
+// access (see fork.Deps), cross-checked by CommitAccess against what the
+// concurrent stage recorded — a tripwire for schedule divergence.
+type AccessDeps struct {
+	Key      uint64
+	Label    tree.Label
+	ReadFrom uint
+	Stop     uint
+	Dummy    bool
+}
+
+// CommitAccess seals the access currently being recorded by the
+// concurrent serve stage and hands it to the dependency-tracked
+// scheduler. Call once per access, after the engine's Finish. It returns
+// any error a stage has latched so far (the drive loop's poll point).
+// No-op outside a concurrent window.
+func (c *Controller) CommitAccess(deps AccessDeps) error {
+	if c.cs == nil {
+		return nil
+	}
+	if err := c.cs.commit(deps); err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// EndAccess records stash statistics for one completed request. Under
+// the concurrent serve stage the sample is deferred to the access's
+// program-order retire (the stash is worker-owned mid-window).
+func (c *Controller) EndAccess() {
+	if c.cs != nil {
+		return
+	}
+	c.stash.EndAccess()
+}
 
 // Err returns the first fatal error, if any.
 func (c *Controller) Err() error { return c.err }

@@ -64,6 +64,19 @@ type PipelineStats struct {
 	// submissions blocked on the bounded in-flight queue (pipeline full).
 	WritebackWaits  uint64 `json:"writeback_waits"`
 	WritebackWaitNs uint64 `json:"writeback_wait_ns"`
+	// ServeWaits/ServeWaitNs: admission stalls of the concurrent serve
+	// stage — the sequencer blocked starting a new access because all
+	// in-flight slots were occupied (window backpressure). Zero under
+	// the serial serve stage.
+	ServeWaits  uint64 `json:"serve_waits,omitempty"`
+	ServeWaitNs uint64 `json:"serve_wait_ns,omitempty"`
+	// DepWaits/DepWaitNs: dependency stalls of the concurrent serve
+	// stage — accesses that parked behind a conflicting older in-flight
+	// access (RAW/WAR/WAW at the stash, or overlapping fork-path node
+	// sets) and the time from park to dispatch. Zero under the serial
+	// serve stage.
+	DepWaits  uint64 `json:"dep_waits,omitempty"`
+	DepWaitNs uint64 `json:"dep_wait_ns,omitempty"`
 }
 
 // Add folds o into s (aggregation across shards or windows).
@@ -78,6 +91,10 @@ func (s *PipelineStats) Add(o PipelineStats) {
 	s.EvictWaitNs += o.EvictWaitNs
 	s.WritebackWaits += o.WritebackWaits
 	s.WritebackWaitNs += o.WritebackWaitNs
+	s.ServeWaits += o.ServeWaits
+	s.ServeWaitNs += o.ServeWaitNs
+	s.DepWaits += o.DepWaits
+	s.DepWaitNs += o.DepWaitNs
 }
 
 // Delta returns s - prev, for before/after snapshots of cumulative
@@ -94,6 +111,10 @@ func (s PipelineStats) Delta(prev PipelineStats) PipelineStats {
 		EvictWaitNs:       s.EvictWaitNs - prev.EvictWaitNs,
 		WritebackWaits:    s.WritebackWaits - prev.WritebackWaits,
 		WritebackWaitNs:   s.WritebackWaitNs - prev.WritebackWaitNs,
+		ServeWaits:        s.ServeWaits - prev.ServeWaits,
+		ServeWaitNs:       s.ServeWaitNs - prev.ServeWaitNs,
+		DepWaits:          s.DepWaits - prev.DepWaits,
+		DepWaitNs:         s.DepWaitNs - prev.DepWaitNs,
 	}
 }
 
@@ -151,25 +172,53 @@ type prefetchState struct {
 	bks    []block.Bucket
 }
 
-func newPipeline(c *Controller, depth int) *pipeline {
+func newPipeline(c *Controller, depth, wbQueue int) *pipeline {
+	if wbQueue < depth-1 {
+		// depth-1 refills may queue behind the one the worker holds; a
+		// larger WritebackQueue only adds slack.
+		wbQueue = depth - 1
+	}
 	p := &pipeline{
 		c:      c,
 		depth:  depth,
 		queued: make(map[tree.Node]int),
-		// depth-1 refills may queue behind the one the worker holds; one
-		// more job is always free for the access under construction.
-		wbCh:   make(chan *wbJob, depth-1),
-		wbFree: make(chan *wbJob, depth+1),
+		wbCh:   make(chan *wbJob, wbQueue),
+		// One job may sit in the worker and one more is always free for
+		// the access under construction.
+		wbFree: make(chan *wbJob, wbQueue+2),
 		pfCh:   make(chan struct{}, 1),
 	}
 	p.cond = sync.NewCond(&p.mu)
-	for i := 0; i < depth+1; i++ {
+	for i := 0; i < wbQueue+2; i++ {
 		p.wbFree <- &wbJob{}
 	}
 	p.wg.Add(2)
 	go prof.Stage("fetch", p.fetchWorker)
 	go prof.Stage("writeback", p.writebackWorker)
 	return p
+}
+
+// PipelineOpts shapes one pipelined dispatch window.
+type PipelineOpts struct {
+	// Depth bounds the in-flight accesses of the window (>= 2 engages
+	// the pipeline; 1 is the serial path).
+	Depth int
+	// ServeWorkers sizes the concurrent serve/evict stage: >= 2 runs
+	// independent accesses' stash phases across a worker pool with
+	// dependency-tracked scheduling (DESIGN.md §15); <= 1 keeps the
+	// single-goroutine serve stage of DESIGN.md §12.
+	ServeWorkers int
+	// WritebackQueue bounds refill jobs queued behind the in-flight
+	// writeback(s). 0 defaults to Depth-1 (the §12 sizing).
+	WritebackQueue int
+	// Observer, when set with ServeWorkers >= 2, receives each access's
+	// bus trace at retire time, in program order. The slices are owned
+	// by the callee only for the duration of the call.
+	Observer func(label tree.Label, dummy bool, read, write []tree.Node)
+	// Kill, when set with ServeWorkers >= 2, is polled by serve workers
+	// before each access's stash phase; a non-nil error aborts the
+	// window with that error (chaos kill point).
+	Kill func() error
 }
 
 // StartPipeline arms the overlapped fetch/writeback pipeline for one
@@ -180,10 +229,21 @@ func newPipeline(c *Controller, depth int) *pipeline {
 // Every StartPipeline that returns true must be paired with a
 // StopPipeline before the controller is used serially again.
 func (c *Controller) StartPipeline(depth int) bool {
-	if c.err != nil || c.bulk == nil || depth < 2 || c.pipe != nil {
+	return c.StartPipelineOpts(PipelineOpts{Depth: depth})
+}
+
+// StartPipelineOpts is StartPipeline with the full option set; see
+// PipelineOpts. ServeWorkers >= 2 arms the concurrent serve/evict stage
+// instead of the serial one.
+func (c *Controller) StartPipelineOpts(o PipelineOpts) bool {
+	if c.err != nil || c.bulk == nil || o.Depth < 2 || c.pipe != nil || c.cs != nil {
 		return false
 	}
-	c.pipe = newPipeline(c, depth)
+	if o.ServeWorkers >= 2 {
+		c.cs = newCserve(c, o)
+	} else {
+		c.pipe = newPipeline(c, o.Depth, o.WritebackQueue)
+	}
 	return true
 }
 
@@ -193,6 +253,19 @@ func (c *Controller) StartPipeline(depth int) bool {
 // a failed writeback lost evicted blocks, so the controller must
 // fail-stop exactly like a serial write failure).
 func (c *Controller) StopPipeline() error {
+	if c.cs != nil {
+		cs := c.cs
+		c.cs = nil
+		err := cs.stop()
+		st := cs.stats
+		st.Add(cs.shared)
+		st.Windows++
+		c.pipeStats.Add(st)
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		return c.err
+	}
 	if c.pipe == nil {
 		return c.err
 	}
@@ -215,7 +288,14 @@ func (c *Controller) StopPipeline() error {
 // committed (Engine.NextScheduled), or the next ReadRange will fault
 // on the mismatch. No-op outside a pipelined window.
 func (c *Controller) Prefetch(label tree.Label, fromLevel uint) {
-	if c.pipe == nil || c.err != nil || fromLevel > c.tr.LeafLevel() {
+	if c.err != nil || fromLevel > c.tr.LeafLevel() {
+		return
+	}
+	if c.cs != nil {
+		c.cs.prefetch(label, fromLevel)
+		return
+	}
+	if c.pipe == nil {
 		return
 	}
 	c.pipe.prefetch(label, fromLevel)
@@ -227,6 +307,17 @@ func (c *Controller) Prefetch(label tree.Label, fromLevel uint) {
 // once per access, after its write phase completes. No-op outside a
 // pipelined window.
 func (c *Controller) FlushWriteback() error {
+	if c.cs != nil {
+		// The concurrent stage flushes at task execution; this is only an
+		// error poll point for the drive loop.
+		if err := c.cs.latched(); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return err
+		}
+		return nil
+	}
 	if c.pipe == nil {
 		return nil
 	}

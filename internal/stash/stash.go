@@ -9,6 +9,19 @@
 // block mapped to leaf l is either here or on path-l in external memory.
 // Eviction is the standard greedy leaf-to-root fill: for each bucket on
 // the written path segment, take as many resident-eligible blocks as fit.
+//
+// # Concurrency contract
+//
+// The stash itself is single-threaded: no method takes a lock, and no
+// method may be called concurrently with any other. Callers that run
+// accesses in flight together (the concurrent serve/evict stage,
+// internal/pathoram/concurrent.go) must serialize every whole stash
+// phase — the fetch-merge (PutBucket), serve (Get/Put/Relabel/Remove),
+// evict (EvictAppend), and EndAccess of one access — under one external
+// mutex, and order those phases so each access observes the stash state
+// its dependency analysis assumed. The stash never sees partial
+// interleavings; it only requires that call sequences arrive in a
+// serializable order.
 package stash
 
 import (

@@ -23,10 +23,14 @@ import (
 // controller that sees no BulkBackend on top of the stack falls back to
 // the per-bucket path.
 //
-// Concurrency: one ReadBuckets and one WriteBuckets call may run
-// concurrently, provided their node sets are disjoint (the pathoram
-// pipeline's hazard tracking enforces this). Two concurrent calls of
-// the same kind are not allowed.
+// Concurrency: any number of ReadBuckets and WriteBuckets calls may run
+// concurrently, provided reader/writer node sets are pairwise disjoint
+// (the pathoram pipeline's hazard tracking enforces this).
+// Implementations serialize same-kind calls internally (their staging
+// buffers are per-kind), so concurrent same-kind callers are safe but
+// may queue; tiers stacked above the staging (Remote latency, Retry
+// backoff) still overlap across calls — which is exactly where the
+// concurrent serve stage's fetch parallelism pays.
 type BulkBackend interface {
 	Backend
 	// ReadBuckets fills out[i] with the contents of bucket ns[i].
@@ -98,6 +102,12 @@ func (m *Mem) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
 	if len(ns) != len(out) {
 		return fmt.Errorf("storage: bulk read of %d nodes into %d slots", len(ns), len(out))
 	}
+	// Same-kind serialization: rdMu owns the read staging (rdCt, rdPt)
+	// for the whole call, so any number of concurrent bulk readers are
+	// safe. Results are caller-owned (DecodeBucket allocates), so they
+	// survive the next call.
+	m.rdMu.Lock()
+	defer m.rdMu.Unlock()
 	m.mu.Lock()
 	for _, n := range ns {
 		if !m.tr.ValidNode(n) {
@@ -188,6 +198,10 @@ func (m *Mem) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
 	if len(ns) != len(bks) {
 		return fmt.Errorf("storage: bulk write of %d nodes with %d buckets", len(ns), len(bks))
 	}
+	// Same-kind serialization: wrMu owns the write staging (wrCt, wrPt)
+	// for the whole call (see ReadBuckets).
+	m.wrMu.Lock()
+	defer m.wrMu.Unlock()
 	m.mu.Lock()
 	for _, n := range ns {
 		if !m.tr.ValidNode(n) {

@@ -44,10 +44,12 @@ import (
 // opts in). What the frame layer guarantees is detection: after a kill
 // at any byte boundary, no frame ever reads back as silently wrong.
 //
-// Concurrent bulk contract: same as Mem — one ReadBuckets and one
-// WriteBuckets may run concurrently over disjoint node sets; pread and
-// pwrite on disjoint slots do not race. mu guards the counters, the
-// epoch counter, and the per-bucket staging buffers.
+// Concurrent bulk contract: same as Mem — any number of ReadBuckets and
+// WriteBuckets calls may run concurrently over pairwise-disjoint node
+// sets; pread and pwrite on disjoint slots do not race. Same-kind calls
+// are serialized internally (rdMu/wrMu own the per-kind staging); mu
+// guards the counters, the epoch counter, and the per-bucket staging
+// buffers.
 type Disk struct {
 	tr   tree.Tree
 	geo  block.Geometry
@@ -79,9 +81,10 @@ type Disk struct {
 	frBuf []byte // per-bucket frame staging
 
 	bulkWorkers int
-	rdPt, wrPt  [][]byte // per-slot plaintext staging for bulk calls
-	rdFr, wrFr  [][]byte // per-slot frame staging for bulk calls
-	wrEp        []uint64 // per-slot epochs claimed under mu by a bulk write
+	rdMu, wrMu  sync.Mutex // serialize same-kind bulk calls (own the per-kind staging)
+	rdPt, wrPt  [][]byte   // per-slot plaintext staging for bulk calls
+	rdFr, wrFr  [][]byte   // per-slot frame staging for bulk calls
+	wrEp        []uint64   // per-slot epochs claimed under mu by a bulk write
 }
 
 const (
@@ -452,6 +455,8 @@ func (d *Disk) ReadBuckets(ns []tree.Node, out []block.Bucket) error {
 	if len(ns) != len(out) {
 		return fmt.Errorf("storage: bulk read of %d nodes into %d slots", len(ns), len(out))
 	}
+	d.rdMu.Lock()
+	defer d.rdMu.Unlock()
 	d.mu.Lock()
 	for _, n := range ns {
 		if !d.tr.ValidNode(n) {
@@ -500,6 +505,8 @@ func (d *Disk) WriteBuckets(ns []tree.Node, bks []block.Bucket) error {
 	if len(ns) != len(bks) {
 		return fmt.Errorf("storage: bulk write of %d nodes with %d buckets", len(ns), len(bks))
 	}
+	d.wrMu.Lock()
+	defer d.wrMu.Unlock()
 	d.mu.Lock()
 	for _, n := range ns {
 		if !d.tr.ValidNode(n) {

@@ -112,11 +112,13 @@ type Mem struct {
 
 	ptBuf []byte // plaintext staging buffer, reused by every per-bucket read and write
 
-	bulkWorkers int      // ReadBuckets/WriteBuckets fan-out (0 = GOMAXPROCS, 1 = serial)
-	rdPt        [][]byte // per-slot plaintext staging for bulk reads
-	wrPt        [][]byte // per-slot plaintext staging for bulk writes
-	rdCt        [][]byte // ciphertext refs snapshotted under mu by a bulk read
-	wrCt        [][]byte // ciphertext slots claimed under mu by a bulk write
+	bulkWorkers int        // ReadBuckets/WriteBuckets fan-out (0 = GOMAXPROCS, 1 = serial)
+	rdMu        sync.Mutex // serializes bulk reads (owns rdPt/rdCt for the call)
+	wrMu        sync.Mutex // serializes bulk writes (owns wrPt/wrCt for the call)
+	rdPt        [][]byte   // per-slot plaintext staging for bulk reads
+	wrPt        [][]byte   // per-slot plaintext staging for bulk writes
+	rdCt        [][]byte   // ciphertext refs snapshotted under mu by a bulk read
+	wrCt        [][]byte   // ciphertext slots claimed under mu by a bulk write
 }
 
 // NewMem creates a Mem backend for the given tree and bucket geometry,

@@ -78,18 +78,19 @@ func pipelineBatches(blocks uint64, blockSize int) [][]BatchOp {
 }
 
 // TestPipelineDepthTraceEquivalence is the tentpole's security and
-// correctness pin: a Fork device at PipelineDepth=4 must produce the
-// exact public access sequence of the serial device (depth 1), identical
-// batch results, identical bucket-traffic counters, an identical
-// post-run Snapshot, and a logically identical medium. The pipeline may
-// only move work in time.
+// correctness pin: a Fork device at PipelineDepth=4 — with the serve
+// stage serial (ServeWorkers 1) or concurrent (ServeWorkers 2 and 4) —
+// must produce the exact public access sequence of the serial device
+// (depth 1), identical batch results, identical bucket-traffic
+// counters, an identical post-run Snapshot, and a logically identical
+// medium. The pipeline may only move work in time.
 func TestPipelineDepthTraceEquivalence(t *testing.T) {
 	const blocks, blockSize = 96, 48
-	run := func(depth int) (*obsTrace, [][][]byte, *Device, []byte) {
+	run := func(depth, workers int) (*obsTrace, [][][]byte, *Device, []byte) {
 		tr := &obsTrace{}
 		d, err := NewDevice(DeviceConfig{
 			Blocks: blocks, BlockSize: blockSize, Variant: Fork,
-			Seed: 9, QueueSize: 8, PipelineDepth: depth,
+			Seed: 9, QueueSize: 8, PipelineDepth: depth, ServeWorkers: workers,
 			Observer: tr.hook(),
 		})
 		if err != nil {
@@ -99,73 +100,76 @@ func TestPipelineDepthTraceEquivalence(t *testing.T) {
 		for _, ops := range pipelineBatches(blocks, blockSize) {
 			out, err := d.Batch(ops)
 			if err != nil {
-				t.Fatalf("depth %d: batch: %v", depth, err)
+				t.Fatalf("depth %d workers %d: batch: %v", depth, workers, err)
 			}
 			results = append(results, out)
 		}
 		snap, err := d.Snapshot()
 		if err != nil {
-			t.Fatalf("depth %d: snapshot: %v", depth, err)
+			t.Fatalf("depth %d workers %d: snapshot: %v", depth, workers, err)
 		}
 		raw, err := snap.MarshalBinary()
 		if err != nil {
-			t.Fatalf("depth %d: marshal: %v", depth, err)
+			t.Fatalf("depth %d workers %d: marshal: %v", depth, workers, err)
 		}
 		return tr, results, d, raw
 	}
 
-	refTrace, refOut, refDev, refSnap := run(1)
-	pipTrace, pipOut, pipDev, pipSnap := run(4)
-
-	if err := refTrace.equal(pipTrace); err != nil {
-		t.Fatalf("public access sequence diverged: %v", err)
-	}
-	for b := range refOut {
-		for i := range refOut[b] {
-			if !bytes.Equal(refOut[b][i], pipOut[b][i]) {
-				t.Fatalf("batch %d result %d diverged", b, i)
-			}
-		}
-	}
-
-	rs, ps := refDev.Stats(), pipDev.Stats()
-	if rs.BucketReads != ps.BucketReads || rs.BucketWrites != ps.BucketWrites {
-		t.Fatalf("bucket traffic diverged: reads %d vs %d, writes %d vs %d",
-			rs.BucketReads, ps.BucketReads, rs.BucketWrites, ps.BucketWrites)
-	}
+	refTrace, refOut, refDev, refSnap := run(1, 0)
+	rs := refDev.Stats()
 	if rs.Pipeline.Windows != 0 {
 		t.Fatalf("depth 1 engaged the pipeline: %+v", rs.Pipeline)
 	}
-	if ps.Pipeline.Windows == 0 || ps.Pipeline.Prefetches == 0 || ps.Pipeline.Writebacks == 0 {
-		t.Fatalf("depth 4 never engaged the pipeline: %+v", ps.Pipeline)
-	}
 
-	// Post-run client state (position map, stash, config) byte-identical.
-	if !bytes.Equal(refSnap, pipSnap) {
-		t.Fatal("post-run snapshots diverged")
-	}
-	// Post-run medium logically identical: same blocks in every bucket
-	// (ciphertexts differ by nonce, contents must not).
-	for n := tree.Node(0); n < tree.Node(refDev.tr.Nodes()); n++ {
-		rb, err := refDev.store.ReadBucket(n)
-		if err != nil {
-			t.Fatal(err)
+	for _, workers := range []int{1, 2, 4} {
+		pipTrace, pipOut, pipDev, pipSnap := run(4, workers)
+		if err := refTrace.equal(pipTrace); err != nil {
+			t.Fatalf("workers %d: public access sequence diverged: %v", workers, err)
 		}
-		want := append([]block.Block(nil), rb.Blocks...)
-		for i := range want {
-			want[i].Data = append([]byte(nil), want[i].Data...)
+		for b := range refOut {
+			for i := range refOut[b] {
+				if !bytes.Equal(refOut[b][i], pipOut[b][i]) {
+					t.Fatalf("workers %d: batch %d result %d diverged", workers, b, i)
+				}
+			}
 		}
-		pb, err := pipDev.store.ReadBucket(n)
-		if err != nil {
-			t.Fatal(err)
+
+		ps := pipDev.Stats()
+		if rs.BucketReads != ps.BucketReads || rs.BucketWrites != ps.BucketWrites {
+			t.Fatalf("workers %d: bucket traffic diverged: reads %d vs %d, writes %d vs %d",
+				workers, rs.BucketReads, ps.BucketReads, rs.BucketWrites, ps.BucketWrites)
 		}
-		if len(want) != len(pb.Blocks) {
-			t.Fatalf("bucket %d occupancy diverged: %d vs %d", n, len(want), len(pb.Blocks))
+		if ps.Pipeline.Windows == 0 || ps.Pipeline.Prefetches == 0 || ps.Pipeline.Writebacks == 0 {
+			t.Fatalf("workers %d: depth 4 never engaged the pipeline: %+v", workers, ps.Pipeline)
 		}
-		for i := range want {
-			if want[i].Addr != pb.Blocks[i].Addr || want[i].Label != pb.Blocks[i].Label ||
-				!bytes.Equal(want[i].Data, pb.Blocks[i].Data) {
-				t.Fatalf("bucket %d block %d diverged", n, i)
+
+		// Post-run client state (position map, stash, config) byte-identical.
+		if !bytes.Equal(refSnap, pipSnap) {
+			t.Fatalf("workers %d: post-run snapshots diverged", workers)
+		}
+		// Post-run medium logically identical: same blocks in every bucket
+		// (ciphertexts differ by nonce, contents must not).
+		for n := tree.Node(0); n < tree.Node(refDev.tr.Nodes()); n++ {
+			rb, err := refDev.store.ReadBucket(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]block.Block(nil), rb.Blocks...)
+			for i := range want {
+				want[i].Data = append([]byte(nil), want[i].Data...)
+			}
+			pb, err := pipDev.store.ReadBucket(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(pb.Blocks) {
+				t.Fatalf("workers %d: bucket %d occupancy diverged: %d vs %d", workers, n, len(want), len(pb.Blocks))
+			}
+			for i := range want {
+				if want[i].Addr != pb.Blocks[i].Addr || want[i].Label != pb.Blocks[i].Label ||
+					!bytes.Equal(want[i].Data, pb.Blocks[i].Data) {
+					t.Fatalf("workers %d: bucket %d block %d diverged", workers, n, i)
+				}
 			}
 		}
 	}
@@ -176,7 +180,14 @@ func TestPipelineDepthTraceEquivalence(t *testing.T) {
 // into group-commit windows — then verifies every acknowledged write
 // against an oracle. Run under -race this is the pipeline's concurrency
 // stress test (admission racing the staged fetch/writeback workers).
-func TestPipelineServiceStress(t *testing.T) {
+func TestPipelineServiceStress(t *testing.T) { runPipelineServiceStress(t, 0) }
+
+// TestConcurrentServeServiceStress is the same oracle stress with the
+// concurrent serve/evict stage engaged: worker-pool execution racing
+// admission, multi-slot prefetch, and overlapped writebacks.
+func TestConcurrentServeServiceStress(t *testing.T) { runPipelineServiceStress(t, 3) }
+
+func runPipelineServiceStress(t *testing.T, serveWorkers int) {
 	const (
 		blocks    = 64
 		blockSize = 32
@@ -186,7 +197,7 @@ func TestPipelineServiceStress(t *testing.T) {
 	svc, err := NewService(ServiceConfig{
 		Device: DeviceConfig{
 			Blocks: blocks, BlockSize: blockSize, Variant: Fork,
-			Seed: 11, QueueSize: 8, PipelineDepth: 4,
+			Seed: 11, QueueSize: 8, PipelineDepth: 4, ServeWorkers: serveWorkers,
 		},
 		QueueDepth:      32,
 		CheckpointEvery: 64,
@@ -272,5 +283,88 @@ func TestPipelineServiceStress(t *testing.T) {
 	st := svc.Stats()
 	if st.Pipeline.Windows == 0 {
 		t.Fatalf("concurrent load never engaged the pipeline: %+v", st.Pipeline)
+	}
+}
+
+// TestPipelineStallAccounting pins the concurrent stage's stall
+// bookkeeping: sampled between batches, every PipelineStats counter
+// must be monotone non-decreasing, every wait-count/wait-time pair must
+// agree (time without a count, or a count whose time can only be zero
+// if the clock never advanced, means an accounting path was missed),
+// and the volume counters must sum consistently with the work actually
+// submitted (one window per pipelined batch, at least one bucket per
+// prefetch, no more writebacks than accesses).
+func TestPipelineStallAccounting(t *testing.T) {
+	const blocks, blockSize = 96, 48
+	d, err := NewDevice(DeviceConfig{
+		Blocks: blocks, BlockSize: blockSize, Variant: Fork,
+		Seed: 21, QueueSize: 8, PipelineDepth: 4, ServeWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := pipelineBatches(blocks, blockSize)
+	accesses := 0
+	prev := d.Stats().Pipeline
+	for b, ops := range batches {
+		if _, err := d.Batch(ops); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		accesses += len(ops) // real accesses; dummies only add more
+		cur := d.Stats().Pipeline
+		for _, c := range [][2]uint64{
+			{prev.Windows, cur.Windows},
+			{prev.Prefetches, cur.Prefetches},
+			{prev.PrefetchedBuckets, cur.PrefetchedBuckets},
+			{prev.Writebacks, cur.Writebacks},
+			{prev.FetchWaits, cur.FetchWaits},
+			{prev.FetchWaitNs, cur.FetchWaitNs},
+			{prev.EvictWaits, cur.EvictWaits},
+			{prev.EvictWaitNs, cur.EvictWaitNs},
+			{prev.WritebackWaits, cur.WritebackWaits},
+			{prev.WritebackWaitNs, cur.WritebackWaitNs},
+			{prev.ServeWaits, cur.ServeWaits},
+			{prev.ServeWaitNs, cur.ServeWaitNs},
+			{prev.DepWaits, cur.DepWaits},
+			{prev.DepWaitNs, cur.DepWaitNs},
+		} {
+			if c[1] < c[0] {
+				t.Fatalf("batch %d: counter regressed: %d -> %d\nprev %+v\ncur %+v", b, c[0], c[1], prev, cur)
+			}
+		}
+		prev = cur
+	}
+	st := prev
+	if st.Windows != uint64(len(batches)) {
+		t.Fatalf("windows %d, want one per batch (%d)", st.Windows, len(batches))
+	}
+	if st.Prefetches == 0 || st.PrefetchedBuckets < st.Prefetches {
+		t.Fatalf("prefetch volume inconsistent: %d fetches, %d buckets", st.Prefetches, st.PrefetchedBuckets)
+	}
+	if st.Writebacks == 0 {
+		t.Fatal("no writebacks counted")
+	}
+	// Per-access bounds: each access issues at most one fetch and one
+	// refill, and dep parks happen at most once per access.
+	ceil := uint64(accesses) * 4 // dummy slack: schedule may add dummies
+	for name, v := range map[string]uint64{
+		"prefetches": st.Prefetches, "writebacks": st.Writebacks, "dep waits": st.DepWaits,
+	} {
+		if v > ceil {
+			t.Fatalf("%s %d exceeds per-access ceiling %d", name, v, ceil)
+		}
+	}
+	// Wait-count/wait-time pairing: time recorded without a count means
+	// a stall was timed but not counted.
+	for name, p := range map[string][2]uint64{
+		"fetch":     {st.FetchWaits, st.FetchWaitNs},
+		"evict":     {st.EvictWaits, st.EvictWaitNs},
+		"writeback": {st.WritebackWaits, st.WritebackWaitNs},
+		"serve":     {st.ServeWaits, st.ServeWaitNs},
+		"dep":       {st.DepWaits, st.DepWaitNs},
+	} {
+		if p[0] == 0 && p[1] != 0 {
+			t.Fatalf("%s: %dns of wait recorded with zero waits", name, p[1])
+		}
 	}
 }

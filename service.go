@@ -206,7 +206,15 @@ const (
 	// any frame is audited — the scrub cadence counter is already reset,
 	// so recovery must not depend on scrub progress for correctness.
 	CrashMidScrub
-	numCrashPoints = int(CrashMidScrub) + 1
+	// CrashMidServe: on a concurrent serve stage worker, before one
+	// in-flight access's stash phase — other accesses of the window may
+	// be mid-fetch, mid-serve, or mid-writeback on sibling workers when
+	// the kill lands. The window's group is durable but unacknowledged;
+	// replay must reconstruct it over a medium holding an arbitrary
+	// subset of the window's completed writebacks. Consulted only when
+	// DeviceConfig.ServeWorkers >= 2 engages the concurrent stage.
+	CrashMidServe
+	numCrashPoints = int(CrashMidServe) + 1
 )
 
 // String implements fmt.Stringer.
@@ -234,6 +242,8 @@ func (p CrashPoint) String() string {
 		return "mid-bucket-write"
 	case CrashMidScrub:
 		return "mid-scrub"
+	case CrashMidServe:
+		return "mid-serve"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -504,9 +514,9 @@ type Service struct {
 	log        *wal.Log
 	ckptSeq    uint64
 	sinceCkpt  int
-	recoveries int    // consecutive, reset by a committed checkpoint
-	faultEpoch uint64 // derives a fresh fault seed per restore
-	sinceScrub int    // acked mutating ops since the last scrub slice
+	recoveries int                    // consecutive, reset by a committed checkpoint
+	faultEpoch uint64                 // derives a fresh fault seed per restore
+	sinceScrub int                    // acked mutating ops since the last scrub slice
 	pipeSeen   pathoram.PipelineStats // current device's pipeline counters already folded into stats
 	storSeen   StorageStats           // current device's storage counters already folded into stats
 
@@ -1568,6 +1578,12 @@ func (s *Service) restoreFrom(ck *Checkpoint, recs []wal.Record) error {
 func (s *Service) armDevice(d *Device) {
 	if s.cfg.crashHook != nil {
 		d.midBatchKill = func() bool { return s.killed(CrashMidPipeline) }
+		d.midServeKill = func() error {
+			if s.killed(CrashMidServe) {
+				return errKilled
+			}
+			return nil
+		}
 		// With a disk medium, crash injection can also strike inside a
 		// frame write, optionally leaving a torn (CRC-detectable) tail.
 		// The hook lives on the shared Disk handle; assembleDevice clears

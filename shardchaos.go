@@ -139,6 +139,7 @@ func (r *ShardedCrashReport) String() string {
 // kill budget is shared across the fleet through an atomic counter:
 // each shard's hook runs on that shard's own supervisor goroutine.
 type shardKillPlan struct {
+	mu     sync.Mutex // serializes concurrent-stage consultations (see crashPlan.mu)
 	wl     *rng.Source
 	store  *wal.MemStore
 	budget *atomic.Int64
@@ -172,6 +173,8 @@ func (p *shardKillPlan) fire() bool {
 // hook is the shard's ServiceConfig.crashHook; a firing kill also tears
 // the shard's unsynced journal buffer at a random byte boundary.
 func (p *shardKillPlan) hook(pt CrashPoint) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.fire() {
 		return false
 	}
@@ -185,6 +188,8 @@ func (p *shardKillPlan) hook(pt CrashPoint) bool {
 // kill inside wal.Open's torn-tail truncation during the shard's own
 // cold-start recovery.
 func (p *shardKillPlan) truncateCrash(int) (error, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.fire() {
 		return nil, false
 	}
@@ -283,8 +288,11 @@ func runShardedCrashSchedule(rep *ShardedCrashReport, cfg ShardedCrashChaosConfi
 				Retries:   retries,
 				Faults:    fc,
 				// Staged pipeline on plain-medium schedules (no-op under
-				// the decorators), so shard kills land mid-window too.
-				PipelineDepth: 2,
+				// the decorators), so shard kills land mid-window too;
+				// odd schedules fan the serve stage across workers so
+				// kills also land mid-serve (CrashMidServe).
+				PipelineDepth: 2 + 2*int(idx%2),
+				ServeWorkers:  2 * int(idx%2),
 			},
 			QueueDepth:      8,
 			CheckpointEvery: 8,
