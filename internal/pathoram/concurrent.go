@@ -98,8 +98,10 @@ type cserve struct {
 
 	wg sync.WaitGroup
 
-	stats  PipelineStats // sequencer-owned counters
-	shared PipelineStats // worker-side counters, under mu
+	stats   PipelineStats // sequencer-owned counters
+	shared  PipelineStats // worker-side counters, under mu
+	folded  PipelineStats // totals already folded into the controller at a seam
+	flushes int           // completed flushWindow seams this session
 
 	fetchStalled bool // resolution head is waiting on its own fetch
 	fetchStallT  time.Time
@@ -156,7 +158,8 @@ type pfSlot struct {
 func newCserve(c *Controller, o PipelineOpts) *cserve {
 	depth := o.Depth
 	workers := o.ServeWorkers
-	if workers > depth {
+	clamped := workers > depth
+	if clamped {
 		workers = depth
 	}
 	wbq := o.WritebackQueue
@@ -178,6 +181,9 @@ func newCserve(c *Controller, o PipelineOpts) *cserve {
 		inflight: make(map[tree.Node]int),
 	}
 	cs.cond = sync.NewCond(&cs.mu)
+	if clamped {
+		cs.stats.WorkerClamps++
+	}
 	jobs := depth + wbq + workers + 2
 	cs.jobFree = make(chan *wbJob, jobs)
 	for i := 0; i < jobs; i++ {
@@ -286,6 +292,7 @@ func (cs *cserve) takeSlot(label tree.Label, from uint, seq uint64) *pfSlot {
 // Finish(k) and Begin(k+1) — so the slot is tagged seq k+1, and every
 // hazard of seqs <= k is already registered).
 func (cs *cserve) prefetch(label tree.Label, fromLevel uint) {
+	cs.c.noteFirstFetch()
 	s := cs.takeSlot(label, fromLevel, cs.nextSeq+1)
 	cs.pfQ = append(cs.pfQ, s)
 	cs.stats.Prefetches++
@@ -318,6 +325,7 @@ func (cs *cserve) readRange(label tree.Label, fromLevel uint, dst []tree.Node) (
 	}
 	// No prefetch was issued (window start): issue one now; resolution
 	// will wait for it like any other.
+	cs.c.noteFirstFetch()
 	s := cs.takeSlot(label, fromLevel, t.seq)
 	cs.stats.Prefetches++
 	cs.pfCh <- s
@@ -751,6 +759,35 @@ func (cs *cserve) wbDispatcher() {
 		}(job, failed)
 	}
 	cs.wbWg.Wait()
+}
+
+// flushWindow is the cross-window seam barrier: wait until every
+// sealed task of the closing window has retired — all results are
+// complete and every EndAccess/Observer emission fired in program
+// order — then fold the window's counter delta. Workers, the seq
+// clock, the hazard map, and in-flight writebacks are left untouched,
+// so the next window's fetches overlap the closing window's tail and
+// the store buffer orders them behind its planned writes. A non-nil
+// cur means the drive loop aborted mid-access (only possible with a
+// latched error); it was never sealed, so it is dropped like stop does.
+func (cs *cserve) flushWindow() (PipelineStats, error) {
+	cs.mu.Lock()
+	if cs.cur != nil {
+		cs.taskFree = append(cs.taskFree, cs.cur)
+		cs.cur = nil
+	}
+	for len(cs.tasks) > 0 {
+		cs.cond.Wait()
+	}
+	total := cs.stats
+	total.Add(cs.shared)
+	err := cs.err
+	cs.mu.Unlock()
+	delta := total.Delta(cs.folded)
+	cs.folded = total
+	cs.flushes++
+	delta.Windows = 1
+	return delta, err
 }
 
 // stop drains the window and joins every worker. A non-nil cur means

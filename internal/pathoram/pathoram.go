@@ -15,6 +15,7 @@ package pathoram
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"forkoram/internal/block"
 	"forkoram/internal/posmap"
@@ -100,6 +101,11 @@ type Controller struct {
 	pipe      *pipeline
 	cs        *cserve
 	pipeStats PipelineStats
+	// seamStart is the wall-clock instant the last pipelined window
+	// completed (FlushPipelineWindow or StopPipeline); the next window's
+	// first fetch issue consumes it into WindowTurnaround* (see
+	// noteFirstFetch). Zero when no seam is pending.
+	seamStart time.Time
 
 	retryStats RetryStats
 }

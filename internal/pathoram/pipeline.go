@@ -31,6 +31,7 @@
 package pathoram
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,17 @@ import (
 	"forkoram/internal/block"
 	"forkoram/internal/prof"
 	"forkoram/internal/tree"
+)
+
+// Typed option errors returned by StartPipelineOpts. Both are
+// configuration bugs, not requests for the serial path: a depth of 1
+// (serial) is expressed as Depth: 1, never 0 or negative.
+var (
+	// ErrPipelineDepth rejects PipelineOpts.Depth < 1.
+	ErrPipelineDepth = errors.New("pathoram: pipeline depth must be >= 1")
+	// ErrWritebackQueue rejects PipelineOpts.WritebackQueue < 0 (0 means
+	// "use the default sizing", negative is meaningless).
+	ErrWritebackQueue = errors.New("pathoram: writeback queue must be >= 0")
 )
 
 // PipelineStats counts pipelined work and per-stage stalls. Counters
@@ -77,6 +89,20 @@ type PipelineStats struct {
 	// serve stage.
 	DepWaits  uint64 `json:"dep_waits,omitempty"`
 	DepWaitNs uint64 `json:"dep_wait_ns,omitempty"`
+	// WindowTurnarounds/WindowTurnaroundNs: inter-window stalls — the
+	// gap between one pipelined window's completion (last retire) and
+	// the next window's first fetch issue. Under the window-barriered
+	// scheduler this spans the whole group-commit turnaround (gather,
+	// journal append, fsync); a cross-window session shrinks it to the
+	// seam handoff. Only meaningful under saturation: with idle clients
+	// the gap includes think time.
+	WindowTurnarounds  uint64 `json:"window_turnarounds,omitempty"`
+	WindowTurnaroundNs uint64 `json:"window_turnaround_ns,omitempty"`
+	// WorkerClamps counts windows that requested more serve workers
+	// than in-flight slots (ServeWorkers > Depth); the pool is clamped
+	// to Depth, since a worker beyond the ROB size can never hold a
+	// task.
+	WorkerClamps uint64 `json:"worker_clamps,omitempty"`
 }
 
 // Add folds o into s (aggregation across shards or windows).
@@ -95,26 +121,32 @@ func (s *PipelineStats) Add(o PipelineStats) {
 	s.ServeWaitNs += o.ServeWaitNs
 	s.DepWaits += o.DepWaits
 	s.DepWaitNs += o.DepWaitNs
+	s.WindowTurnarounds += o.WindowTurnarounds
+	s.WindowTurnaroundNs += o.WindowTurnaroundNs
+	s.WorkerClamps += o.WorkerClamps
 }
 
 // Delta returns s - prev, for before/after snapshots of cumulative
 // counters.
 func (s PipelineStats) Delta(prev PipelineStats) PipelineStats {
 	return PipelineStats{
-		Windows:           s.Windows - prev.Windows,
-		Prefetches:        s.Prefetches - prev.Prefetches,
-		PrefetchedBuckets: s.PrefetchedBuckets - prev.PrefetchedBuckets,
-		Writebacks:        s.Writebacks - prev.Writebacks,
-		FetchWaits:        s.FetchWaits - prev.FetchWaits,
-		FetchWaitNs:       s.FetchWaitNs - prev.FetchWaitNs,
-		EvictWaits:        s.EvictWaits - prev.EvictWaits,
-		EvictWaitNs:       s.EvictWaitNs - prev.EvictWaitNs,
-		WritebackWaits:    s.WritebackWaits - prev.WritebackWaits,
-		WritebackWaitNs:   s.WritebackWaitNs - prev.WritebackWaitNs,
-		ServeWaits:        s.ServeWaits - prev.ServeWaits,
-		ServeWaitNs:       s.ServeWaitNs - prev.ServeWaitNs,
-		DepWaits:          s.DepWaits - prev.DepWaits,
-		DepWaitNs:         s.DepWaitNs - prev.DepWaitNs,
+		Windows:            s.Windows - prev.Windows,
+		Prefetches:         s.Prefetches - prev.Prefetches,
+		PrefetchedBuckets:  s.PrefetchedBuckets - prev.PrefetchedBuckets,
+		Writebacks:         s.Writebacks - prev.Writebacks,
+		FetchWaits:         s.FetchWaits - prev.FetchWaits,
+		FetchWaitNs:        s.FetchWaitNs - prev.FetchWaitNs,
+		EvictWaits:         s.EvictWaits - prev.EvictWaits,
+		EvictWaitNs:        s.EvictWaitNs - prev.EvictWaitNs,
+		WritebackWaits:     s.WritebackWaits - prev.WritebackWaits,
+		WritebackWaitNs:    s.WritebackWaitNs - prev.WritebackWaitNs,
+		ServeWaits:         s.ServeWaits - prev.ServeWaits,
+		ServeWaitNs:        s.ServeWaitNs - prev.ServeWaitNs,
+		DepWaits:           s.DepWaits - prev.DepWaits,
+		DepWaitNs:          s.DepWaitNs - prev.DepWaitNs,
+		WindowTurnarounds:  s.WindowTurnarounds - prev.WindowTurnarounds,
+		WindowTurnaroundNs: s.WindowTurnaroundNs - prev.WindowTurnaroundNs,
+		WorkerClamps:       s.WorkerClamps - prev.WorkerClamps,
 	}
 }
 
@@ -154,7 +186,9 @@ type pipeline struct {
 	pfCh chan struct{}
 	pf   prefetchState
 
-	stats PipelineStats // engine-goroutine counters
+	stats   PipelineStats // engine-goroutine counters
+	folded  PipelineStats // totals already folded into the controller at a seam
+	flushes int           // completed FlushPipelineWindow seams this session
 }
 
 // prefetchState is the single-slot fetch stage. The engine goroutine
@@ -229,38 +263,55 @@ type PipelineOpts struct {
 // Every StartPipeline that returns true must be paired with a
 // StopPipeline before the controller is used serially again.
 func (c *Controller) StartPipeline(depth int) bool {
-	return c.StartPipelineOpts(PipelineOpts{Depth: depth})
+	ok, _ := c.StartPipelineOpts(PipelineOpts{Depth: depth})
+	return ok
 }
 
 // StartPipelineOpts is StartPipeline with the full option set; see
 // PipelineOpts. ServeWorkers >= 2 arms the concurrent serve/evict stage
-// instead of the serial one.
-func (c *Controller) StartPipelineOpts(o PipelineOpts) bool {
+// instead of the serial one. Malformed options (Depth < 1,
+// WritebackQueue < 0) are rejected with a typed error; every other
+// false return is the deliberate serial path.
+func (c *Controller) StartPipelineOpts(o PipelineOpts) (bool, error) {
+	if o.Depth < 1 {
+		return false, fmt.Errorf("%w (got %d)", ErrPipelineDepth, o.Depth)
+	}
+	if o.WritebackQueue < 0 {
+		return false, fmt.Errorf("%w (got %d)", ErrWritebackQueue, o.WritebackQueue)
+	}
 	if c.err != nil || c.bulk == nil || o.Depth < 2 || c.pipe != nil || c.cs != nil {
-		return false
+		return false, nil
 	}
 	if o.ServeWorkers >= 2 {
 		c.cs = newCserve(c, o)
 	} else {
 		c.pipe = newPipeline(c, o.Depth, o.WritebackQueue)
 	}
-	return true
+	return true, nil
 }
 
 // StopPipeline drains the in-flight writebacks, joins the stage
-// workers, folds the window's statistics, and returns the first error
-// any stage latched (also latching it as the controller's fatal error:
-// a failed writeback lost evicted blocks, so the controller must
-// fail-stop exactly like a serial write failure).
+// workers, folds the session's unfolded statistics, and returns the
+// first error any stage latched (also latching it as the controller's
+// fatal error: a failed writeback lost evicted blocks, so the
+// controller must fail-stop exactly like a serial write failure). For
+// a single-window session (no FlushPipelineWindow calls) this counts
+// the one window; a cross-window session already counted each window
+// at its seam, and an aborted partial window is deliberately not
+// counted.
 func (c *Controller) StopPipeline() error {
 	if c.cs != nil {
 		cs := c.cs
 		c.cs = nil
 		err := cs.stop()
-		st := cs.stats
-		st.Add(cs.shared)
-		st.Windows++
-		c.pipeStats.Add(st)
+		total := cs.stats
+		total.Add(cs.shared)
+		delta := total.Delta(cs.folded)
+		if cs.flushes == 0 {
+			delta.Windows = 1
+		}
+		c.pipeStats.Add(delta)
+		c.seamStart = time.Now()
 		if err != nil && c.err == nil {
 			c.err = err
 		}
@@ -272,14 +323,60 @@ func (c *Controller) StopPipeline() error {
 	p := c.pipe
 	c.pipe = nil
 	err := p.stop()
-	st := p.stats
-	st.Add(p.shared)
-	st.Windows++
-	c.pipeStats.Add(st)
+	total := p.stats
+	total.Add(p.shared)
+	delta := total.Delta(p.folded)
+	if p.flushes == 0 {
+		delta.Windows = 1
+	}
+	c.pipeStats.Add(delta)
+	c.seamStart = time.Now()
 	if err != nil && c.err == nil {
 		c.err = err
 	}
 	return c.err
+}
+
+// FlushPipelineWindow ends one dispatch window of a persistent
+// (cross-window) pipeline session without tearing the stage workers
+// down. On return every access of the closing window has produced its
+// result and retired in program order — but its writebacks may still
+// be in flight; the store-buffer hazard set orders the next window's
+// fetches behind them. Counters of the closing window are folded so
+// PipelineStats observes per-window deltas exactly as it would across
+// Start/Stop pairs. No-op outside a pipelined window.
+func (c *Controller) FlushPipelineWindow() error {
+	if c.cs != nil {
+		delta, err := c.cs.flushWindow()
+		c.pipeStats.Add(delta)
+		c.seamStart = time.Now()
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		return c.err
+	}
+	if c.pipe == nil {
+		return c.err
+	}
+	delta, err := c.pipe.flushWindow()
+	c.pipeStats.Add(delta)
+	c.seamStart = time.Now()
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// noteFirstFetch records the window-turnaround stall: the gap between
+// the previous window's completion (seam or stop) and this window's
+// first fetch issue. Sequencer goroutine only, like pipeStats itself.
+func (c *Controller) noteFirstFetch() {
+	if c.seamStart.IsZero() {
+		return
+	}
+	c.pipeStats.WindowTurnarounds++
+	c.pipeStats.WindowTurnaroundNs += uint64(time.Since(c.seamStart))
+	c.seamStart = time.Time{}
 }
 
 // Prefetch starts fetching the path of the next committed access —
@@ -334,11 +431,30 @@ func (c *Controller) FlushWriteback() error {
 // pipelined window.
 func (c *Controller) PipelineStats() PipelineStats { return c.pipeStats }
 
+// flushWindow is the serial-stage window seam: the window's serves all
+// ran inline on the engine goroutine, so by the time the drive loop
+// reaches the seam every result is complete and only writebacks remain
+// in flight. Fold the window's counter delta and leave the store
+// buffer to order the next window's fetches behind the tail.
+func (p *pipeline) flushWindow() (PipelineStats, error) {
+	total := p.stats
+	p.mu.Lock()
+	total.Add(p.shared)
+	err := p.wbErr
+	p.mu.Unlock()
+	delta := total.Delta(p.folded)
+	p.folded = total
+	p.flushes++
+	delta.Windows = 1
+	return delta, err
+}
+
 // prefetch issues the single-slot fetch request. Engine goroutine only.
 func (p *pipeline) prefetch(label tree.Label, fromLevel uint) {
 	if p.pf.active {
 		return // one outstanding fetch max (drive-loop bug; harmless to skip)
 	}
+	p.c.noteFirstFetch()
 	ns := p.pf.ns[:0]
 	for lvl := fromLevel; lvl <= p.c.tr.LeafLevel(); lvl++ {
 		ns = append(ns, p.c.tr.NodeAt(label, lvl))
@@ -436,6 +552,7 @@ func (p *pipeline) writebackWorker() {
 func (p *pipeline) readRange(label tree.Label, fromLevel uint, dst []tree.Node) ([]tree.Node, error) {
 	c := p.c
 	if !p.pf.active {
+		c.noteFirstFetch()
 		start := len(dst)
 		for lvl := fromLevel; lvl <= c.tr.LeafLevel(); lvl++ {
 			dst = append(dst, c.tr.NodeAt(label, lvl))

@@ -214,6 +214,68 @@ func TestPipelineStartGates(t *testing.T) {
 	}
 }
 
+// TestStartPipelineOptsValidation pins the typed rejection and clamping
+// edges of StartPipelineOpts: nonsensical geometry is an error (not a
+// silent serial fallback), and an over-provisioned worker pool clamps
+// to the window depth with the clamp surfaced as a stat.
+func TestStartPipelineOptsValidation(t *testing.T) {
+	tr := tree.MustNew(4)
+	geo := block.Geometry{Z: 4, PayloadSize: 32}
+
+	cases := []struct {
+		name    string
+		opts    PipelineOpts
+		wantErr error
+		started bool
+		clamps  uint64
+	}{
+		{name: "depth zero", opts: PipelineOpts{Depth: 0}, wantErr: ErrPipelineDepth},
+		{name: "depth negative", opts: PipelineOpts{Depth: -3}, wantErr: ErrPipelineDepth},
+		{name: "writeback queue negative", opts: PipelineOpts{Depth: 4, WritebackQueue: -1}, wantErr: ErrWritebackQueue},
+		{name: "workers clamp to depth", opts: PipelineOpts{Depth: 2, ServeWorkers: 8}, started: true, clamps: 1},
+		{name: "workers within depth", opts: PipelineOpts{Depth: 4, ServeWorkers: 2}, started: true},
+		{name: "depth one is serial", opts: PipelineOpts{Depth: 1}}, // gate, not an error
+	}
+	for _, tc := range cases {
+		st, err := storage.NewMem(tr, geo, make([]byte, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewController(Config{Tree: tr, StashCapacity: 100}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.StartPipelineOpts(tc.opts)
+		if tc.wantErr != nil {
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("%s: error %v, want %v", tc.name, err, tc.wantErr)
+			}
+			if ok {
+				t.Fatalf("%s: started despite invalid options", tc.name)
+			}
+			// A rejected start must not fail-stop the controller.
+			if c.Err() != nil {
+				t.Fatalf("%s: rejection latched controller error %v", tc.name, c.Err())
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+		if ok != tc.started {
+			t.Fatalf("%s: started=%v, want %v", tc.name, ok, tc.started)
+		}
+		if ok {
+			if err := c.StopPipeline(); err != nil {
+				t.Fatalf("%s: stop: %v", tc.name, err)
+			}
+		}
+		if got := c.PipelineStats().WorkerClamps; got != tc.clamps {
+			t.Fatalf("%s: WorkerClamps %d, want %d", tc.name, got, tc.clamps)
+		}
+	}
+}
+
 // failingBulk wraps a BulkBackend and fails WriteBuckets after a set
 // number of calls — the worker-side failure the pipeline must latch.
 type failingBulk struct {

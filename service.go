@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -214,7 +213,16 @@ const (
 	// subset of the window's completed writebacks. Consulted only when
 	// DeviceConfig.ServeWorkers >= 2 engages the concurrent stage.
 	CrashMidServe
-	numCrashPoints = int(CrashMidServe) + 1
+	// CrashMidWindowSeam: on the cross-window committer, immediately
+	// after window W+1 was journaled, synced, and handed to the applier
+	// — window W may still be executing or retiring on the device, with
+	// W+1's records durable but not applied. Neither window is
+	// acknowledged past its own apply, so recovery must reconstruct
+	// both from the journal over a medium holding an arbitrary prefix
+	// of W's writebacks. Consulted only when ServiceConfig.CrossWindow
+	// pipelines the group commit.
+	CrashMidWindowSeam
+	numCrashPoints = int(CrashMidWindowSeam) + 1
 )
 
 // String implements fmt.Stringer.
@@ -244,6 +252,8 @@ func (p CrashPoint) String() string {
 		return "mid-scrub"
 	case CrashMidServe:
 		return "mid-serve"
+	case CrashMidWindowSeam:
+		return "mid-window-seam"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -273,6 +283,25 @@ type ServiceConfig struct {
 	// latency for larger commit windows. Default 0: a group is whatever
 	// is already queued when the worker comes around.
 	GroupLinger time.Duration
+	// BurstLinger bounds how long the worker waits for a second request
+	// to join a dispatch window when the first arrives to an empty
+	// queue: clients admitted in the same burst may not have enqueued
+	// yet (their sends readied the worker before their own enqueues
+	// ran). Only the window's first request pays it, and only when the
+	// queue is dry — a drained backlog never lingers. Default 25µs
+	// (noise next to an ORAM access); negative disables. Ignored when
+	// MaxGroupSize <= 1 or the service is not healthy.
+	BurstLinger time.Duration
+	// CrossWindow pipelines the group commit across dispatch windows
+	// (DESIGN.md §16): while window W executes on the device, window
+	// W+1 is gathered, journaled, and fsynced concurrently, and the
+	// handed-over window starts executing the moment W retires —
+	// DeviceConfig.CrossWindow is implied, so the device-side pipeline
+	// also stays primed across the seam. The acknowledgement invariant
+	// is unchanged: a write is acked only after ITS OWN group is
+	// durable AND applied. Default false (the window-barriered
+	// scheduler).
+	CrossWindow bool
 	// MaxRecoveries bounds consecutive supervised recoveries (default 8).
 	// The counter resets whenever a checkpoint commits — real forward
 	// progress — so a service that heals and keeps working is never
@@ -332,6 +361,12 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	}
 	if c.MaxGroupSize < 1 {
 		c.MaxGroupSize = 1
+	}
+	if c.BurstLinger == 0 {
+		c.BurstLinger = 25 * time.Microsecond
+	}
+	if c.CrossWindow {
+		c.Device.CrossWindow = true
 	}
 	if c.MaxRecoveries == 0 {
 		c.MaxRecoveries = 8
@@ -507,6 +542,13 @@ type Service struct {
 	state ServiceState
 	cause error // terminal cause (Degraded/Failed)
 
+	// logMu serializes journal-store access. In serial mode it is
+	// uncontended; in cross-window mode the committer's appends and
+	// syncs race the applier's recovery loads — and the chaos harness's
+	// kill hook tears the store buffer, so killed()'s hook consultation
+	// sits under it too. No holder of logMu may call killed().
+	logMu sync.Mutex
+
 	// Worker-owned (no locking): the device, journal, and checkpoint
 	// bookkeeping are touched only by the supervisor goroutine after
 	// NewService returns.
@@ -527,6 +569,29 @@ type Service struct {
 	recsBuf  []wal.Record
 	opsBuf   []BatchOp
 	spanBuf  []reqSpan
+
+	// Cross-window mode (DESIGN.md §16). Validation geometry is captured
+	// at construction because mid-flight the device belongs to the
+	// applier goroutine (geometry is immutable across restores, so the
+	// capture never goes stale). xwLast is committer-owned; xwDead is
+	// closed by the applier when crash injection strikes on its side, so
+	// a committer parked on the queue still dies.
+	valBlocks    uint64
+	valBlockSize int
+	xwLast       *xwWindow
+	xwDead       chan struct{}
+	xwKill1      sync.Once
+}
+
+// xwWindow is one journaled dispatch window in flight between the
+// cross-window committer and the applier. Everything inside is
+// immutable after the hand-off; done is the happens-before edge back
+// to the committer (closed once the window is fully answered).
+type xwWindow struct {
+	live  []*svcReq
+	ops   []BatchOp
+	spans []reqSpan
+	done  chan struct{}
 }
 
 // reqSpan is one request's slice [start, end) of a group's combined
@@ -614,7 +679,15 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			return nil, lastErr
 		}
 	}
-	go s.run()
+	// The device exists on every path above; its config carries the
+	// defaults the raw cfg.Device may lack.
+	s.valBlocks, s.valBlockSize = s.dev.cfg.Blocks, s.dev.cfg.BlockSize
+	s.xwDead = make(chan struct{})
+	if cfg.CrossWindow {
+		go s.runXW()
+	} else {
+		go s.run()
+	}
 	return s, nil
 }
 
@@ -822,6 +895,385 @@ func (s *Service) run() {
 	}
 }
 
+// runXW is the cross-window supervisor (ServiceConfig.CrossWindow): the
+// group commit is split across two goroutines so window W+1's journal
+// append and fsync overlap window W's device execution. This goroutine
+// is the COMMITTER — it gathers, validates, journals, and hands durable
+// windows to the applier; the applier owns the device and answers
+// requests. The acknowledgement invariant is untouched: the applier
+// acks a write only after its own group is durable AND applied. What
+// overlaps is machinery, not acknowledgement.
+func (s *Service) runXW() {
+	defer close(s.done)
+	// Cap 1 gives three windows of lookahead at most: one executing on
+	// the applier, one buffered durable, one being journaled here.
+	applyCh := make(chan *xwWindow, 1)
+	apDone := make(chan struct{})
+	defer func() {
+		// The applier drains every handed-over window before exiting, so
+		// no client is left unanswered even after a kill.
+		close(applyCh)
+		<-apDone
+	}()
+	go s.xwApplier(applyCh, apDone)
+	for {
+		select {
+		case req := <-s.q:
+			if !s.xwDispatch(req, applyCh) {
+				s.drainKilled()
+				return
+			}
+		case <-s.xwDead:
+			// Crash injection on the applier side; die like run() would.
+			s.drainKilled()
+			return
+		case <-s.closing:
+			for {
+				select {
+				case req := <-s.q:
+					if !s.xwDispatch(req, applyCh) {
+						s.drainKilled()
+						return
+					}
+					continue
+				case <-s.xwDead:
+					s.drainKilled()
+					return
+				default:
+				}
+				break
+			}
+			s.xwBarrier()
+			if s.State() == StateHealthy {
+				s.closeRv = s.commitCheckpoint()
+			}
+			return
+		}
+	}
+}
+
+// xwDispatch serves one dispatch window in cross-window mode. Healthy
+// windows are journaled here and handed to the applier; checkpoint
+// requests and non-healthy states are barrier-served through the serial
+// paths (which answer per request and own the device while the applier
+// is provably idle). Reports false when crash injection killed the
+// service.
+func (s *Service) xwDispatch(first *svcReq, applyCh chan *xwWindow) bool {
+	g := s.gather(first)
+	defer func() {
+		// The gather scratch is reused; drop request references so a
+		// window cannot pin payloads past its dispatch.
+		for i := range g {
+			g[i] = nil
+		}
+	}()
+	if len(g) == 1 && (g[0].kind == reqCheckpoint || s.State() != StateHealthy) {
+		s.xwBarrier()
+		if s.State() == stateKilled {
+			g[0].resp <- svcResp{err: errKilled}
+			return false
+		}
+		return s.serve(g[0])
+	}
+	active := g
+	var ckpt *svcReq
+	if active[len(active)-1].kind == reqCheckpoint {
+		ckpt = active[len(active)-1]
+		active = active[:len(active)-1]
+	}
+	s.recordGroup(len(active))
+	if !s.xwCommitGroup(active, applyCh) {
+		if ckpt != nil {
+			ckpt.resp <- svcResp{err: errKilled}
+		}
+		return false
+	}
+	if ckpt != nil {
+		// Trailing checkpoint barrier: commits after the group it joined,
+		// and only once that group has fully retired on the applier.
+		s.xwBarrier()
+		if s.State() == stateKilled {
+			ckpt.resp <- svcResp{err: errKilled}
+			return false
+		}
+		return s.serve(ckpt)
+	}
+	return true
+}
+
+// xwCommitGroup journals one window and hands it to the applier:
+//
+//	validate each -> journal all writes in ONE frame batch -> ONE sync
+//	-> hand {live, ops, spans} over -> (applier) ONE Device.Batch
+//	-> (applier) distribute and ack.
+//
+// Identical to commitGroup through the sync; the apply half runs on the
+// applier goroutine, concurrently with the NEXT window's journaling
+// here. The window's slices are freshly allocated — they outlive this
+// call by design. Reports false when crash injection killed the
+// service (the handed-over window is then answered by the applier).
+func (s *Service) xwCommitGroup(g []*svcReq, applyCh chan *xwWindow) bool {
+	recs := s.recsBuf[:0]
+	defer func() {
+		for i := range recs {
+			recs[i].Payload = nil
+		}
+		s.recsBuf = recs[:0]
+	}()
+	w := &xwWindow{done: make(chan struct{})}
+	for _, req := range g {
+		if err := s.xwValidateReq(req); err != nil {
+			req.resp <- svcResp{err: err}
+			continue
+		}
+		w.live = append(w.live, req)
+	}
+	if len(w.live) == 0 {
+		return true // degenerate window: nothing to journal or apply
+	}
+	for _, req := range w.live {
+		switch req.kind {
+		case reqWrite:
+			recs = append(recs, wal.Record{Op: wal.OpWrite, Addr: req.addr, Payload: req.data})
+		case reqBatch:
+			for _, op := range req.ops {
+				if op.Write {
+					recs = append(recs, wal.Record{Op: wal.OpWrite, Addr: op.Addr, Payload: op.Data})
+				}
+			}
+		}
+	}
+	if len(recs) > 0 {
+		s.logMu.Lock()
+		err := s.log.AppendGroup(recs)
+		s.logMu.Unlock()
+		if err != nil {
+			return s.xwFailGroup(w.live, err)
+		}
+		s.bump(func(t *ServiceStats) { t.WALRecords += uint64(len(recs)) })
+		if s.killed(CrashAfterAppend) || s.killed(CrashAfterGroupAppend) {
+			s.killGroup(w.live)
+			return false
+		}
+		s.logMu.Lock()
+		err = s.log.Sync()
+		s.logMu.Unlock()
+		if err != nil {
+			return s.xwFailGroup(w.live, err)
+		}
+		s.bump(func(t *ServiceStats) { t.WALSyncs++ })
+		if s.killed(CrashAfterSync) || s.killed(CrashAfterGroupSync) {
+			s.killGroup(w.live)
+			return false
+		}
+	}
+	muts := 0
+	for _, req := range w.live {
+		start := len(w.ops)
+		switch req.kind {
+		case reqRead:
+			w.ops = append(w.ops, BatchOp{Addr: req.addr})
+		case reqWrite:
+			w.ops = append(w.ops, BatchOp{Addr: req.addr, Write: true, Data: req.data})
+		case reqBatch:
+			w.ops = append(w.ops, req.ops...)
+		}
+		w.spans = append(w.spans, reqSpan{start, len(w.ops)})
+		if req.kind != reqRead {
+			muts++
+		}
+	}
+	applyCh <- w // the applier consumes unconditionally; this never wedges
+	s.xwLast = w
+	if s.killed(CrashMidWindowSeam) {
+		return false
+	}
+	// Checkpoint cadence is committer-owned and counts mutations
+	// optimistically at hand-off: if the window fails on the applier the
+	// service leaves the healthy path and cadence stops mattering.
+	s.sinceCkpt += muts
+	if muts > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		s.xwBarrier()
+		switch s.State() {
+		case stateKilled:
+			return false
+		case StateHealthy:
+			if err := s.commitCheckpoint(); errors.Is(err, errKilled) {
+				return false
+			}
+			// A failed periodic checkpoint is not fatal (see serve).
+		}
+	}
+	return true
+}
+
+// xwValidateReq mirrors validateReq against geometry captured at
+// construction: mid-flight the device belongs to the applier, and
+// geometry is immutable across restores (snapshot restore enforces it).
+func (s *Service) xwValidateReq(req *svcReq) error {
+	switch req.kind {
+	case reqRead:
+		return s.xwCheckAddr(req.addr)
+	case reqWrite:
+		if err := s.xwCheckAddr(req.addr); err != nil {
+			return err
+		}
+		if len(req.data) != s.valBlockSize {
+			return fmt.Errorf("forkoram: payload %d bytes, want %d", len(req.data), s.valBlockSize)
+		}
+	case reqBatch:
+		for i, op := range req.ops {
+			if err := s.xwCheckAddr(op.Addr); err != nil {
+				return fmt.Errorf("forkoram: batch op %d: %w", i, err)
+			}
+			if op.Write && len(op.Data) != s.valBlockSize {
+				return fmt.Errorf("forkoram: batch op %d: payload %d bytes, want %d",
+					i, len(op.Data), s.valBlockSize)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Service) xwCheckAddr(addr uint64) error {
+	if addr >= s.valBlocks {
+		return fmt.Errorf("forkoram: address %d out of range (blocks=%d)", addr, s.valBlocks)
+	}
+	return nil
+}
+
+// xwFailGroup is failGroup for the committer: answer everything (none
+// were acked), then heal the journal — which checkpoints, so the
+// applier must be drained first.
+func (s *Service) xwFailGroup(live []*svcReq, err error) bool {
+	for _, req := range live {
+		req.resp <- svcResp{err: err}
+	}
+	s.xwBarrier()
+	if s.State() == stateKilled {
+		return false
+	}
+	return s.healJournal()
+}
+
+// xwBarrier parks the committer until every handed-over window has
+// fully retired (answered, applied or refused). Windows retire in FIFO
+// order, so waiting on the last one suffices; the done-channel receive
+// is the happens-before edge that makes the device and journal tail
+// safe to touch from this goroutine afterwards.
+func (s *Service) xwBarrier() {
+	if s.xwLast != nil {
+		<-s.xwLast.done
+		s.xwLast = nil
+	}
+}
+
+// xwApplier is the cross-window apply loop: it owns the device while
+// the committer owns gathering and the journal tail. Windows arrive
+// already durable; each is executed through one Device.Batch (the
+// device's persistent pipeline keeps its stages primed across these
+// calls), distributed, acked, and followed by the post-window
+// housekeeping (scrub cadence, stat folds). The loop never exits before
+// applyCh closes: after a kill it keeps draining, answering errKilled,
+// so the committer can never wedge on a hand-off.
+func (s *Service) xwApplier(applyCh chan *xwWindow, apDone chan struct{}) {
+	defer close(apDone)
+	for w := range applyCh {
+		s.xwApplyWindow(w)
+		close(w.done)
+	}
+}
+
+// xwApplyWindow executes one durable window on the device and answers
+// its requests. Runs on the applier goroutine.
+func (s *Service) xwApplyWindow(w *xwWindow) {
+	switch s.State() {
+	case stateKilled:
+		s.killGroup(w.live)
+		return
+	case StateFailed, StateDegraded:
+		// A previous window spent the recovery budget after this one was
+		// journaled. Nothing here was acked; refuse with the terminal
+		// error like the serial paths would.
+		for _, req := range w.live {
+			req.resp <- svcResp{err: s.terminalErr()}
+		}
+		return
+	}
+	var out [][]byte
+	for {
+		var err error
+		out, err = s.dev.Batch(w.ops)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errKilled) {
+			s.killGroup(w.live)
+			s.xwDie()
+			return
+		}
+		if s.dev.Poisoned() == nil {
+			// Unreachable by construction — every op was pre-validated —
+			// but fail the window defensively rather than panic.
+			for _, req := range w.live {
+				req.resp <- svcResp{err: err}
+			}
+			return
+		}
+		if rerr := s.supervise(err); rerr != nil {
+			if errors.Is(rerr, errKilled) {
+				s.killGroup(w.live)
+				s.xwDie()
+				return
+			}
+			for _, req := range w.live {
+				req.resp <- svcResp{err: rerr}
+			}
+			return
+		}
+		// Recovery replayed every durable record — including any the
+		// committer already journaled for windows BEHIND this one (they
+		// land early, then their own Batch re-applies them idempotently,
+		// exactly like this window's re-run below).
+	}
+	if s.killed(CrashAfterApply) {
+		s.killGroup(w.live)
+		s.xwDie()
+		return
+	}
+	muts := 0
+	for i, req := range w.live {
+		sp := w.spans[i]
+		switch req.kind {
+		case reqRead:
+			req.resp <- svcResp{data: out[sp.start]}
+			s.bump(func(t *ServiceStats) { t.Reads++ })
+		case reqWrite:
+			req.resp <- svcResp{}
+			s.bump(func(t *ServiceStats) { t.Writes++ })
+			muts++
+		case reqBatch:
+			req.resp <- svcResp{batch: out[sp.start:sp.end:sp.end]}
+			s.bump(func(t *ServiceStats) { t.Batches++ })
+			muts++
+		}
+	}
+	s.sinceScrub += muts
+	s.foldPipelineStats()
+	if !s.maybeScrub() {
+		s.xwDie()
+		return
+	}
+	s.foldStorageStats()
+}
+
+// xwDie signals the committer that crash injection struck on the
+// applier side: the committer exits its loop (simulated process death)
+// while this goroutine keeps draining handed-over windows.
+func (s *Service) xwDie() {
+	s.xwKill1.Do(func() { close(s.xwDead) })
+}
+
 // dispatch coalesces first with whatever else the queue holds and serves
 // the window. A window of one goes down the exact singleton path (same
 // code, same crash-hook cadence as before group commit existed); larger
@@ -890,12 +1342,25 @@ func (s *Service) gather(first *svcReq) []*svcReq {
 	if first.kind == reqCheckpoint || s.cfg.MaxGroupSize <= 1 || s.State() != StateHealthy {
 		return g
 	}
-	// Yield once before draining: clients admitted in the same instant as
+	// First-request linger: clients admitted in the same instant as
 	// first may not have reached the queue yet (their sends readied this
-	// goroutine before their own enqueues ran — guaranteed on a single-P
-	// runtime, likely under any loaded scheduler). One scheduler pass is
-	// noise next to an ORAM access and lets a whole burst join the window.
-	runtime.Gosched()
+	// goroutine before their own enqueues ran). A scheduler yield only
+	// covers the single-P case; an explicit bounded wait lets a burst
+	// form the window on any host, and only a dry queue ever pays it.
+	if s.cfg.BurstLinger > 0 && len(s.q) == 0 {
+		timer := time.NewTimer(s.cfg.BurstLinger)
+		select {
+		case req := <-s.q:
+			g = append(g, req)
+			if req.kind == reqCheckpoint {
+				timer.Stop()
+				return g
+			}
+		case <-timer.C:
+		case <-s.closing:
+		}
+		timer.Stop()
+	}
 	for len(g) < s.cfg.MaxGroupSize {
 		select {
 		case req := <-s.q:
@@ -1030,7 +1495,10 @@ func (s *Service) commitGroup(g []*svcReq) bool {
 		}
 	}
 	if len(recs) > 0 {
-		if err := s.log.AppendGroup(recs); err != nil {
+		s.logMu.Lock()
+		err := s.log.AppendGroup(recs)
+		s.logMu.Unlock()
+		if err != nil {
 			return s.failGroup(live, err)
 		}
 		s.bump(func(t *ServiceStats) { t.WALRecords += uint64(len(recs)) })
@@ -1038,7 +1506,10 @@ func (s *Service) commitGroup(g []*svcReq) bool {
 			s.killGroup(live)
 			return false
 		}
-		if err := s.log.Sync(); err != nil {
+		s.logMu.Lock()
+		err = s.log.Sync()
+		s.logMu.Unlock()
+		if err != nil {
 			return s.failGroup(live, err)
 		}
 		s.bump(func(t *ServiceStats) { t.WALSyncs++ })
@@ -1307,21 +1778,27 @@ func (s *Service) serveWrite(addr uint64, data []byte) (svcResp, bool) {
 	if len(data) != s.dev.cfg.BlockSize {
 		return svcResp{err: fmt.Errorf("forkoram: payload %d bytes, want %d", len(data), s.dev.cfg.BlockSize)}, true
 	}
-	if _, err := s.log.Append(wal.OpWrite, addr, data); err != nil {
+	s.logMu.Lock()
+	_, err := s.log.Append(wal.OpWrite, addr, data)
+	s.logMu.Unlock()
+	if err != nil {
 		return svcResp{err: err}, s.healJournal()
 	}
 	s.bump(func(t *ServiceStats) { t.WALRecords++ })
 	if s.killed(CrashAfterAppend) {
 		return svcResp{}, false
 	}
-	if err := s.log.Sync(); err != nil {
+	s.logMu.Lock()
+	err = s.log.Sync()
+	s.logMu.Unlock()
+	if err != nil {
 		return svcResp{err: err}, s.healJournal()
 	}
 	s.bump(func(t *ServiceStats) { t.WALSyncs++ })
 	if s.killed(CrashAfterSync) {
 		return svcResp{}, false
 	}
-	err := s.dev.Write(addr, data)
+	err = s.dev.Write(addr, data)
 	for err != nil {
 		if s.dev.Poisoned() == nil {
 			return svcResp{err: err}, true
@@ -1360,7 +1837,10 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 		if !op.Write {
 			continue
 		}
-		if _, err := s.log.Append(wal.OpWrite, op.Addr, op.Data); err != nil {
+		s.logMu.Lock()
+		_, err := s.log.Append(wal.OpWrite, op.Addr, op.Data)
+		s.logMu.Unlock()
+		if err != nil {
 			return svcResp{err: err}, s.healJournal()
 		}
 		wrote = true
@@ -1370,7 +1850,10 @@ func (s *Service) serveBatch(ops []BatchOp) (svcResp, bool) {
 		if s.killed(CrashAfterAppend) {
 			return svcResp{}, false
 		}
-		if err := s.log.Sync(); err != nil {
+		s.logMu.Lock()
+		err := s.log.Sync()
+		s.logMu.Unlock()
+		if err != nil {
 			return svcResp{err: err}, s.healJournal()
 		}
 		s.bump(func(t *ServiceStats) { t.WALSyncs++ })
@@ -1502,7 +1985,9 @@ func (s *Service) recoverOnce() error {
 	if !ok {
 		return fmt.Errorf("forkoram: recovery without a checkpoint")
 	}
+	s.logMu.Lock()
 	data, err := s.cfg.WAL.Load()
+	s.logMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("forkoram: recovery journal load: %w", err)
 	}
@@ -1510,7 +1995,9 @@ func (s *Service) recoverOnce() error {
 	if err := s.restoreFrom(ck, recs); err != nil {
 		return err
 	}
+	s.logMu.Lock()
 	s.log.Advance(ck.Seq)
+	s.logMu.Unlock()
 	return nil
 }
 
@@ -1668,14 +2155,20 @@ func (s *Service) persistCheckpoint(snap *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("forkoram: checkpoint marshal: %w", err)
 	}
-	ck := &Checkpoint{Seq: s.log.LastSeq(), Snapshot: data, Medium: cloneMedium(s.dev)}
+	s.logMu.Lock()
+	seq := s.log.LastSeq()
+	s.logMu.Unlock()
+	ck := &Checkpoint{Seq: seq, Snapshot: data, Medium: cloneMedium(s.dev)}
 	if err := s.cfg.Checkpoints.Save(ck); err != nil {
 		return fmt.Errorf("forkoram: checkpoint save: %w", err)
 	}
 	if s.killed(CrashAfterCheckpointSave) {
 		return errKilled
 	}
-	if err := s.log.Truncate(); err != nil {
+	s.logMu.Lock()
+	err = s.log.Truncate()
+	s.logMu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.ckptSeq = ck.Seq
@@ -1685,12 +2178,18 @@ func (s *Service) persistCheckpoint(snap *Snapshot) error {
 	return nil
 }
 
-// killed consults the crash hook at one CrashPoint.
+// killed consults the crash hook at one CrashPoint. The consultation
+// runs under logMu: the chaos harness's hook tears the journal store's
+// buffer at kill time, which must not race a concurrent append or
+// recovery load on the other cross-window goroutine.
 func (s *Service) killed(p CrashPoint) bool {
 	if s.cfg.crashHook == nil {
 		return false
 	}
-	if !s.cfg.crashHook(p) {
+	s.logMu.Lock()
+	hit := s.cfg.crashHook(p)
+	s.logMu.Unlock()
+	if !hit {
 		return false
 	}
 	s.setState(stateKilled, errKilled)
